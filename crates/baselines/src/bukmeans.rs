@@ -1,0 +1,261 @@
+//! Basic UK-means (Chau, Cheng, Kao & Ng \[4\]) — the original,
+//! sample-approximated formulation ("bUKM" in the paper's figures).
+//!
+//! Assignment computes the expected distance `ED_d(o, c)` between every
+//! object and every candidate centroid by averaging the metric over `S`
+//! precomputed realizations of the object's pdf — the integral-approximation
+//! bottleneck the paper describes, giving `O(I S k n m)` online complexity.
+//! Centroids are updated as the average of member expected values (Eq. 7).
+//!
+//! With the squared Euclidean metric and `S → ∞` this converges to the same
+//! assignments as the fast UK-means (Eq. 8); the test-suite checks that
+//! agreement. The paper's pruning baselines (MinMax-BB, VDBiP) accelerate
+//! exactly this algorithm.
+
+use rand::RngCore;
+use ucpc_core::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
+use ucpc_core::init::Initializer;
+use ucpc_uncertain::distance::{expected_distance_sampled, Metric};
+use ucpc_uncertain::sampling::SampleCache;
+use ucpc_uncertain::UncertainObject;
+
+/// Configuration of the basic (sample-based) UK-means.
+#[derive(Debug, Clone)]
+pub struct BasicUkMeans {
+    /// Initialization strategy.
+    pub init: Initializer,
+    /// Cap on Lloyd iterations.
+    pub max_iters: usize,
+    /// Samples per object (`S` in the complexity `O(I S k n m)`).
+    pub samples_per_object: usize,
+    /// Metric for the expected distance (the paper's experiments use the
+    /// squared Euclidean norm; Euclidean exercises the no-closed-form path
+    /// that motivates the pruning literature).
+    pub metric: Metric,
+}
+
+impl Default for BasicUkMeans {
+    fn default() -> Self {
+        Self {
+            init: Initializer::RandomPartition,
+            max_iters: 100,
+            samples_per_object: 64,
+            metric: Metric::SquaredEuclidean,
+        }
+    }
+}
+
+/// Outcome of a basic UK-means run.
+#[derive(Debug, Clone)]
+pub struct BasicUkMeansResult {
+    /// Final partition.
+    pub clustering: Clustering,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Final objective `Σ_o ED_d(o, c_o)` (sample estimate).
+    pub objective: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Total number of expected-distance evaluations performed (the cost the
+    /// pruning baselines reduce).
+    pub ed_evaluations: usize,
+    /// Whether assignments stabilized before the cap.
+    pub converged: bool,
+}
+
+impl BasicUkMeans {
+    /// Runs the basic UK-means on `data` with `k` clusters.
+    pub fn run(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<BasicUkMeansResult, ClusterError> {
+        let m = validate_input(data, k)?;
+        let labels = self.init.initial_partition(data, k, rng);
+        let cache = SampleCache::build(data, self.samples_per_object, rng);
+        self.run_from(data, k, m, labels, &cache)
+    }
+
+    /// Runs from a given initial partition and sample cache (used by tests
+    /// and by the pruning baselines for apples-to-apples comparisons).
+    pub fn run_from(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        m: usize,
+        mut labels: Vec<usize>,
+        cache: &SampleCache,
+    ) -> Result<BasicUkMeansResult, ClusterError> {
+        assert_eq!(cache.len(), data.len(), "cache must cover the dataset");
+        let mut centroids = centroids_of(data, &labels, k, m);
+        let mut iterations = 0usize;
+        let mut ed_evaluations = 0usize;
+        let mut converged = false;
+
+        while iterations < self.max_iters {
+            iterations += 1;
+            let mut moved = false;
+            for (i, label) in labels.iter_mut().enumerate() {
+                let mut best = *label;
+                let mut best_d = f64::INFINITY;
+                for (c, cent) in centroids.iter().enumerate() {
+                    let d = expected_distance_sampled(cache.of(i), cent, self.metric);
+                    ed_evaluations += 1;
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                if best != *label {
+                    *label = best;
+                    moved = true;
+                }
+            }
+            if !moved {
+                converged = true;
+                break;
+            }
+            centroids = centroids_of(data, &labels, k, m);
+        }
+
+        let objective = (0..data.len())
+            .map(|i| {
+                expected_distance_sampled(cache.of(i), &centroids[labels[i]], self.metric)
+            })
+            .sum();
+
+        Ok(BasicUkMeansResult {
+            clustering: Clustering::new(labels, k),
+            centroids,
+            objective,
+            iterations,
+            ed_evaluations,
+            converged,
+        })
+    }
+}
+
+/// Average of member expected values per cluster (Eq. 7); empty clusters
+/// keep their previous centroid by re-seeding on the global mean.
+pub(crate) fn centroids_of(
+    data: &[UncertainObject],
+    labels: &[usize],
+    k: usize,
+    m: usize,
+) -> Vec<Vec<f64>> {
+    let mut sums = vec![vec![0.0; m]; k];
+    let mut counts = vec![0usize; k];
+    for (o, &l) in data.iter().zip(labels) {
+        counts[l] += 1;
+        for (s, &mu_j) in sums[l].iter_mut().zip(o.mu()) {
+            *s += mu_j;
+        }
+    }
+    let global: Vec<f64> = {
+        let inv = 1.0 / data.len() as f64;
+        let mut g = vec![0.0; m];
+        for o in data {
+            for (gj, &mu_j) in g.iter_mut().zip(o.mu()) {
+                *gj += mu_j;
+            }
+        }
+        for v in &mut g {
+            *v *= inv;
+        }
+        g
+    };
+    for c in 0..k {
+        if counts[c] > 0 {
+            let inv = 1.0 / counts[c] as f64;
+            for v in &mut sums[c] {
+                *v *= inv;
+            }
+        } else {
+            sums[c] = global.clone();
+        }
+    }
+    sums
+}
+
+impl UncertainClusterer for BasicUkMeans {
+    fn name(&self) -> &'static str {
+        "bUKM"
+    }
+
+    fn cluster(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Clustering, ClusterError> {
+        Ok(self.run(data, k, rng)?.clustering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ukmeans::UkMeans;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn blobs() -> Vec<UncertainObject> {
+        let mut data = Vec::new();
+        for c in [0.0, 30.0] {
+            for i in 0..8 {
+                data.push(UncertainObject::new(vec![
+                    UnivariatePdf::normal(c + (i % 4) as f64 * 0.2, 0.5),
+                    UnivariatePdf::normal(c, 0.5),
+                ]));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let data = blobs();
+        let mut rng = StdRng::seed_from_u64(12);
+        let r = BasicUkMeans::default().run(&data, 2, &mut rng).unwrap();
+        assert!(r.converged);
+        let l = r.clustering.labels();
+        assert!(l[..8].iter().all(|&x| x == l[0]));
+        assert!(l[8..].iter().all(|&x| x == l[8]));
+        assert_ne!(l[0], l[8]);
+    }
+
+    #[test]
+    fn agrees_with_fast_ukmeans_under_squared_euclidean() {
+        // With enough samples the sampled ED ranks centroids like Eq. (8).
+        let data = blobs();
+        let labels: Vec<usize> = (0..data.len()).map(|i| i % 2).collect();
+        let mut rng = StdRng::seed_from_u64(13);
+        let cache = SampleCache::build(&data, 512, &mut rng);
+        let basic = BasicUkMeans::default()
+            .run_from(&data, 2, 2, labels.clone(), &cache)
+            .unwrap();
+        let fast = UkMeans::default().run_with_labels(&data, 2, labels).unwrap();
+        assert_eq!(basic.clustering.labels(), fast.clustering.labels());
+    }
+
+    #[test]
+    fn ed_evaluation_count_matches_complexity_model() {
+        // Every iteration evaluates k expected distances per object.
+        let data = blobs();
+        let mut rng = StdRng::seed_from_u64(14);
+        let r = BasicUkMeans::default().run(&data, 2, &mut rng).unwrap();
+        assert_eq!(r.ed_evaluations, r.iterations * data.len() * 2);
+    }
+
+    #[test]
+    fn euclidean_metric_also_clusters() {
+        let data = blobs();
+        let mut rng = StdRng::seed_from_u64(15);
+        let cfg = BasicUkMeans { metric: Metric::Euclidean, ..Default::default() };
+        let r = cfg.run(&data, 2, &mut rng).unwrap();
+        let l = r.clustering.labels();
+        assert_ne!(l[0], l[8]);
+    }
+}

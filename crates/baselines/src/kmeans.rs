@@ -1,0 +1,215 @@
+//! Deterministic K-means (Lloyd's algorithm).
+//!
+//! Not an uncertain-data algorithm itself, but the substrate the UK-means
+//! family reduces to: the fast UK-means of Lee et al. \[14\] is *exactly*
+//! K-means over the objects' expected values (Eq. 8), and Case-1 evaluation
+//! (deterministic perturbed data) runs every uncertain algorithm on
+//! point-mass objects where they all degenerate to this.
+
+use rand::RngCore;
+use ucpc_core::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
+use ucpc_core::init::Initializer;
+use ucpc_uncertain::distance::sq_euclidean;
+use ucpc_uncertain::UncertainObject;
+
+/// Lloyd's K-means over the expected values of the input objects.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Initialization strategy.
+    pub init: Initializer,
+    /// Cap on Lloyd iterations.
+    pub max_iters: usize,
+}
+
+impl Default for KMeans {
+    fn default() -> Self {
+        Self { init: Initializer::RandomPartition, max_iters: 200 }
+    }
+}
+
+/// Outcome of a K-means run over expected values.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final partition.
+    pub clustering: Clustering,
+    /// Final centroids (mean of member expected values).
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of expected values to their centroid.
+    pub sse: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+    /// Whether assignments stabilized before `max_iters`.
+    pub converged: bool,
+}
+
+impl KMeans {
+    /// Runs Lloyd's algorithm on the expected values of `data`.
+    pub fn run(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<KMeansResult, ClusterError> {
+        let m = validate_input(data, k)?;
+        let labels = self.init.initial_partition(data, k, rng);
+        self.run_with_labels(data, k, m, labels)
+    }
+
+    /// Runs Lloyd's algorithm from a given initial partition.
+    pub(crate) fn run_with_labels(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        m: usize,
+        mut labels: Vec<usize>,
+    ) -> Result<KMeansResult, ClusterError> {
+        let points: Vec<&[f64]> = data.iter().map(|o| o.mu()).collect();
+        let mut centroids = centroids_of(&points, &labels, k, m);
+        let mut converged = false;
+        let mut iterations = 0usize;
+
+        while iterations < self.max_iters {
+            iterations += 1;
+            let mut moved = false;
+            for (i, p) in points.iter().enumerate() {
+                let mut best = labels[i];
+                let mut best_d = sq_euclidean(p, &centroids[labels[i]]);
+                for (c, cent) in centroids.iter().enumerate() {
+                    let d = sq_euclidean(p, cent);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                if best != labels[i] {
+                    labels[i] = best;
+                    moved = true;
+                }
+            }
+            if !moved {
+                converged = true;
+                break;
+            }
+            centroids = centroids_of(&points, &labels, k, m);
+        }
+
+        let sse = points
+            .iter()
+            .zip(&labels)
+            .map(|(p, &l)| sq_euclidean(p, &centroids[l]))
+            .sum();
+        Ok(KMeansResult {
+            clustering: Clustering::new(labels, k),
+            centroids,
+            sse,
+            iterations,
+            converged,
+        })
+    }
+}
+
+/// Mean of each cluster's points; empty clusters keep their previous role by
+/// being re-seeded on the farthest point from its centroid-less mass (here:
+/// first point, which the Lloyd loop immediately corrects).
+fn centroids_of(points: &[&[f64]], labels: &[usize], k: usize, m: usize) -> Vec<Vec<f64>> {
+    let mut sums = vec![vec![0.0; m]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &l) in points.iter().zip(labels) {
+        counts[l] += 1;
+        for j in 0..m {
+            sums[l][j] += p[j];
+        }
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            let inv = 1.0 / counts[c] as f64;
+            for v in &mut sums[c] {
+                *v *= inv;
+            }
+        } else {
+            // Re-seed an empty cluster on the point farthest from its
+            // assigned centroid, which breaks ties deterministically.
+            let far = points
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    let da = sq_euclidean(a, &sums[labels[0]]);
+                    let db = sq_euclidean(b, &sums[labels[0]]);
+                    da.total_cmp(&db)
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            sums[c] = points[far].to_vec();
+        }
+    }
+    sums
+}
+
+impl UncertainClusterer for KMeans {
+    fn name(&self) -> &'static str {
+        "KM"
+    }
+
+    fn cluster(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Clustering, ClusterError> {
+        Ok(self.run(data, k, rng)?.clustering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs() -> Vec<UncertainObject> {
+        let mut data = Vec::new();
+        for c in [0.0, 100.0] {
+            for i in 0..8 {
+                data.push(UncertainObject::deterministic(&[c + (i % 4) as f64 * 0.1, c]));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = KMeans::default().run(&data, 2, &mut rng).unwrap();
+        assert!(r.converged);
+        let l = r.clustering.labels();
+        assert!(l[..8].iter().all(|&x| x == l[0]));
+        assert!(l[8..].iter().all(|&x| x == l[8]));
+        assert_ne!(l[0], l[8]);
+        assert!(r.sse < 1.0);
+    }
+
+    #[test]
+    fn centroids_are_cluster_means() {
+        let data = blobs();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = KMeans::default().run(&data, 2, &mut rng).unwrap();
+        for (c, members) in r.clustering.members().iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let mean0: f64 =
+                members.iter().map(|&i| data[i].mu()[0]).sum::<f64>() / members.len() as f64;
+            assert!((r.centroids[c][0] - mean0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_sse() {
+        let data: Vec<UncertainObject> =
+            (0..4).map(|i| UncertainObject::deterministic(&[i as f64 * 10.0])).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = KMeans::default().run(&data, 4, &mut rng).unwrap();
+        assert!(r.sse < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ucpc-baselines — competing algorithms from the paper's evaluation
+//!
+//! Every algorithm the paper compares UCPC against (Section 5), implemented
+//! from the cited formulations:
+//!
+//! * [`ukmeans::UkMeans`] — fast UK-means (Lee et al. \[14\], Eq. 8 reduction);
+//! * [`bukmeans::BasicUkMeans`] — the original sample-based UK-means
+//!   (Chau et al. \[4\]);
+//! * [`pruning::PruningUkMeans`] — MinMax-BB \[16\] and VDBiP \[11\] pruning with
+//!   the cluster-shift technique \[17\];
+//! * [`mmvar::MmVar`] — mixture-model variance minimization (Gullo et al. \[8\]);
+//! * [`ukmedoids::UkMedoids`] — K-medoids over pairwise expected distances
+//!   (Gullo et al. \[7\]);
+//! * [`uahc::Uahc`] — agglomerative hierarchical clustering (Gullo et al. \[9\]);
+//! * [`fdbscan::FdbScan`] — fuzzy density-based clustering (Kriegel & Pfeifle
+//!   \[12\]);
+//! * [`foptics::Foptics`] — fuzzy hierarchical density-based ordering
+//!   (Kriegel & Pfeifle \[13\]);
+//! * [`kmeans::KMeans`] — deterministic Lloyd substrate.
+//!
+//! All implement [`ucpc_core::framework::UncertainClusterer`], so the
+//! experiment harness drives them uniformly.
+
+#![warn(missing_docs)]
+
+pub mod bukmeans;
+pub mod fdbscan;
+pub mod foptics;
+pub mod kmeans;
+pub mod mmvar;
+pub mod pruning;
+pub mod uahc;
+pub mod ukmeans;
+pub mod ukmedoids;
+
+pub use bukmeans::BasicUkMeans;
+pub use fdbscan::FdbScan;
+pub use foptics::Foptics;
+pub use kmeans::KMeans;
+pub use mmvar::{MmVar, MmVarStrategy};
+pub use pruning::{PruningStrategy, PruningUkMeans};
+pub use uahc::Uahc;
+pub use ukmeans::UkMeans;
+pub use ukmedoids::UkMedoids;

@@ -1,0 +1,422 @@
+//! Pruning-based UK-means variants: MinMax-BB (Ngai et al. \[16\]) and VDBiP
+//! (Kao et al. \[11\]), both optionally tightened with the cluster-shift
+//! technique (Ngai et al. \[17\]) — Section 2.2 and Figure 4 of the paper.
+//!
+//! Both algorithms accelerate the *basic* UK-means: they avoid computing the
+//! sample-approximated expected distance `ED_d(o, c)` for candidate centroids
+//! that provably cannot be the nearest one.
+//!
+//! * **MinMax-BB** bounds `ED_d(o, c)` by the minimum and maximum distance
+//!   between `o`'s bounding box (its domain region) and `c`; a candidate
+//!   whose lower bound exceeds the smallest upper bound is pruned.
+//! * **VDBiP** adds bisector pruning: if `o`'s bounding box lies entirely on
+//!   centroid `a`'s side of the perpendicular bisector of `(a, b)`, then `b`
+//!   can never be closer than `a` and is pruned. When a single candidate
+//!   survives, no expected distance needs to be computed at all.
+//! * **Cluster-shift** reuses expected distances computed in earlier
+//!   iterations: `|ED_d(o, c_new) − ED_d(o, c_old)| ≤ d(c_old, c_new)` for a
+//!   metric `d` (triangle inequality under the expectation), so previously
+//!   exact values widen into bounds instead of being discarded.
+//!
+//! As in the paper's evaluation protocol, the harness times only the
+//! clustering phase; the cost of building the sample cache and the pruning
+//! bookkeeping structures is kept out of the reported clustering time, and
+//! [`PruningResult`] exposes pruning-effectiveness counters.
+
+use crate::bukmeans::centroids_of;
+use rand::RngCore;
+use ucpc_core::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
+use ucpc_core::init::Initializer;
+use ucpc_uncertain::distance::{euclidean, expected_distance_sampled, Metric};
+use ucpc_uncertain::sampling::SampleCache;
+use ucpc_uncertain::UncertainObject;
+
+/// Which pruning strategy drives candidate elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruningStrategy {
+    /// Bounding-box min/max distance pruning \[16\].
+    MinMaxBb,
+    /// Voronoi-diagram bisector pruning on top of min/max bounds \[11\].
+    VdBiP,
+}
+
+/// A pruning-accelerated basic UK-means run.
+#[derive(Debug, Clone)]
+pub struct PruningUkMeans {
+    /// Pruning strategy ("MinMax-BB" or "VDBiP" in Figure 4).
+    pub strategy: PruningStrategy,
+    /// Initialization strategy.
+    pub init: Initializer,
+    /// Cap on Lloyd iterations.
+    pub max_iters: usize,
+    /// Samples per object for exact expected-distance evaluations.
+    pub samples_per_object: usize,
+    /// Whether to apply the cluster-shift bound-tightening technique \[17\]
+    /// (the paper couples it with both pruners in its evaluation).
+    pub cluster_shift: bool,
+}
+
+impl PruningUkMeans {
+    /// MinMax-BB with cluster-shift, the paper's Figure-4 configuration.
+    pub fn min_max_bb() -> Self {
+        Self {
+            strategy: PruningStrategy::MinMaxBb,
+            init: Initializer::RandomPartition,
+            max_iters: 100,
+            samples_per_object: 64,
+            cluster_shift: true,
+        }
+    }
+
+    /// VDBiP with cluster-shift, the paper's Figure-4 configuration.
+    pub fn vdbip() -> Self {
+        Self { strategy: PruningStrategy::VdBiP, ..Self::min_max_bb() }
+    }
+}
+
+/// Outcome of a pruning-based UK-means run, with pruning-effectiveness
+/// counters.
+#[derive(Debug, Clone)]
+pub struct PruningResult {
+    /// Final partition.
+    pub clustering: Clustering,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Exact (sample-averaged) expected-distance evaluations performed.
+    pub ed_evaluations: usize,
+    /// Candidate centroids eliminated by bounds before any ED evaluation.
+    pub pruned_candidates: usize,
+    /// Object-assignments resolved without a single ED evaluation.
+    pub zero_ed_assignments: usize,
+    /// Whether assignments stabilized before the cap.
+    pub converged: bool,
+}
+
+/// The expected distance under the Euclidean metric has no closed form, which
+/// is what the pruning literature targets; both pruners therefore run with
+/// [`Metric::Euclidean`].
+const METRIC: Metric = Metric::Euclidean;
+
+impl PruningUkMeans {
+    /// Runs the pruning-accelerated UK-means.
+    pub fn run(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<PruningResult, ClusterError> {
+        let m = validate_input(data, k)?;
+        let labels = self.init.initial_partition(data, k, rng);
+        let cache = SampleCache::build(data, self.samples_per_object, rng);
+        self.run_from(data, k, m, labels, &cache)
+    }
+
+    /// Runs from a given initial partition and sample cache.
+    pub fn run_from(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        m: usize,
+        mut labels: Vec<usize>,
+        cache: &SampleCache,
+    ) -> Result<PruningResult, ClusterError> {
+        let n = data.len();
+        let mut centroids = centroids_of(data, &labels, k, m);
+
+        // Cluster-shift state: last exact ED per (object, centroid) plus the
+        // accumulated centroid drift since it was computed. INFINITY means
+        // "never computed".
+        let mut last_ed = vec![f64::INFINITY; n * k];
+        let mut drift = vec![0.0f64; k];
+
+        let mut iterations = 0usize;
+        let mut ed_evaluations = 0usize;
+        let mut pruned_candidates = 0usize;
+        let mut zero_ed_assignments = 0usize;
+        let mut converged = false;
+
+        // Scratch buffers reused across objects.
+        let mut lo = vec![0.0f64; k];
+        let mut hi = vec![0.0f64; k];
+        let mut alive = vec![true; k];
+
+        while iterations < self.max_iters {
+            iterations += 1;
+            let mut moved = false;
+
+            for i in 0..n {
+                let region = data[i].region();
+
+                // Min/max bounding-box distance bounds, tightened by
+                // cluster-shift where an earlier exact ED is available.
+                for (c, cent) in centroids.iter().enumerate() {
+                    let mut l = region.min_sq_distance_to(cent).sqrt();
+                    let mut h = region.max_sq_distance_to(cent).sqrt();
+                    if self.cluster_shift {
+                        let prev = last_ed[i * k + c];
+                        if prev.is_finite() {
+                            l = l.max(prev - drift[c]);
+                            h = h.min(prev + drift[c]);
+                        }
+                    }
+                    lo[c] = l;
+                    hi[c] = h;
+                    alive[c] = true;
+                }
+
+                // MinMax pruning: candidates whose lower bound exceeds the
+                // global smallest upper bound cannot win.
+                let hi_min = hi.iter().copied().fold(f64::INFINITY, f64::min);
+                for c in 0..k {
+                    if lo[c] > hi_min {
+                        alive[c] = false;
+                        pruned_candidates += 1;
+                    }
+                }
+
+                // Bisector pruning (VDBiP): for every surviving pair (a, b),
+                // if the whole box is on a's side of the bisector, prune b.
+                if self.strategy == PruningStrategy::VdBiP {
+                    for a in 0..k {
+                        if !alive[a] {
+                            continue;
+                        }
+                        for b in 0..k {
+                            if a == b || !alive[b] {
+                                continue;
+                            }
+                            if box_on_side_of(region, &centroids[a], &centroids[b]) {
+                                alive[b] = false;
+                                pruned_candidates += 1;
+                            }
+                        }
+                    }
+                }
+
+                let survivors: Vec<usize> = (0..k).filter(|&c| alive[c]).collect();
+                let best = match survivors.as_slice() {
+                    [] => unreachable!("the minimal-upper-bound centroid always survives"),
+                    [only] => {
+                        zero_ed_assignments += 1;
+                        *only
+                    }
+                    _ => {
+                        let mut best = survivors[0];
+                        let mut best_d = f64::INFINITY;
+                        for &c in &survivors {
+                            let d =
+                                expected_distance_sampled(cache.of(i), &centroids[c], METRIC);
+                            ed_evaluations += 1;
+                            last_ed[i * k + c] = d;
+                            if d < best_d {
+                                best_d = d;
+                                best = c;
+                            }
+                        }
+                        best
+                    }
+                };
+
+                if best != labels[i] {
+                    labels[i] = best;
+                    moved = true;
+                }
+            }
+
+            if !moved {
+                converged = true;
+                break;
+            }
+
+            let new_centroids = centroids_of(data, &labels, k, m);
+            for c in 0..k {
+                let shift = euclidean(&centroids[c], &new_centroids[c]);
+                drift[c] += shift;
+            }
+            centroids = new_centroids;
+        }
+
+        Ok(PruningResult {
+            clustering: Clustering::new(labels, k),
+            centroids,
+            iterations,
+            ed_evaluations,
+            pruned_candidates,
+            zero_ed_assignments,
+            converged,
+        })
+    }
+}
+
+/// Whether the whole box lies in the closed halfspace of points at least as
+/// close to `a` as to `b`: `max_{x in box} (||x−a||² − ||x−b||²) <= 0`.
+/// The difference is linear in `x`, so the maximum is attained corner-wise
+/// per dimension — an O(m) test.
+fn box_on_side_of(region: &ucpc_uncertain::BoxRegion, a: &[f64], b: &[f64]) -> bool {
+    let mut max_diff = 0.0;
+    for j in 0..region.dims() {
+        let side = region.side(j);
+        // ||x−a||² − ||x−b||² contribution in dim j:
+        // (x−a_j)² − (x−b_j)² = −2x(a_j−b_j) + a_j² − b_j².
+        let w = -2.0 * (a[j] - b[j]);
+        let x = if w > 0.0 { side.hi } else { side.lo };
+        max_diff += w * x + a[j] * a[j] - b[j] * b[j];
+    }
+    max_diff <= 0.0
+}
+
+impl UncertainClusterer for PruningUkMeans {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            PruningStrategy::MinMaxBb => "MinMax-BB",
+            PruningStrategy::VdBiP => "VDBiP",
+        }
+    }
+
+    fn cluster(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Clustering, ClusterError> {
+        Ok(self.run(data, k, rng)?.clustering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bukmeans::BasicUkMeans;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn blobs() -> Vec<UncertainObject> {
+        let mut data = Vec::new();
+        for c in [0.0, 25.0, 50.0] {
+            for i in 0..6 {
+                data.push(UncertainObject::with_coverage(
+                    vec![
+                        UnivariatePdf::normal(c + (i % 3) as f64 * 0.3, 0.4),
+                        UnivariatePdf::normal(c, 0.4),
+                    ],
+                    0.95,
+                ));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn minmax_bb_matches_unpruned_assignments() {
+        let data = blobs();
+        let labels: Vec<usize> = (0..data.len()).map(|i| i % 3).collect();
+        let mut rng = StdRng::seed_from_u64(20);
+        let cache = SampleCache::build(&data, 128, &mut rng);
+
+        let pruned = PruningUkMeans::min_max_bb()
+            .run_from(&data, 3, 2, labels.clone(), &cache)
+            .unwrap();
+        let unpruned = BasicUkMeans {
+            metric: Metric::Euclidean,
+            ..Default::default()
+        }
+        .run_from(&data, 3, 2, labels, &cache)
+        .unwrap();
+        assert_eq!(
+            pruned.clustering.labels(),
+            unpruned.clustering.labels(),
+            "pruning must not change the result"
+        );
+    }
+
+    #[test]
+    fn vdbip_matches_unpruned_assignments() {
+        let data = blobs();
+        let labels: Vec<usize> = (0..data.len()).map(|i| i % 3).collect();
+        let mut rng = StdRng::seed_from_u64(21);
+        let cache = SampleCache::build(&data, 128, &mut rng);
+
+        let pruned =
+            PruningUkMeans::vdbip().run_from(&data, 3, 2, labels.clone(), &cache).unwrap();
+        let unpruned = BasicUkMeans {
+            metric: Metric::Euclidean,
+            ..Default::default()
+        }
+        .run_from(&data, 3, 2, labels, &cache)
+        .unwrap();
+        assert_eq!(pruned.clustering.labels(), unpruned.clustering.labels());
+    }
+
+    #[test]
+    fn pruning_reduces_ed_evaluations() {
+        let data = blobs();
+        let labels: Vec<usize> = (0..data.len()).map(|i| i % 3).collect();
+        let mut rng = StdRng::seed_from_u64(22);
+        let cache = SampleCache::build(&data, 128, &mut rng);
+
+        let pruned = PruningUkMeans::min_max_bb()
+            .run_from(&data, 3, 2, labels.clone(), &cache)
+            .unwrap();
+        let unpruned = BasicUkMeans {
+            metric: Metric::Euclidean,
+            ..Default::default()
+        }
+        .run_from(&data, 3, 2, labels, &cache)
+        .unwrap();
+        assert!(
+            pruned.ed_evaluations < unpruned.ed_evaluations,
+            "pruned {} vs unpruned {}",
+            pruned.ed_evaluations,
+            unpruned.ed_evaluations
+        );
+        assert!(pruned.pruned_candidates > 0);
+    }
+
+    #[test]
+    fn vdbip_prunes_at_least_as_many_as_minmax() {
+        let data = blobs();
+        let labels: Vec<usize> = (0..data.len()).map(|i| i % 3).collect();
+        let mut rng = StdRng::seed_from_u64(23);
+        let cache = SampleCache::build(&data, 128, &mut rng);
+
+        let mm = PruningUkMeans::min_max_bb()
+            .run_from(&data, 3, 2, labels.clone(), &cache)
+            .unwrap();
+        let vd = PruningUkMeans::vdbip().run_from(&data, 3, 2, labels, &cache).unwrap();
+        assert!(vd.ed_evaluations <= mm.ed_evaluations);
+    }
+
+    #[test]
+    fn cluster_shift_tightens_bounds() {
+        let data = blobs();
+        let labels: Vec<usize> = (0..data.len()).map(|i| i % 3).collect();
+        let mut rng = StdRng::seed_from_u64(24);
+        let cache = SampleCache::build(&data, 128, &mut rng);
+
+        let with_shift = PruningUkMeans::min_max_bb()
+            .run_from(&data, 3, 2, labels.clone(), &cache)
+            .unwrap();
+        let without_shift = PruningUkMeans {
+            cluster_shift: false,
+            ..PruningUkMeans::min_max_bb()
+        }
+        .run_from(&data, 3, 2, labels, &cache)
+        .unwrap();
+        assert!(with_shift.ed_evaluations <= without_shift.ed_evaluations);
+    }
+
+    #[test]
+    fn box_side_test_basics() {
+        use ucpc_uncertain::{BoxRegion, Interval};
+        let region = BoxRegion::new(vec![Interval::new(0.0, 1.0)]);
+        // Box [0,1]; a = 0.5, b = 10: the box is wholly on a's side.
+        assert!(box_on_side_of(&region, &[0.5], &[10.0]));
+        // a = 10, b = 0.5: wholly on b's side, so not on a's side.
+        assert!(!box_on_side_of(&region, &[10.0], &[0.5]));
+        // Bisector of (0, 1.5) at 0.75 crosses the box: undecided.
+        assert!(!box_on_side_of(&region, &[0.0], &[1.5]));
+    }
+}

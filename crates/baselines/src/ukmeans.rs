@@ -1,0 +1,201 @@
+//! UK-means — the fast variant of Lee, Kao & Cheng \[14\] (Section 2.2).
+//!
+//! Eq. (8) splits the expected squared distance between an object and a
+//! deterministic centroid into a per-object constant plus an ordinary
+//! point-to-point squared distance:
+//!
+//! `ED(o, c) = ED(o, mu(o)) + ||c − mu(o)||^2 = sigma^2(o) + ||c − mu(o)||^2`.
+//!
+//! The constant is precomputed once in an offline phase (here:
+//! [`UncertainObject::total_variance`], already precomputed at object
+//! construction), so the online phase is exactly Lloyd's K-means on expected
+//! values — `O(I k n m)` with no integral approximation.
+
+use crate::kmeans::KMeans;
+use rand::RngCore;
+use ucpc_core::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
+use ucpc_core::init::Initializer;
+use ucpc_core::objective::ClusterStats;
+use ucpc_uncertain::UncertainObject;
+
+/// The fast UK-means algorithm ("UKM" in the paper's tables).
+#[derive(Debug, Clone)]
+pub struct UkMeans {
+    /// Initialization strategy.
+    pub init: Initializer,
+    /// Cap on Lloyd iterations.
+    pub max_iters: usize,
+}
+
+impl Default for UkMeans {
+    fn default() -> Self {
+        Self { init: Initializer::RandomPartition, max_iters: 200 }
+    }
+}
+
+/// Outcome of a UK-means run.
+#[derive(Debug, Clone)]
+pub struct UkMeansResult {
+    /// Final partition.
+    pub clustering: Clustering,
+    /// Final cluster centroids `C_UK` (Eq. 7).
+    pub centroids: Vec<Vec<f64>>,
+    /// Final objective `Σ_C J_UK(C)` (Eq. 9), including the per-object
+    /// constant terms of Eq. (8).
+    pub objective: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Whether assignments stabilized before the iteration cap.
+    pub converged: bool,
+}
+
+impl UkMeans {
+    /// Runs UK-means on `data` with `k` clusters.
+    pub fn run(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<UkMeansResult, ClusterError> {
+        let m = validate_input(data, k)?;
+        let labels = self.init.initial_partition(data, k, rng);
+        self.run_from(data, k, m, labels)
+    }
+
+    /// Runs UK-means from a caller-supplied initial partition.
+    pub fn run_with_labels(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        labels: Vec<usize>,
+    ) -> Result<UkMeansResult, ClusterError> {
+        let m = validate_input(data, k)?;
+        assert_eq!(labels.len(), data.len(), "one label per object required");
+        self.run_from(data, k, m, labels)
+    }
+
+    fn run_from(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        m: usize,
+        labels: Vec<usize>,
+    ) -> Result<UkMeansResult, ClusterError> {
+        // Online phase: K-means over expected values (Eq. 8 reduction).
+        let inner = KMeans { init: self.init, max_iters: self.max_iters };
+        let km = inner.run_with_labels(data, k, m, labels)?;
+
+        // J_UK per cluster via the Lemma-1 closed form (equals the SSE over
+        // expected values plus the per-object variance constants).
+        let objective = km
+            .clustering
+            .members()
+            .iter()
+            .filter(|ms| !ms.is_empty())
+            .map(|ms| ClusterStats::from_members(ms.iter().map(|&i| &data[i])).j_uk())
+            .sum();
+
+        Ok(UkMeansResult {
+            clustering: km.clustering,
+            centroids: km.centroids,
+            objective,
+            iterations: km.iterations,
+            converged: km.converged,
+        })
+    }
+}
+
+impl UncertainClusterer for UkMeans {
+    fn name(&self) -> &'static str {
+        "UKM"
+    }
+
+    fn cluster(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Clustering, ClusterError> {
+        Ok(self.run(data, k, rng)?.clustering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ucpc_uncertain::distance::expected_sq_distance_to_point;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn uncertain_blobs() -> Vec<UncertainObject> {
+        let mut data = Vec::new();
+        for c in [0.0, 50.0] {
+            for i in 0..10 {
+                data.push(UncertainObject::new(vec![
+                    UnivariatePdf::normal(c + (i % 5) as f64 * 0.2, 0.5),
+                    UnivariatePdf::uniform_centered(c, 1.0),
+                ]));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_blobs_of_uncertain_objects() {
+        let data = uncertain_blobs();
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = UkMeans::default().run(&data, 2, &mut rng).unwrap();
+        let l = r.clustering.labels();
+        assert!(l[..10].iter().all(|&x| x == l[0]));
+        assert!(l[10..].iter().all(|&x| x == l[10]));
+        assert_ne!(l[0], l[10]);
+    }
+
+    #[test]
+    fn objective_equals_sum_of_expected_distances() {
+        // J_UK(C) = Σ_o ED(o, C_UK) with ED per Eq. (8).
+        let data = uncertain_blobs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = UkMeans::default().run(&data, 3, &mut rng).unwrap();
+        let mut direct = 0.0;
+        for (i, o) in data.iter().enumerate() {
+            direct += expected_sq_distance_to_point(o, &r.centroids[r.clustering.label(i)]);
+        }
+        assert!(
+            (r.objective - direct).abs() < 1e-6,
+            "closed form {} vs direct {direct}",
+            r.objective
+        );
+    }
+
+    #[test]
+    fn ignores_variance_in_assignment() {
+        // Two objects with identical means but wildly different variances
+        // are indistinguishable to UK-means (Proposition 1's shortcoming):
+        // they must always land in the same cluster as their mean-twin.
+        let data = vec![
+            UncertainObject::new(vec![UnivariatePdf::normal(0.0, 0.01)]),
+            UncertainObject::new(vec![UnivariatePdf::normal(0.0, 10.0)]),
+            UncertainObject::new(vec![UnivariatePdf::normal(100.0, 0.01)]),
+            UncertainObject::new(vec![UnivariatePdf::normal(100.0, 10.0)]),
+        ];
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = UkMeans::default().run(&data, 2, &mut rng).unwrap();
+        assert_eq!(r.clustering.label(0), r.clustering.label(1));
+        assert_eq!(r.clustering.label(2), r.clustering.label(3));
+    }
+
+    #[test]
+    fn matches_kmeans_on_point_masses() {
+        let points: Vec<UncertainObject> = [0.0, 1.0, 2.0, 30.0, 31.0, 32.0]
+            .iter()
+            .map(|&x| UncertainObject::deterministic(&[x]))
+            .collect();
+        let labels = vec![0, 1, 0, 1, 0, 1];
+        let uk = UkMeans::default().run_with_labels(&points, 2, labels.clone()).unwrap();
+        let km = KMeans::default().run_with_labels(&points, 2, 1, labels).unwrap();
+        assert_eq!(uk.clustering.labels(), km.clustering.labels());
+        assert!((uk.objective - km.sse).abs() < 1e-9, "zero-variance: J_UK = SSE");
+    }
+}

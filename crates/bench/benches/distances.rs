@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the expected-distance calculus: Eq. (8)'s closed
+//! form vs sample approximation (the basic-UK-means bottleneck the paper
+//! describes), and Lemma 3's pairwise closed form.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ucpc_uncertain::distance::{
+    expected_distance_sampled, expected_sq_distance, expected_sq_distance_to_point, Metric,
+};
+use ucpc_uncertain::{UncertainObject, UnivariatePdf};
+
+fn object(m: usize, seed: u64) -> UncertainObject {
+    let mut rng = StdRng::seed_from_u64(seed);
+    UncertainObject::new(
+        (0..m)
+            .map(|_| UnivariatePdf::normal(rng.gen_range(-5.0..5.0), rng.gen_range(0.1..1.0)))
+            .collect(),
+    )
+}
+
+fn bench_eq8_closed_vs_sampled(c: &mut Criterion) {
+    let m = 16;
+    let o = object(m, 1);
+    let y: Vec<f64> = vec![0.5; m];
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let mut group = c.benchmark_group("expected_distance_to_point");
+    group.bench_function("eq8_closed_form", |b| {
+        b.iter(|| black_box(expected_sq_distance_to_point(&o, &y)))
+    });
+    for s in [16usize, 64, 256] {
+        let samples = o.sample_n(&mut rng, s);
+        group.bench_with_input(BenchmarkId::new("sampled", s), &samples, |b, samples| {
+            b.iter(|| {
+                black_box(expected_distance_sampled(samples, &y, Metric::SquaredEuclidean))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma3_pairwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_expected_distance");
+    for m in [4usize, 16, 64] {
+        let a = object(m, 3);
+        let b_obj = object(m, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bch, _| {
+            bch.iter(|| black_box(expected_sq_distance(&a, &b_obj)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_throughput(c: &mut Criterion) {
+    let o = object(16, 5);
+    let mut group = c.benchmark_group("sampling");
+    group.bench_function("inverse_cdf_draw_16d", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| black_box(o.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eq8_closed_vs_sampled,
+    bench_lemma3_pairwise,
+    bench_sampling_throughput
+);
+criterion_main!(benches);

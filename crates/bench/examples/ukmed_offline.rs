@@ -1,0 +1,33 @@
+//! Measures UK-medoids' offline pairwise-matrix cost vs its online PAM cost
+//! (the split Figure 4's protocol relies on).
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use ucpc_baselines::ukmedoids::{PairwiseEd, UkMedoids};
+use ucpc_datasets::benchmark::{generate_fraction, ABALONE, LETTER};
+use ucpc_datasets::uncertainty::{NoiseKind, PdfAssignment, UncertaintyModel};
+
+fn main() {
+    for spec in [ABALONE, LETTER] {
+        let mut rng = StdRng::seed_from_u64(2012 ^ spec.objects as u64);
+        let d = generate_fraction(spec, 0.05, &mut rng);
+        let model = UncertaintyModel::paper_default(NoiseKind::Normal);
+        let a = PdfAssignment::assign(&d.points, &d.dim_std(), &model, &mut rng);
+        let data = a.uncertain_objects();
+        let t0 = Instant::now();
+        let ed = PairwiseEd::compute(&data);
+        let offline = t0.elapsed();
+        let t1 = Instant::now();
+        let _ = UkMedoids::default()
+            .run_with_matrix(data.len(), spec.classes, &ed, &mut rng)
+            .unwrap();
+        let online = t1.elapsed();
+        println!(
+            "{} n={}: offline {:.3} ms, online {:.3} ms",
+            spec.name,
+            data.len(),
+            offline.as_secs_f64() * 1e3,
+            online.as_secs_f64() * 1e3
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Minimal `--flag value` command-line parsing for the experiment binaries
+//! (no external CLI dependency is in the approved set).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`, skipping the binary name. Every flag must
+    /// be of the form `--key value`.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (used by tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                panic!("unexpected positional argument: {arg}");
+            };
+            let Some(value) = iter.next() else {
+                panic!("flag --{key} is missing a value");
+            };
+            values.insert(key.to_string(), value);
+        }
+        Self { values }
+    }
+
+    /// A `usize` flag with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// An `f64` flag with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// A `u64` flag with a default (seeds).
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// A string flag with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_with_defaults() {
+        let a = args(&["--runs", "10", "--scale", "0.5"]);
+        assert_eq!(a.usize_or("runs", 3), 10);
+        assert!((a.f64_or("scale", 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(a.usize_or("missing", 7), 7);
+        assert_eq!(a.str_or("out", "x.csv"), "x.csv");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing a value")]
+    fn dangling_flag_panics() {
+        let _ = args(&["--runs"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positional")]
+    fn positional_argument_panics() {
+        let _ = args(&["runs"]);
+    }
+}

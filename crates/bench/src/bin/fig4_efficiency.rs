@@ -1,0 +1,93 @@
+//! Reproduces **Figure 4**: clustering runtimes (milliseconds) on the two
+//! largest benchmark datasets (Abalone, Letter) and the real microarray
+//! datasets, organized as in the paper into a "slower" panel (basic UK-means,
+//! UK-medoids, UAHC, FDBSCAN, FOPTICS) and a "faster" panel (UK-means,
+//! MMVar, MinMax-BB, VDBiP) — each with UCPC included for reference.
+//!
+//! Measurement protocol as in Section 5.2.2: only the clustering phase is
+//! timed; pruning-structure and sample-cache builds, UK-medoids' pairwise
+//! distance matrix, and other offline stages are excluded.
+//!
+//! Flags:
+//! * `--scale`  fraction of Abalone/Letter's published size (default 0.05;
+//!   the UAHC/UK-medoids baselines are O(n²)–O(n³));
+//! * `--genes`  genes per microarray dataset (default 250);
+//! * `--runs`   timing repetitions to average (default 3; paper 50);
+//! * `--seed`   base seed (default 2012).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ucpc_bench::args::Args;
+use ucpc_bench::harness::{run_averaged, Algo, RunConfig};
+use ucpc_bench::report::Table;
+use ucpc_datasets::benchmark::{generate_fraction, ABALONE, LETTER};
+use ucpc_datasets::microarray::{MicroarraySimulator, LEUKAEMIA, NEUROBLASTOMA};
+use ucpc_datasets::uncertainty::{NoiseKind, PdfAssignment, UncertaintyModel};
+use ucpc_uncertain::UncertainObject;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.f64_or("scale", 0.05);
+    let genes = args.usize_or("genes", 250);
+    let runs = args.usize_or("runs", 3);
+    let seed = args.u64_or("seed", 2012);
+    let cfg = RunConfig::default();
+
+    // Workloads: uncertain versions of Abalone and Letter (Normal pdfs,
+    // Case 2 of Section 5.1) and the two microarray datasets.
+    let mut workloads: Vec<(String, Vec<UncertainObject>, usize)> = Vec::new();
+    for spec in [ABALONE, LETTER] {
+        let mut rng = StdRng::seed_from_u64(seed ^ spec.objects as u64);
+        let d = generate_fraction(spec, scale, &mut rng);
+        let model = UncertaintyModel::paper_default(NoiseKind::Normal);
+        let a = PdfAssignment::assign(&d.points, &d.dim_std(), &model, &mut rng);
+        workloads.push((
+            format!("{} (n={})", spec.name, d.len()),
+            a.uncertain_objects(),
+            spec.classes,
+        ));
+    }
+    for spec in [NEUROBLASTOMA, LEUKAEMIA] {
+        let mut rng = StdRng::seed_from_u64(seed ^ spec.genes as u64);
+        let d = MicroarraySimulator::default().simulate_genes(spec, genes, &mut rng);
+        workloads.push((format!("{} (n={genes})", spec.name), d.objects, 5));
+    }
+
+    let mut slow_algos: Vec<Algo> = Algo::SLOW_PANEL.to_vec();
+    slow_algos.push(Algo::Ucpc);
+    let mut fast_algos: Vec<Algo> = Algo::FAST_PANEL.to_vec();
+    fast_algos.push(Algo::Ucpc);
+
+    let mut slow_table = Table::new(
+        format!("Figure 4 — clustering time, slower algorithms (ms, {runs}-run mean)"),
+        slow_algos.iter().map(|a| a.name().to_string()),
+    );
+    let mut fast_table = Table::new(
+        format!("Figure 4 — clustering time, faster algorithms (ms, {runs}-run mean)"),
+        fast_algos.iter().map(|a| a.name().to_string()),
+    );
+
+    for (name, data, k) in &workloads {
+        let time_row = |algos: &[Algo]| -> Vec<f64> {
+            algos
+                .iter()
+                .map(|&algo| {
+                    let (_, t) = run_averaged(algo, data, *k, seed, runs, &cfg)
+                        .unwrap_or_else(|e| panic!("{} on {name}: {e}", algo.name()));
+                    t.as_secs_f64() * 1e3
+                })
+                .collect()
+        };
+        slow_table.push_row(name.clone(), time_row(&slow_algos));
+        eprintln!("done (slow panel): {name}");
+        fast_table.push_row(name.clone(), time_row(&fast_algos));
+        eprintln!("done (fast panel): {name}");
+    }
+
+    print!("{}", slow_table.render());
+    println!();
+    print!("{}", fast_table.render());
+    let p1 = slow_table.save_csv("fig4_slow.csv").expect("write csv");
+    let p2 = fast_table.save_csv("fig4_fast.csv").expect("write csv");
+    println!("\nCSV: {} / {}", p1.display(), p2.display());
+}

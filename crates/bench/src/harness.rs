@@ -1,0 +1,292 @@
+//! Uniform driver for every algorithm in the paper's evaluation.
+//!
+//! Times follow the paper's measurement protocol: only the *clustering*
+//! (online) phase is timed — sample-cache construction for the sample-based
+//! algorithms, the pairwise expected-distance matrix of UK-medoids, and all
+//! pruning bookkeeping setup are excluded, exactly as Section 5.2.2 excludes
+//! pruning times and offline distance pre-computation. UCPC requires no
+//! offline phase at all.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use ucpc_baselines::{
+    BasicUkMeans, FdbScan, Foptics, MmVar, PruningUkMeans, Uahc, UkMeans, UkMedoids,
+};
+use ucpc_baselines::ukmedoids::PairwiseEd;
+use ucpc_core::framework::{ClusterError, Clustering};
+use ucpc_core::Ucpc;
+use ucpc_uncertain::sampling::SampleCache;
+use ucpc_uncertain::UncertainObject;
+
+/// Every algorithm of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// FDBSCAN (density-based) — "FDB".
+    Fdb,
+    /// FOPTICS (hierarchical density-based) — "FOPT".
+    Fopt,
+    /// U-AHC (agglomerative hierarchical) — "UAHC".
+    Uahc,
+    /// UK-medoids — "UKmed".
+    UkMed,
+    /// Fast UK-means — "UKM".
+    Ukm,
+    /// MMVar — "MMV".
+    Mmv,
+    /// The paper's contribution — "UCPC".
+    Ucpc,
+    /// Basic (sample-based) UK-means — "bUKM".
+    BUkm,
+    /// MinMax-BB pruning (+ cluster-shift) — "MinMax-BB".
+    MinMaxBb,
+    /// VDBiP pruning (+ cluster-shift) — "VDBiP".
+    VdBiP,
+}
+
+impl Algo {
+    /// The seven accuracy-evaluation algorithms, in the paper's table column
+    /// order (FDB, FOPT, UAHC, UKmed, UKM, MMV, UCPC).
+    pub const ACCURACY: [Algo; 7] = [
+        Algo::Fdb,
+        Algo::Fopt,
+        Algo::Uahc,
+        Algo::UkMed,
+        Algo::Ukm,
+        Algo::Mmv,
+        Algo::Ucpc,
+    ];
+
+    /// Figure 4's "slower" panel (plus UCPC for reference).
+    pub const SLOW_PANEL: [Algo; 5] =
+        [Algo::BUkm, Algo::UkMed, Algo::Uahc, Algo::Fdb, Algo::Fopt];
+
+    /// Figure 4's "faster" panel (plus UCPC for reference).
+    pub const FAST_PANEL: [Algo; 4] = [Algo::Ukm, Algo::Mmv, Algo::MinMaxBb, Algo::VdBiP];
+
+    /// Figure 5's scalability contenders.
+    pub const SCALABILITY: [Algo; 5] =
+        [Algo::Ucpc, Algo::Ukm, Algo::Mmv, Algo::MinMaxBb, Algo::VdBiP];
+
+    /// Table/figure label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Fdb => "FDB",
+            Algo::Fopt => "FOPT",
+            Algo::Uahc => "UAHC",
+            Algo::UkMed => "UKmed",
+            Algo::Ukm => "UKM",
+            Algo::Mmv => "MMV",
+            Algo::Ucpc => "UCPC",
+            Algo::BUkm => "bUKM",
+            Algo::MinMaxBb => "MinMax-BB",
+            Algo::VdBiP => "VDBiP",
+        }
+    }
+}
+
+/// A clustering together with its online (clustering-phase) wall time.
+#[derive(Debug, Clone)]
+pub struct TimedClustering {
+    /// The produced partition.
+    pub clustering: Clustering,
+    /// Online clustering time (offline precomputation excluded, per the
+    /// paper's protocol).
+    pub online: Duration,
+}
+
+/// Harness-wide knobs (iteration caps, sample counts) so that the figure
+/// binaries can trade fidelity for turnaround.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Iteration cap for the iterative algorithms.
+    pub max_iters: usize,
+    /// Samples per object for the sample-based algorithms.
+    pub samples_per_object: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { max_iters: 100, samples_per_object: 32 }
+    }
+}
+
+/// Runs `algo` on `data` with `k` clusters under `seed`, timing only the
+/// online phase.
+pub fn run_timed(
+    algo: Algo,
+    data: &[UncertainObject],
+    k: usize,
+    seed: u64,
+    cfg: &RunConfig,
+) -> Result<TimedClustering, ClusterError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match algo {
+        Algo::Ucpc => {
+            let alg = Ucpc { max_iters: cfg.max_iters, ..Ucpc::default() };
+            let t = Instant::now();
+            let r = alg.run(data, k, &mut rng)?;
+            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+        }
+        Algo::Ukm => {
+            let alg = UkMeans { max_iters: cfg.max_iters, ..UkMeans::default() };
+            let t = Instant::now();
+            let r = alg.run(data, k, &mut rng)?;
+            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+        }
+        Algo::Mmv => {
+            let alg = MmVar { max_iters: cfg.max_iters, ..MmVar::default() };
+            let t = Instant::now();
+            let r = alg.run(data, k, &mut rng)?;
+            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+        }
+        Algo::UkMed => {
+            // Offline: pairwise ÊD matrix (untimed, as in the paper).
+            let ed = PairwiseEd::compute(data);
+            let alg = UkMedoids { max_iters: cfg.max_iters };
+            let t = Instant::now();
+            let r = alg.run_with_matrix(data.len(), k, &ed, &mut rng)?;
+            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+        }
+        Algo::Uahc => {
+            let alg = Uahc::default();
+            let t = Instant::now();
+            let r = alg.run(data, k)?;
+            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+        }
+        Algo::Fdb => {
+            let alg = FdbScan {
+                samples_per_object: cfg.samples_per_object,
+                ..FdbScan::default()
+            };
+            let t = Instant::now();
+            let r = alg.run(data, &mut rng)?;
+            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+        }
+        Algo::Fopt => {
+            let alg = Foptics {
+                samples_per_object: cfg.samples_per_object,
+                ..Foptics::default()
+            };
+            let t = Instant::now();
+            let r = alg.run(data, k, &mut rng)?;
+            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+        }
+        Algo::BUkm => {
+            let m = ucpc_core::framework::validate_input(data, k)?;
+            let alg = BasicUkMeans {
+                max_iters: cfg.max_iters,
+                samples_per_object: cfg.samples_per_object,
+                ..BasicUkMeans::default()
+            };
+            // Offline: initial partition + sample cache (untimed).
+            let labels = alg.init.initial_partition(data, k, &mut rng);
+            let cache = SampleCache::build(data, cfg.samples_per_object, &mut rng);
+            let t = Instant::now();
+            let r = alg.run_from(data, k, m, labels, &cache)?;
+            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+        }
+        Algo::MinMaxBb | Algo::VdBiP => {
+            let m = ucpc_core::framework::validate_input(data, k)?;
+            let base = if algo == Algo::MinMaxBb {
+                PruningUkMeans::min_max_bb()
+            } else {
+                PruningUkMeans::vdbip()
+            };
+            let alg = PruningUkMeans {
+                max_iters: cfg.max_iters,
+                samples_per_object: cfg.samples_per_object,
+                ..base
+            };
+            let labels = alg.init.initial_partition(data, k, &mut rng);
+            let cache = SampleCache::build(data, cfg.samples_per_object, &mut rng);
+            let t = Instant::now();
+            let r = alg.run_from(data, k, m, labels, &cache)?;
+            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+        }
+    }
+}
+
+/// Runs `algo` `runs` times with seeds `seed..seed+runs` and returns the mean
+/// online time plus the last clustering (the accuracy harness aggregates
+/// scores per run itself; this is for the timing figures).
+pub fn run_averaged(
+    algo: Algo,
+    data: &[UncertainObject],
+    k: usize,
+    seed: u64,
+    runs: usize,
+    cfg: &RunConfig,
+) -> Result<(Clustering, Duration), ClusterError> {
+    assert!(runs > 0, "need at least one run");
+    let mut total = Duration::ZERO;
+    let mut last = None;
+    for r in 0..runs {
+        let out = run_timed(algo, data, k, seed + r as u64, cfg)?;
+        total += out.online;
+        last = Some(out.clustering);
+    }
+    Ok((last.expect("runs > 0"), total / runs as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn data() -> Vec<UncertainObject> {
+        let mut d = Vec::new();
+        for c in [0.0, 20.0] {
+            for i in 0..8 {
+                d.push(UncertainObject::with_coverage(
+                    vec![
+                        UnivariatePdf::normal(c + (i % 4) as f64 * 0.2, 0.3),
+                        UnivariatePdf::normal(c, 0.3),
+                    ],
+                    0.95,
+                ));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn every_algorithm_runs_through_the_harness() {
+        let d = data();
+        let cfg = RunConfig { max_iters: 30, samples_per_object: 16 };
+        for algo in [
+            Algo::Fdb,
+            Algo::Fopt,
+            Algo::Uahc,
+            Algo::UkMed,
+            Algo::Ukm,
+            Algo::Mmv,
+            Algo::Ucpc,
+            Algo::BUkm,
+            Algo::MinMaxBb,
+            Algo::VdBiP,
+        ] {
+            let out = run_timed(algo, &d, 2, 42, &cfg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+            assert_eq!(out.clustering.len(), d.len(), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let d = data();
+        let cfg = RunConfig::default();
+        let a = run_timed(Algo::Ucpc, &d, 2, 7, &cfg).unwrap();
+        let b = run_timed(Algo::Ucpc, &d, 2, 7, &cfg).unwrap();
+        assert_eq!(a.clustering.labels(), b.clustering.labels());
+    }
+
+    #[test]
+    fn averaged_run_reports_mean_time() {
+        let d = data();
+        let cfg = RunConfig::default();
+        let (c, t) = run_averaged(Algo::Ukm, &d, 2, 1, 3, &cfg).unwrap();
+        assert_eq!(c.len(), d.len());
+        assert!(t >= Duration::ZERO); // smoke: no panic
+    }
+}

@@ -1,0 +1,20 @@
+//! # ucpc-bench — experiment harness for the paper's evaluation
+//!
+//! Shared machinery behind the four reproduction binaries:
+//!
+//! * `table2` — accuracy (Θ, Q) on the benchmark datasets (Table 2);
+//! * `table3` — quality (Q) on the microarray datasets (Table 3);
+//! * `fig4_efficiency` — clustering runtimes (Figure 4);
+//! * `fig5_scalability` — scalability sweep on the KDD Cup '99 analogue
+//!   (Figure 5);
+//!
+//! plus the Criterion micro-benchmarks under `benches/`.
+//!
+//! Results print in the paper's row/column layout and are also written as
+//! CSV under `target/experiments/`.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod harness;
+pub mod report;

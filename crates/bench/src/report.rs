@@ -1,0 +1,176 @@
+//! Result tables: paper-style stdout rendering plus CSV persistence under
+//! `target/experiments/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// A rectangular result table with row labels and column headers.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: impl IntoIterator<Item = String>) -> Self {
+        Self { title: title.into(), columns: columns.into_iter().collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; the value count must match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column-wise means over all current rows (used for the paper's
+    /// "avg score" rows).
+    pub fn column_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.columns.len()];
+        if self.rows.is_empty() {
+            return means;
+        }
+        for (_, vals) in &self.rows {
+            for (m, v) in means.iter_mut().zip(vals) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows.len() as f64;
+        }
+        means
+    }
+
+    /// Renders the table in the paper's fixed-width style
+    /// (three decimals, leading label column).
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(self.title.len().min(24)))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let col_w = self.columns.iter().map(|c| c.len()).max().unwrap_or(6).max(7);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, " {c:>col_w$}");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for v in vals {
+                let _ = write!(out, " {v:>col_w$.3}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "label");
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label}");
+            for v in vals {
+                let _ = write!(out, ",{v:.6}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the CSV under `target/experiments/<file>` and returns the path.
+    pub fn save_csv(&self, file: &str) -> io::Result<PathBuf> {
+        let dir = experiments_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(file);
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// `target/experiments/` relative to the workspace (falls back to the current
+/// directory when `CARGO_MANIFEST_DIR` is absent at runtime).
+pub fn experiments_dir() -> PathBuf {
+    // The binaries run from the workspace root via `cargo run`; resolve
+    // against the workspace target dir.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("experiments")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", ["A".to_string(), "B".to_string()]);
+        t.push_row("r1", vec![1.0, -0.5]);
+        t.push_row("r2", vec![3.0, 0.5]);
+        t
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let s = sample().render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("r1") && s.contains("r2"));
+        assert!(s.contains("1.000") && s.contains("-0.500"));
+    }
+
+    #[test]
+    fn csv_round_trip_structure() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "label,A,B");
+        assert!(lines[1].starts_with("r1,"));
+    }
+
+    #[test]
+    fn column_means_average_rows() {
+        let means = sample().column_means();
+        assert!((means[0] - 2.0).abs() < 1e-12);
+        assert!((means[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let path = sample().save_csv("report_test.csv").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("label,A,B"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", ["A".to_string()]);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+}

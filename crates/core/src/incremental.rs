@@ -1,0 +1,287 @@
+//! Incremental (online) maintenance of a UCPC clustering.
+//!
+//! Corollary 1 makes `J` updatable in O(m) per object addition/removal; this
+//! module exploits it beyond batch clustering: an [`IncrementalUcpc`] holds a
+//! live partition of a stream of uncertain objects, inserting each arrival
+//! into the cluster that minimizes the objective increase, removing departed
+//! objects, and periodically re-stabilizing with relocation passes (each pass
+//! is one iteration of Algorithm 1).
+//!
+//! This is the natural "moving objects" deployment of the paper's machinery:
+//! positions go stale and get refreshed continuously, and re-running batch
+//! UCPC from scratch on every update would waste the O(m) incrementality the
+//! closed form provides.
+
+use crate::framework::ClusterError;
+use crate::objective::{total_objective, ClusterStats};
+use ucpc_uncertain::{Moments, UncertainObject};
+
+/// A live UCPC partition supporting O(k·m) insertions, O(m) removals and
+/// on-demand relocation passes.
+///
+/// ```
+/// use ucpc_core::incremental::IncrementalUcpc;
+/// use ucpc_uncertain::{UncertainObject, UnivariatePdf};
+///
+/// let mut live = IncrementalUcpc::new(1, 2).unwrap();
+/// let mut ids = Vec::new();
+/// for c in [0.0, 0.2, 9.0, 9.2] {
+///     let o = UncertainObject::new(vec![UnivariatePdf::normal(c, 0.1)]);
+///     ids.push(live.insert(&o).unwrap());
+/// }
+/// live.stabilize(5);
+/// assert_eq!(live.label_of(ids[0]), live.label_of(ids[1]));
+/// assert_ne!(live.label_of(ids[0]), live.label_of(ids[2]));
+/// assert!(live.remove(ids[3]));
+/// assert_eq!(live.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalUcpc {
+    m: usize,
+    k: usize,
+    stats: Vec<ClusterStats>,
+    /// Moments of every live object (index-stable; removed slots are None).
+    objects: Vec<Option<Moments>>,
+    labels: Vec<Option<usize>>,
+    live: usize,
+}
+
+/// A handle to an inserted object (stable across removals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectId(usize);
+
+impl IncrementalUcpc {
+    /// Creates an empty incremental clustering over `m` dimensions with `k`
+    /// clusters.
+    pub fn new(m: usize, k: usize) -> Result<Self, ClusterError> {
+        if k == 0 {
+            return Err(ClusterError::InvalidK { k, n: 0 });
+        }
+        Ok(Self {
+            m,
+            k,
+            stats: vec![ClusterStats::empty(m); k],
+            objects: Vec::new(),
+            labels: Vec::new(),
+            live: 0,
+        })
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no objects are present.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current total objective `Σ_C J(C)`.
+    pub fn objective(&self) -> f64 {
+        total_objective(&self.stats)
+    }
+
+    /// Current cluster of a live object.
+    pub fn label_of(&self, id: ObjectId) -> Option<usize> {
+        self.labels.get(id.0).copied().flatten()
+    }
+
+    /// Cluster sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.stats.iter().map(ClusterStats::size).collect()
+    }
+
+    /// Inserts an object into the cluster that minimizes the objective
+    /// increase (O(k·m) by Corollary 1) and returns its handle.
+    pub fn insert(&mut self, object: &UncertainObject) -> Result<ObjectId, ClusterError> {
+        if object.dims() != self.m {
+            return Err(ClusterError::DimensionMismatch {
+                expected: self.m,
+                found: object.dims(),
+                index: self.objects.len(),
+            });
+        }
+        let moments = object.moments().clone();
+        let mut best = 0usize;
+        let mut best_delta = f64::INFINITY;
+        for (c, stats) in self.stats.iter().enumerate() {
+            let delta = stats.j_after_add(&moments) - stats.j();
+            if delta < best_delta {
+                best_delta = delta;
+                best = c;
+            }
+        }
+        self.stats[best].add(&moments);
+        self.objects.push(Some(moments));
+        self.labels.push(Some(best));
+        self.live += 1;
+        Ok(ObjectId(self.objects.len() - 1))
+    }
+
+    /// Removes a live object in O(m). Returns `false` if the handle was
+    /// already removed.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        let Some(slot) = self.labels.get_mut(id.0) else {
+            return false;
+        };
+        let Some(cluster) = slot.take() else {
+            return false;
+        };
+        let moments = self.objects[id.0].take().expect("label implies object");
+        self.stats[cluster].remove(&moments);
+        self.live -= 1;
+        true
+    }
+
+    /// Runs up to `passes` relocation passes of Algorithm 1 over the live
+    /// objects; returns the number of relocations applied.
+    pub fn stabilize(&mut self, passes: usize) -> usize {
+        let mut relocations = 0usize;
+        for _ in 0..passes {
+            let mut moved = false;
+            for i in 0..self.objects.len() {
+                let Some(src) = self.labels[i] else { continue };
+                let moments = self.objects[i].as_ref().expect("live object");
+                if self.stats[src].size() == 1 {
+                    continue;
+                }
+                let j_src = self.stats[src].j();
+                let j_src_minus = self.stats[src].j_after_remove(moments);
+                let removal_gain = j_src_minus - j_src;
+                let mut best: Option<(usize, f64)> = None;
+                for dst in 0..self.k {
+                    if dst == src {
+                        continue;
+                    }
+                    let delta = removal_gain
+                        + (self.stats[dst].j_after_add(moments) - self.stats[dst].j());
+                    if best.is_none_or(|(_, bd)| delta < bd) {
+                        best = Some((dst, delta));
+                    }
+                }
+                if let Some((dst, delta)) = best {
+                    if delta < -1e-9 {
+                        let moments = moments.clone();
+                        self.stats[src].remove(&moments);
+                        self.stats[dst].add(&moments);
+                        self.labels[i] = Some(dst);
+                        relocations += 1;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        relocations
+    }
+
+    /// Current labels of all live objects, in insertion order.
+    pub fn live_labels(&self) -> Vec<(ObjectId, usize)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.map(|c| (ObjectId(i), c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn obj(c: f64) -> UncertainObject {
+        UncertainObject::new(vec![UnivariatePdf::normal(c, 0.2)])
+    }
+
+    #[test]
+    fn insertions_fill_empty_clusters_first_by_objective() {
+        let mut inc = IncrementalUcpc::new(1, 2).unwrap();
+        let a = inc.insert(&obj(0.0)).unwrap();
+        let b = inc.insert(&obj(10.0)).unwrap();
+        // Second object prefers the empty cluster (adding to the occupied
+        // one increases J by the squared gap; the empty one costs only
+        // 2 sigma^2).
+        assert_ne!(inc.label_of(a), inc.label_of(b));
+    }
+
+    #[test]
+    fn stream_with_stabilization_matches_structure() {
+        let mut inc = IncrementalUcpc::new(1, 2).unwrap();
+        let mut ids = Vec::new();
+        for c in [0.0, 0.2, 0.4, 9.0, 9.2, 9.4, 0.1, 9.1] {
+            ids.push(inc.insert(&obj(c)).unwrap());
+        }
+        inc.stabilize(10);
+        let l = |i: usize| inc.label_of(ids[i]).unwrap();
+        assert_eq!(l(0), l(1));
+        assert_eq!(l(0), l(2));
+        assert_eq!(l(0), l(6));
+        assert_eq!(l(3), l(4));
+        assert_eq!(l(3), l(7));
+        assert_ne!(l(0), l(3));
+    }
+
+    #[test]
+    fn removal_is_exact() {
+        let mut inc = IncrementalUcpc::new(1, 2).unwrap();
+        let keep: Vec<ObjectId> =
+            [0.0, 0.5, 8.0].iter().map(|&c| inc.insert(&obj(c)).unwrap()).collect();
+        let gone = inc.insert(&obj(100.0)).unwrap();
+        let with = inc.objective();
+        assert!(inc.remove(gone));
+        assert!(!inc.remove(gone), "double remove must be a no-op");
+        assert_eq!(inc.len(), 3);
+        assert!(inc.objective() <= with);
+        assert!(keep.iter().all(|&id| inc.label_of(id).is_some()));
+    }
+
+    #[test]
+    fn objective_matches_batch_rebuild() {
+        let mut inc = IncrementalUcpc::new(1, 3).unwrap();
+        let objs: Vec<UncertainObject> =
+            [0.0, 0.1, 5.0, 5.1, 10.0, 10.1].iter().map(|&c| obj(c)).collect();
+        for o in &objs {
+            inc.insert(o).unwrap();
+        }
+        inc.stabilize(20);
+        // Rebuild ClusterStats from the live assignment and compare J totals.
+        let mut rebuilt = vec![ClusterStats::empty(1); 3];
+        for (id, c) in inc.live_labels() {
+            let _ = id;
+            let idx = id.0;
+            rebuilt[c].add(objs[idx].moments());
+        }
+        let total: f64 = rebuilt.iter().map(ClusterStats::j).sum();
+        assert!((inc.objective() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stabilize_monotonically_improves() {
+        let mut inc = IncrementalUcpc::new(1, 2).unwrap();
+        // Adversarial insertion order.
+        for c in [0.0, 9.0, 0.1, 9.1, 0.2, 9.2] {
+            inc.insert(&obj(c)).unwrap();
+        }
+        let before = inc.objective();
+        inc.stabilize(10);
+        assert!(inc.objective() <= before + 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut inc = IncrementalUcpc::new(2, 2).unwrap();
+        assert!(matches!(
+            inc.insert(&obj(0.0)),
+            Err(ClusterError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,226 @@
+//! Initialization strategies for partitional clustering.
+//!
+//! Algorithm 1 only asks for "an initial partition (e.g., a random
+//! partition)". Three options are provided; all guarantee `k` non-empty
+//! clusters so the local search never starts from a degenerate state.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::RngCore;
+use ucpc_uncertain::distance::sq_euclidean;
+use ucpc_uncertain::UncertainObject;
+
+/// How the initial partition of Algorithm 1 (Line 2) is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Initializer {
+    /// Uniformly random labels, patched so every cluster is non-empty
+    /// (the paper's default).
+    #[default]
+    RandomPartition,
+    /// `k` distinct objects drawn at random act as seed centroids; every
+    /// object joins its nearest seed (by distance between expected values).
+    RandomCentroids,
+    /// K-means++ seeding over the objects' expected values, then a nearest-
+    /// seed assignment. D²-weighting gives well-spread seeds.
+    KMeansPlusPlus,
+}
+
+impl Initializer {
+    /// Produces initial labels in `0..k`, every cluster non-empty
+    /// (requires `k <= data.len()`, which callers validate).
+    pub fn initial_partition(
+        &self,
+        data: &[UncertainObject],
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<usize> {
+        assert!(k >= 1 && k <= data.len(), "invalid k for initialization");
+        match self {
+            Initializer::RandomPartition => random_partition(data.len(), k, rng),
+            Initializer::RandomCentroids => {
+                let mut idx: Vec<usize> = (0..data.len()).collect();
+                idx.shuffle(rng);
+                let seeds: Vec<&[f64]> = idx[..k].iter().map(|&i| data[i].mu()).collect();
+                assign_to_seeds(data, &seeds)
+            }
+            Initializer::KMeansPlusPlus => {
+                let seeds = kmeanspp_seeds(data, k, rng);
+                let seed_refs: Vec<&[f64]> = seeds.iter().map(Vec::as_slice).collect();
+                assign_to_seeds(data, &seed_refs)
+            }
+        }
+    }
+}
+
+fn random_partition(n: usize, k: usize, rng: &mut dyn RngCore) -> Vec<usize> {
+    let mut labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+    // Guarantee non-empty clusters: claim one distinct object per cluster.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    for (c, &i) in idx.iter().take(k).enumerate() {
+        labels[i] = c;
+    }
+    labels
+}
+
+fn assign_to_seeds(data: &[UncertainObject], seeds: &[&[f64]]) -> Vec<usize> {
+    let mut labels: Vec<usize> = data
+        .iter()
+        .map(|o| {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, s) in seeds.iter().enumerate() {
+                let d = sq_euclidean(o.mu(), s);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect();
+    // Nearest-seed assignment can leave a seed empty if seeds coincide; give
+    // each empty cluster its seed's nearest unclaimed object.
+    let k = seeds.len();
+    let mut sizes = vec![0usize; k];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    for c in 0..k {
+        if sizes[c] == 0 {
+            // Steal the object closest to seed c from a cluster of size >= 2.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, o) in data.iter().enumerate() {
+                if sizes[labels[i]] < 2 {
+                    continue;
+                }
+                let d = sq_euclidean(o.mu(), seeds[c]);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+            if let Some((i, _)) = best {
+                sizes[labels[i]] -= 1;
+                labels[i] = c;
+                sizes[c] += 1;
+            }
+        }
+    }
+    labels
+}
+
+fn kmeanspp_seeds(data: &[UncertainObject], k: usize, rng: &mut dyn RngCore) -> Vec<Vec<f64>> {
+    let n = data.len();
+    let first = rng.gen_range(0..n);
+    let mut seeds: Vec<Vec<f64>> = vec![data[first].mu().to_vec()];
+    let mut dist_sq: Vec<f64> =
+        data.iter().map(|o| sq_euclidean(o.mu(), &seeds[0])).collect();
+    while seeds.len() < k {
+        let total: f64 = dist_sq.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing seeds: pick any index not yet
+            // chosen (duplicates are fine; assignment patches empties).
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let seed = data[next].mu().to_vec();
+        for (i, o) in data.iter().enumerate() {
+            let d = sq_euclidean(o.mu(), &seed);
+            if d < dist_sq[i] {
+                dist_sq[i] = d;
+            }
+        }
+        seeds.push(seed);
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize) -> Vec<UncertainObject> {
+        (0..n)
+            .map(|i| UncertainObject::deterministic(&[i as f64, (i * i) as f64 % 7.0_f64]))
+            .collect()
+    }
+
+    fn check_partition(labels: &[usize], n: usize, k: usize) {
+        assert_eq!(labels.len(), n);
+        let mut sizes = vec![0usize; k];
+        for &l in labels {
+            assert!(l < k);
+            sizes[l] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "empty cluster in {sizes:?}");
+    }
+
+    #[test]
+    fn all_initializers_produce_nonempty_partitions() {
+        let data = dataset(25);
+        for init in [
+            Initializer::RandomPartition,
+            Initializer::RandomCentroids,
+            Initializer::KMeansPlusPlus,
+        ] {
+            for seed in 0..5 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let labels = init.initial_partition(&data, 4, &mut rng);
+                check_partition(&labels, 25, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_assigns_each_object_its_own_cluster() {
+        let data = dataset(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels = Initializer::RandomPartition.initial_partition(&data, 6, &mut rng);
+        check_partition(&labels, 6, 6);
+    }
+
+    #[test]
+    fn kmeanspp_handles_identical_points() {
+        let data: Vec<UncertainObject> =
+            (0..8).map(|_| UncertainObject::deterministic(&[1.0, 1.0])).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let labels = Initializer::KMeansPlusPlus.initial_partition(&data, 3, &mut rng);
+        check_partition(&labels, 8, 3);
+    }
+
+    #[test]
+    fn kmeanspp_spreads_seeds_across_separated_groups() {
+        // Three well-separated groups: k-means++ should seed one per group
+        // almost surely, which a nearest-seed assignment then recovers.
+        let mut data = Vec::new();
+        for g in 0..3 {
+            for i in 0..10 {
+                data.push(UncertainObject::deterministic(&[
+                    g as f64 * 100.0 + (i % 3) as f64 * 0.01,
+                    g as f64 * 100.0,
+                ]));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let labels = Initializer::KMeansPlusPlus.initial_partition(&data, 3, &mut rng);
+        for g in 0..3 {
+            let group = &labels[g * 10..(g + 1) * 10];
+            assert!(
+                group.iter().all(|&l| l == group[0]),
+                "group {g} split across clusters: {group:?}"
+            );
+        }
+    }
+}

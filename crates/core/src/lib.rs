@@ -1,0 +1,45 @@
+//! # ucpc-core — the paper's primary contribution
+//!
+//! The U-centroid (Section 4.1), the closed-form cluster-compactness
+//! objective it induces (Section 4.2, Theorem 3, Corollary 1), and the UCPC
+//! local-search clustering algorithm (Section 4.3, Algorithm 1) from
+//! *Uncertain Centroid based Partitional Clustering of Uncertain Data*
+//! (Gullo & Tagarelli, VLDB 2012), plus the partitional-clustering framework
+//! (partitions, initializers, the [`framework::UncertainClusterer`] trait)
+//! shared with every baseline in `ucpc-baselines`.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use ucpc_core::{Ucpc, framework::UncertainClusterer};
+//! use ucpc_uncertain::{UncertainObject, UnivariatePdf};
+//!
+//! // Six uncertain points in two obvious groups.
+//! let data: Vec<UncertainObject> = [0.0, 0.2, 0.4, 9.0, 9.2, 9.4]
+//!     .iter()
+//!     .map(|&c| UncertainObject::new(vec![UnivariatePdf::normal(c, 0.1)]))
+//!     .collect();
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let result = Ucpc::default().run(&data, 2, &mut rng).unwrap();
+//! assert!(result.converged);
+//! assert_eq!(result.clustering.label(0), result.clustering.label(1));
+//! assert_ne!(result.clustering.label(0), result.clustering.label(5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod framework;
+pub mod incremental;
+pub mod init;
+pub mod objective;
+pub mod parallel;
+pub mod restarts;
+pub mod ucentroid;
+pub mod ucpc;
+
+pub use framework::{ClusterError, Clustering, UncertainClusterer};
+pub use init::Initializer;
+pub use objective::ClusterStats;
+pub use ucentroid::UCentroid;
+pub use ucpc::{Ucpc, UcpcResult};

@@ -1,0 +1,509 @@
+//! Cluster objective functions in closed form (Theorem 3, Corollary 1) and
+//! the comparison identities of Propositions 2–3.
+//!
+//! [`ClusterStats`] holds the per-dimension sufficient statistics of a
+//! cluster `C`:
+//!
+//! * `psi_j  = Σ_i (sigma^2)_j(o_i)`  (Theorem 3's `Ψ`),
+//! * `phi_j  = Σ_i (mu_2)_j(o_i)`    (Theorem 3's `Φ`),
+//! * `s_j    = Σ_i mu_j(o_i)`        (the *signed* mean sum; Theorem 3's
+//!   `Υ_j` is `s_j^2`).
+//!
+//! Storing the raw sum instead of `Υ` itself is a deliberate deviation from
+//! the literal text of Corollary 1, whose `sqrt(Υ)`-based update is undefined
+//! for negative mean sums; the raw-sum updates are exact and branch-free and
+//! produce identical `J` values (unit-tested).
+//!
+//! From these, every objective in the paper is O(m):
+//!
+//! * `J(C)    = Σ_j (psi_j/|C| + phi_j − s_j²/|C|)`          (Theorem 3),
+//! * `J_UK(C) = Σ_j (phi_j − s_j²/|C|)`                       (Lemma 1),
+//! * `J_MM(C) = J_UK(C)/|C|`                                  (Proposition 2),
+//! * `Ĵ(C)    = 2 J_UK(C)`                                    (Proposition 3),
+//!
+//! and adding/removing one object is O(m) (Corollary 1), which is what gives
+//! UCPC its `O(I k n m)` complexity (Proposition 5).
+
+use ucpc_uncertain::{Moments, UncertainObject};
+
+/// Per-cluster sufficient statistics with O(m) add/remove and O(m) objective
+/// evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    psi: Vec<f64>,
+    phi: Vec<f64>,
+    mean_sum: Vec<f64>,
+    size: usize,
+}
+
+impl ClusterStats {
+    /// Empty cluster over `m` dimensions.
+    pub fn empty(m: usize) -> Self {
+        Self { psi: vec![0.0; m], phi: vec![0.0; m], mean_sum: vec![0.0; m], size: 0 }
+    }
+
+    /// Builds statistics from a set of member objects.
+    pub fn from_members<'a>(members: impl IntoIterator<Item = &'a UncertainObject>) -> Self {
+        let mut iter = members.into_iter();
+        let first = iter.next().expect("from_members requires at least one object");
+        let mut stats = Self::empty(first.dims());
+        stats.add(first.moments());
+        for o in iter {
+            stats.add(o.moments());
+        }
+        stats
+    }
+
+    /// Number of dimensions `m`.
+    pub fn dims(&self) -> usize {
+        self.psi.len()
+    }
+
+    /// Cluster size `|C|`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// `Ψ_j` values (sum of member variances per dimension).
+    pub fn psi(&self) -> &[f64] {
+        &self.psi
+    }
+
+    /// `Φ_j` values (sum of member second moments per dimension).
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// Signed mean sums `s_j = Σ_i mu_j(o_i)`; `Υ_j = s_j^2`.
+    pub fn mean_sum(&self) -> &[f64] {
+        &self.mean_sum
+    }
+
+    /// `Υ_j = (Σ_i mu_j(o_i))^2` as written in Theorem 3.
+    pub fn upsilon(&self, j: usize) -> f64 {
+        self.mean_sum[j] * self.mean_sum[j]
+    }
+
+    /// Adds one object (Corollary 1, `C+` direction). O(m).
+    pub fn add(&mut self, o: &Moments) {
+        debug_assert_eq!(o.dims(), self.dims(), "dimension mismatch");
+        for j in 0..self.dims() {
+            self.psi[j] += o.variance()[j];
+            self.phi[j] += o.mu2()[j];
+            self.mean_sum[j] += o.mu()[j];
+        }
+        self.size += 1;
+    }
+
+    /// Removes one member (Corollary 1, `C−` direction). O(m).
+    ///
+    /// The caller must only remove objects previously added; this is not
+    /// checked beyond a size underflow panic.
+    pub fn remove(&mut self, o: &Moments) {
+        assert!(self.size > 0, "cannot remove from an empty cluster");
+        debug_assert_eq!(o.dims(), self.dims(), "dimension mismatch");
+        for j in 0..self.dims() {
+            self.psi[j] -= o.variance()[j];
+            self.phi[j] -= o.mu2()[j];
+            self.mean_sum[j] -= o.mu()[j];
+        }
+        self.size -= 1;
+    }
+
+    /// The UCPC objective `J(C)` of Theorem 3:
+    /// `Σ_j (Ψ_j/|C| + Φ_j − Υ_j/|C|)`. Zero for an empty cluster.
+    pub fn j(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        let inv = 1.0 / self.size as f64;
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            acc += self.psi[j] * inv + self.phi[j] - self.mean_sum[j] * self.mean_sum[j] * inv;
+        }
+        acc
+    }
+
+    /// The UK-means objective `J_UK(C)` in Lemma 1's closed form:
+    /// `Σ_j (Φ_j − (Σ mu_j)²/|C|)`. Zero for an empty cluster.
+    pub fn j_uk(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        let inv = 1.0 / self.size as f64;
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            acc += self.phi[j] - self.mean_sum[j] * self.mean_sum[j] * inv;
+        }
+        acc
+    }
+
+    /// The MMVar objective `J_MM(C) = sigma^2(C_MM)`; by Proposition 2 this
+    /// equals `J_UK(C)/|C|`. Zero for an empty cluster.
+    pub fn j_mm(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        self.j_uk() / self.size as f64
+    }
+
+    /// The mixed objective `Ĵ(C)` of Eq. (12); by Proposition 3 it equals
+    /// `2 J_UK(C)`.
+    pub fn j_hat(&self) -> f64 {
+        2.0 * self.j_uk()
+    }
+
+    /// `J` of the cluster with `o` added, computed in O(m) without mutating
+    /// the statistics (Corollary 1, Eq. 15).
+    pub fn j_after_add(&self, o: &Moments) -> f64 {
+        debug_assert_eq!(o.dims(), self.dims(), "dimension mismatch");
+        let n = (self.size + 1) as f64;
+        let inv = 1.0 / n;
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            let psi = self.psi[j] + o.variance()[j];
+            let phi = self.phi[j] + o.mu2()[j];
+            let s = self.mean_sum[j] + o.mu()[j];
+            acc += psi * inv + phi - s * s * inv;
+        }
+        acc
+    }
+
+    /// `J` of the cluster with member `o` removed, computed in O(m) without
+    /// mutating the statistics (Corollary 1, Eq. 16). Zero if the cluster
+    /// would become empty.
+    pub fn j_after_remove(&self, o: &Moments) -> f64 {
+        debug_assert_eq!(o.dims(), self.dims(), "dimension mismatch");
+        assert!(self.size > 0, "cannot remove from an empty cluster");
+        if self.size == 1 {
+            return 0.0;
+        }
+        let n = (self.size - 1) as f64;
+        let inv = 1.0 / n;
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            let psi = self.psi[j] - o.variance()[j];
+            let phi = self.phi[j] - o.mu2()[j];
+            let s = self.mean_sum[j] - o.mu()[j];
+            acc += psi * inv + phi - s * s * inv;
+        }
+        acc
+    }
+
+    /// `J_UK` of the cluster with `o` added, in O(m) (the UK-means analogue
+    /// of Corollary 1; MMVar's local search divides it by the new size).
+    pub fn j_uk_after_add(&self, o: &Moments) -> f64 {
+        debug_assert_eq!(o.dims(), self.dims(), "dimension mismatch");
+        let inv = 1.0 / (self.size + 1) as f64;
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            let phi = self.phi[j] + o.mu2()[j];
+            let s = self.mean_sum[j] + o.mu()[j];
+            acc += phi - s * s * inv;
+        }
+        acc
+    }
+
+    /// `J_UK` of the cluster with member `o` removed, in O(m). Zero if the
+    /// cluster would become empty.
+    pub fn j_uk_after_remove(&self, o: &Moments) -> f64 {
+        debug_assert_eq!(o.dims(), self.dims(), "dimension mismatch");
+        assert!(self.size > 0, "cannot remove from an empty cluster");
+        if self.size == 1 {
+            return 0.0;
+        }
+        let inv = 1.0 / (self.size - 1) as f64;
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            let phi = self.phi[j] - o.mu2()[j];
+            let s = self.mean_sum[j] - o.mu()[j];
+            acc += phi - s * s * inv;
+        }
+        acc
+    }
+
+    /// `J_MM` of the cluster with `o` added, in O(m) (Proposition 2 form).
+    pub fn j_mm_after_add(&self, o: &Moments) -> f64 {
+        self.j_uk_after_add(o) / (self.size + 1) as f64
+    }
+
+    /// `J_MM` of the cluster with member `o` removed, in O(m). Zero if the
+    /// cluster would become empty.
+    pub fn j_mm_after_remove(&self, o: &Moments) -> f64 {
+        if self.size <= 1 {
+            return 0.0;
+        }
+        self.j_uk_after_remove(o) / (self.size - 1) as f64
+    }
+
+    /// The UK-means centroid (Eq. 7) — the average of member expected values;
+    /// also `mu` of both the MMVar mixture centroid (Lemma 2) and the
+    /// U-centroid (Lemma 5).
+    pub fn centroid(&self) -> Vec<f64> {
+        assert!(self.size > 0, "centroid of an empty cluster is undefined");
+        let inv = 1.0 / self.size as f64;
+        self.mean_sum.iter().map(|&s| s * inv).collect()
+    }
+
+    /// Moments of the MMVar mixture centroid `C_MM` (Lemma 2):
+    /// `mu = (1/|C|) Σ mu(o)`, `mu_2 = (1/|C|) Σ mu_2(o)`.
+    pub fn mixture_moments(&self) -> Moments {
+        assert!(self.size > 0, "mixture of an empty cluster is undefined");
+        let inv = 1.0 / self.size as f64;
+        Moments::from_mu_mu2(
+            self.mean_sum.iter().map(|&s| s * inv).collect(),
+            self.phi.iter().map(|&p| p * inv).collect(),
+        )
+    }
+
+    /// The U-centroid variance of Theorem 2, `(1/|C|^2) Σ_i sigma^2(o_i)`:
+    /// the quantity Section 4.2.1 proves *insufficient* as a compactness
+    /// criterion (kept for the ablation benchmarks).
+    pub fn ucentroid_variance(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        let total_psi: f64 = self.psi.iter().sum();
+        total_psi / (self.size * self.size) as f64
+    }
+}
+
+/// Total objective `Σ_C J(C)` of a candidate clustering described by
+/// per-cluster statistics.
+pub fn total_objective(stats: &[ClusterStats]) -> f64 {
+    stats.iter().map(ClusterStats::j).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ucentroid::UCentroid;
+    use ucpc_uncertain::distance::expected_sq_distance_to_point;
+    use ucpc_uncertain::{UncertainObject, UnivariatePdf};
+
+    fn objects() -> Vec<UncertainObject> {
+        vec![
+            UncertainObject::new(vec![
+                UnivariatePdf::normal(0.0, 1.0),
+                UnivariatePdf::uniform_centered(2.0, 1.0),
+            ]),
+            UncertainObject::new(vec![
+                UnivariatePdf::normal(3.0, 0.5),
+                UnivariatePdf::uniform_centered(-1.0, 2.0),
+            ]),
+            UncertainObject::new(vec![
+                UnivariatePdf::normal(-2.0, 2.0),
+                UnivariatePdf::uniform_centered(0.5, 0.5),
+            ]),
+            UncertainObject::new(vec![
+                UnivariatePdf::exponential_with_mean(1.0, 2.0),
+                UnivariatePdf::normal(4.0, 0.25),
+            ]),
+        ]
+    }
+
+    /// Brute-force J(C) = Σ_o ÊD(o, U-centroid) via Lemma 3 on explicit
+    /// U-centroid moments.
+    fn j_bruteforce(members: &[&UncertainObject]) -> f64 {
+        let c = UCentroid::from_cluster(members);
+        members
+            .iter()
+            .map(|o| {
+                ucpc_uncertain::distance::expected_sq_distance_from_moments(
+                    o.mu(),
+                    o.mu2(),
+                    c.mu(),
+                    c.mu2(),
+                )
+            })
+            .sum()
+    }
+
+    #[test]
+    fn theorem_3_closed_form_matches_direct_sum() {
+        let objs = objects();
+        let refs: Vec<&UncertainObject> = objs.iter().collect();
+        let stats = ClusterStats::from_members(objs.iter());
+        assert!(
+            (stats.j() - j_bruteforce(&refs)).abs() < 1e-9,
+            "Theorem 3: stats J {} vs brute force {}",
+            stats.j(),
+            j_bruteforce(&refs)
+        );
+    }
+
+    #[test]
+    fn theorem_3_second_identity() {
+        // J(C) = (1/|C|) Σ sigma^2(o_i) + J_UK(C).
+        let objs = objects();
+        let stats = ClusterStats::from_members(objs.iter());
+        let var_sum: f64 = objs.iter().map(|o| o.total_variance()).sum();
+        let want = var_sum / objs.len() as f64 + stats.j_uk();
+        assert!((stats.j() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma_1_matches_direct_ukmeans_objective() {
+        // J_UK(C) = Σ_o ED(o, centroid) with the Eq. (8) closed form.
+        let objs = objects();
+        let stats = ClusterStats::from_members(objs.iter());
+        let c = stats.centroid();
+        let direct: f64 =
+            objs.iter().map(|o| expected_sq_distance_to_point(o, &c)).sum();
+        assert!(
+            (stats.j_uk() - direct).abs() < 1e-9,
+            "Lemma 1: {} vs {}",
+            stats.j_uk(),
+            direct
+        );
+    }
+
+    #[test]
+    fn proposition_2_jmm_is_juk_over_size() {
+        let objs = objects();
+        let stats = ClusterStats::from_members(objs.iter());
+        assert!((stats.j_mm() - stats.j_uk() / objs.len() as f64).abs() < 1e-12);
+        // And J_MM is literally the mixture centroid's variance (Eq. 11).
+        let mix = stats.mixture_moments();
+        assert!((stats.j_mm() - mix.total_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proposition_3_jhat_is_twice_juk() {
+        let objs = objects();
+        let stats = ClusterStats::from_members(objs.iter());
+        assert!((stats.j_hat() - 2.0 * stats.j_uk()).abs() < 1e-12);
+        assert!(
+            (stats.j_hat() - 2.0 * objs.len() as f64 * stats.j_mm()).abs() < 1e-9,
+            "Proposition 3 chain: Ĵ = 2|C| J_MM"
+        );
+    }
+
+    #[test]
+    fn corollary_1_add_matches_rebuild() {
+        let objs = objects();
+        let stats = ClusterStats::from_members(objs[..3].iter());
+        let predicted = stats.j_after_add(objs[3].moments());
+        let rebuilt = ClusterStats::from_members(objs.iter()).j();
+        assert!(
+            (predicted - rebuilt).abs() < 1e-9,
+            "Corollary 1 (add): {predicted} vs {rebuilt}"
+        );
+    }
+
+    #[test]
+    fn corollary_1_remove_matches_rebuild() {
+        let objs = objects();
+        let stats = ClusterStats::from_members(objs.iter());
+        let predicted = stats.j_after_remove(objs[1].moments());
+        let rebuilt = ClusterStats::from_members(
+            objs.iter().enumerate().filter(|&(i, _)| i != 1).map(|(_, o)| o),
+        )
+        .j();
+        assert!(
+            (predicted - rebuilt).abs() < 1e-9,
+            "Corollary 1 (remove): {predicted} vs {rebuilt}"
+        );
+    }
+
+    #[test]
+    fn incremental_juk_and_jmm_match_rebuild() {
+        let objs = objects();
+        let partial = ClusterStats::from_members(objs[..3].iter());
+        let full = ClusterStats::from_members(objs.iter());
+        assert!((partial.j_uk_after_add(objs[3].moments()) - full.j_uk()).abs() < 1e-9);
+        assert!((partial.j_mm_after_add(objs[3].moments()) - full.j_mm()).abs() < 1e-9);
+        assert!((full.j_uk_after_remove(objs[3].moments()) - partial.j_uk()).abs() < 1e-9);
+        assert!((full.j_mm_after_remove(objs[3].moments()) - partial.j_mm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_remove_round_trip_restores_stats() {
+        let objs = objects();
+        let mut stats = ClusterStats::from_members(objs[..2].iter());
+        let before = stats.clone();
+        stats.add(objs[2].moments());
+        stats.remove(objs[2].moments());
+        assert_eq!(stats.size(), before.size());
+        for j in 0..stats.dims() {
+            assert!((stats.psi()[j] - before.psi()[j]).abs() < 1e-9);
+            assert!((stats.phi()[j] - before.phi()[j]).abs() < 1e-9);
+            assert!((stats.mean_sum()[j] - before.mean_sum()[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_mean_sums_are_handled() {
+        // The published Corollary-1 update uses sqrt(Υ), undefined for
+        // negative sums; storing the raw sum must make this exact.
+        let objs = [UncertainObject::new(vec![UnivariatePdf::normal(-5.0, 1.0)]),
+            UncertainObject::new(vec![UnivariatePdf::normal(-3.0, 0.5)])];
+        let stats = ClusterStats::from_members(objs.iter());
+        assert!(stats.mean_sum()[0] < 0.0);
+        let extra = UncertainObject::new(vec![UnivariatePdf::normal(-1.0, 0.2)]);
+        let predicted = stats.j_after_add(extra.moments());
+        let rebuilt =
+            ClusterStats::from_members(objs.iter().chain(std::iter::once(&extra))).j();
+        assert!((predicted - rebuilt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_and_empty_edge_cases() {
+        let objs = objects();
+        let mut stats = ClusterStats::empty(2);
+        assert_eq!(stats.j(), 0.0);
+        stats.add(objs[0].moments());
+        // Singleton: J = sigma^2(o) + J_UK(singleton) = sigma^2 + sigma^2... no:
+        // J_UK(singleton) = sigma^2(o) (distance of o to its own mean), and
+        // (1/1) Σ sigma^2 = sigma^2, so J = 2 sigma^2(o).
+        assert!((stats.j() - 2.0 * objs[0].total_variance()).abs() < 1e-9);
+        assert_eq!(stats.j_after_remove(objs[0].moments()), 0.0);
+    }
+
+    #[test]
+    fn ucentroid_variance_matches_theorem_2() {
+        let objs = objects();
+        let stats = ClusterStats::from_members(objs.iter());
+        let refs: Vec<&UncertainObject> = objs.iter().collect();
+        let c = UCentroid::from_cluster(&refs);
+        assert!((stats.ucentroid_variance() - c.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proposition_1_scenario() {
+        // Two clusters engineered per the Proposition-1 proof sketch: same
+        // size, same Σ mu2, same Σ mu per dim, different Σ mu^2 -> equal J_UK
+        // but different variance sums.
+        // Cluster A: means {0, 2}; Cluster B: means {1, 1}. Equal mean sums.
+        // Give both total mu2 = 6 per object pair by tuning variances.
+        // Object mu2 = mu^2 + var.
+        // Cluster A: means {0, 2}, mu2 {1, 5} -> Σ mu = 2, Σ mu2 = 6.
+        // Cluster B: means {1, 1}, sds {sqrt(3), 1} -> mu2 {4, 2}: same sums.
+        let a = [
+            UncertainObject::new(vec![UnivariatePdf::normal(0.0, 1.0)]),
+            UncertainObject::new(vec![UnivariatePdf::normal(2.0, 1.0)]),
+        ];
+        let b = [
+            UncertainObject::new(vec![UnivariatePdf::normal(1.0, 3.0_f64.sqrt())]),
+            UncertainObject::new(vec![UnivariatePdf::normal(1.0, 1.0)]),
+        ];
+        let sa = ClusterStats::from_members(a.iter());
+        let sb = ClusterStats::from_members(b.iter());
+        assert!((sa.phi()[0] - sb.phi()[0]).abs() < 1e-12, "equal Σ mu2");
+        assert!((sa.mean_sum()[0] - sb.mean_sum()[0]).abs() < 1e-12, "equal Σ mu");
+        assert!((sa.j_uk() - sb.j_uk()).abs() < 1e-12, "Proposition 1: equal J_UK");
+        let var_a: f64 = a.iter().map(|o| o.total_variance()).sum();
+        let var_b: f64 = b.iter().map(|o| o.total_variance()).sum();
+        assert!(
+            (var_a - var_b).abs() > 0.5,
+            "…despite different cluster variances ({var_a} vs {var_b})"
+        );
+        // And the UCPC objective *does* separate them (Theorem 3 uses Ψ).
+        assert!((sa.j() - sb.j()).abs() > 0.1, "J distinguishes the clusters");
+    }
+}

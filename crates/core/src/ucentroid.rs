@@ -1,0 +1,258 @@
+//! The U-centroid (Section 4.1, Theorems 1 and 2, Lemma 5).
+//!
+//! The U-centroid of a cluster `C` is an uncertain object `𝒞 = (R, f)` whose
+//! random variable ranges over every deterministic representation obtainable
+//! by averaging one realization of each member of `C` (with the squared
+//! Euclidean norm as the minimized distance, the argmin point is exactly the
+//! arithmetic mean of the member realizations — Theorem 1's proof).
+//!
+//! Its pdf `f` is in general not analytically computable, but everything the
+//! UCPC objective needs *is*:
+//!
+//! * its domain region is the member-wise average box (Theorem 1);
+//! * its moments follow from Lemma 5:
+//!   `mu(𝒞) = (1/|C|) Σ mu(o_i)`,
+//!   `(mu_2)_j(𝒞) = (1/|C|^2) [Σ (mu_2)_j(o_i) + (Σ mu_j(o_i))^2 − Σ mu_j(o_i)^2]`;
+//! * its variance collapses to `sigma^2(𝒞) = (1/|C|^2) Σ sigma^2(o_i)`
+//!   (Theorem 2) — which is *why* minimizing the U-centroid's variance alone
+//!   is not a sound compactness criterion (it ignores inter-object distances,
+//!   cf. Figure 2 of the paper).
+//!
+//! [`UCentroid::sample`] draws realizations of the defining random variable
+//! directly (average of one sample per member), which the test-suite uses to
+//! validate the closed forms empirically.
+
+use rand::Rng;
+use ucpc_uncertain::{BoxRegion, Moments, UncertainObject};
+
+/// The U-centroid of a cluster of uncertain objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UCentroid {
+    region: BoxRegion,
+    moments: Moments,
+    size: usize,
+}
+
+impl UCentroid {
+    /// Builds the U-centroid of the cluster formed by `members`.
+    ///
+    /// Panics if `members` is empty or dimensionalities differ.
+    pub fn from_cluster(members: &[&UncertainObject]) -> Self {
+        assert!(!members.is_empty(), "U-centroid of an empty cluster is undefined");
+        let m = members[0].dims();
+        let n = members.len() as f64;
+
+        // Theorem 1: region is the member-wise average box.
+        let regions: Vec<&BoxRegion> = members.iter().map(|o| o.region()).collect();
+        let region = BoxRegion::average(&regions);
+
+        // Lemma 5: closed-form moments.
+        let mut sum_mu = vec![0.0; m];
+        let mut sum_mu2 = vec![0.0; m];
+        let mut sum_mu_sq = vec![0.0; m];
+        for o in members {
+            assert_eq!(o.dims(), m, "dimension mismatch");
+            for j in 0..m {
+                sum_mu[j] += o.mu()[j];
+                sum_mu2[j] += o.mu2()[j];
+                sum_mu_sq[j] += o.mu()[j] * o.mu()[j];
+            }
+        }
+        let mut mu = vec![0.0; m];
+        let mut mu2 = vec![0.0; m];
+        for j in 0..m {
+            // (mu_2)_j(C) = (1/n^2) [ Σ (mu2)_j + (Σ mu_j)^2 − Σ mu_j^2 ].
+            mu2[j] = (sum_mu2[j] + sum_mu[j] * sum_mu[j] - sum_mu_sq[j]) / (n * n);
+            mu[j] = sum_mu[j] / n;
+        }
+
+        Self {
+            region,
+            moments: Moments::from_mu_mu2(mu, mu2),
+            size: members.len(),
+        }
+    }
+
+    /// Cluster size `|C|`.
+    pub fn cluster_size(&self) -> usize {
+        self.size
+    }
+
+    /// Domain region `R` per Theorem 1.
+    pub fn region(&self) -> &BoxRegion {
+        &self.region
+    }
+
+    /// Moments per Lemma 5.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// Expected value `mu(𝒞)` — equal to the UK-means centroid (Eq. 7).
+    pub fn mu(&self) -> &[f64] {
+        self.moments.mu()
+    }
+
+    /// Second-order moment vector.
+    pub fn mu2(&self) -> &[f64] {
+        self.moments.mu2()
+    }
+
+    /// Global variance `sigma^2(𝒞)`; equals `(1/|C|^2) Σ sigma^2(o_i)` by
+    /// Theorem 2.
+    pub fn variance(&self) -> f64 {
+        self.moments.total_variance()
+    }
+
+    /// Draws one realization of the U-centroid's defining random variable:
+    /// the average of one independent realization per member object.
+    pub fn sample<R: Rng + ?Sized>(
+        members: &[&UncertainObject],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert!(!members.is_empty(), "cannot sample an empty cluster's centroid");
+        let m = members[0].dims();
+        let mut acc = vec![0.0; m];
+        for o in members {
+            let s = o.sample(rng);
+            for j in 0..m {
+                acc[j] += s[j];
+            }
+        }
+        let inv = 1.0 / members.len() as f64;
+        for v in &mut acc {
+            *v *= inv;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn cluster() -> Vec<UncertainObject> {
+        vec![
+            UncertainObject::new(vec![
+                UnivariatePdf::uniform_centered(0.0, 1.0),
+                UnivariatePdf::normal(2.0, 0.5),
+            ]),
+            UncertainObject::new(vec![
+                UnivariatePdf::uniform_centered(4.0, 2.0),
+                UnivariatePdf::normal(-2.0, 1.0),
+            ]),
+            UncertainObject::new(vec![
+                UnivariatePdf::uniform_centered(-1.0, 0.5),
+                UnivariatePdf::normal(0.0, 0.1),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn mu_is_average_of_member_means() {
+        let objs = cluster();
+        let refs: Vec<&UncertainObject> = objs.iter().collect();
+        let c = UCentroid::from_cluster(&refs);
+        assert!((c.mu()[0] - 1.0).abs() < 1e-12);
+        assert!((c.mu()[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_2_variance_identity() {
+        let objs = cluster();
+        let refs: Vec<&UncertainObject> = objs.iter().collect();
+        let c = UCentroid::from_cluster(&refs);
+        let want: f64 =
+            objs.iter().map(|o| o.total_variance()).sum::<f64>() / (objs.len() * objs.len()) as f64;
+        assert!(
+            (c.variance() - want).abs() < 1e-12,
+            "Theorem 2: sigma^2(C) = |C|^-2 sum sigma^2(o_i); got {} want {want}",
+            c.variance()
+        );
+    }
+
+    #[test]
+    fn theorem_1_region_is_average_box() {
+        let objs = cluster();
+        let refs: Vec<&UncertainObject> = objs.iter().collect();
+        let c = UCentroid::from_cluster(&refs);
+        // Dimension 0 supports: [-1,1], [2,6], [-1.5,-0.5] -> avg [-1/6, 13/6... ]
+        let lo = (-1.0 + 2.0 + -1.5) / 3.0;
+        let hi = (1.0 + 6.0 + -0.5) / 3.0;
+        assert!((c.region().side(0).lo - lo).abs() < 1e-12);
+        assert!((c.region().side(0).hi - hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_realizations_match_lemma_5_moments() {
+        let objs = cluster();
+        let refs: Vec<&UncertainObject> = objs.iter().collect();
+        let c = UCentroid::from_cluster(&refs);
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 200_000;
+        let m = 2;
+        let mut mu = vec![0.0; m];
+        let mut mu2 = vec![0.0; m];
+        for _ in 0..n {
+            let x = UCentroid::sample(&refs, &mut rng);
+            for j in 0..m {
+                mu[j] += x[j];
+                mu2[j] += x[j] * x[j];
+            }
+        }
+        for j in 0..m {
+            mu[j] /= n as f64;
+            mu2[j] /= n as f64;
+            assert!(
+                (mu[j] - c.mu()[j]).abs() < 5e-3,
+                "dim {j}: empirical mu {} vs Lemma-5 mu {}",
+                mu[j],
+                c.mu()[j]
+            );
+            assert!(
+                (mu2[j] - c.mu2()[j]).abs() < 2e-2,
+                "dim {j}: empirical mu2 {} vs Lemma-5 mu2 {}",
+                mu2[j],
+                c.mu2()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn samples_fall_in_theorem_1_region_for_bounded_members() {
+        // All-uniform members have bounded supports; the average of their
+        // realizations must land in the average box.
+        let objs: Vec<UncertainObject> = (0..4)
+            .map(|i| {
+                UncertainObject::new(vec![UnivariatePdf::uniform_centered(i as f64, 1.0)])
+            })
+            .collect();
+        let refs: Vec<&UncertainObject> = objs.iter().collect();
+        let c = UCentroid::from_cluster(&refs);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5_000 {
+            let x = UCentroid::sample(&refs, &mut rng);
+            assert!(c.region().contains(&x), "realization {x:?} outside Theorem-1 region");
+        }
+    }
+
+    #[test]
+    fn singleton_cluster_centroid_is_the_object() {
+        let objs = cluster();
+        let c = UCentroid::from_cluster(&[&objs[0]]);
+        assert_eq!(c.mu(), objs[0].mu());
+        for j in 0..2 {
+            assert!((c.mu2()[j] - objs[0].mu2()[j]).abs() < 1e-12);
+        }
+        assert!((c.variance() - objs[0].total_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn empty_cluster_panics() {
+        let _ = UCentroid::from_cluster(&[]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Dataset I/O: CSV import of labelled deterministic data (so the original
+//! UCI files can be dropped in when available) and a portable text format
+//! for uncertain datasets.
+//!
+//! The CSV reader accepts the layout the UCI repository's numeric datasets
+//! conventionally use: one object per line, numeric attributes separated by
+//! commas, the class label in the last column (numeric or symbolic; symbolic
+//! labels are interned in first-appearance order). Blank lines and lines
+//! starting with `#` are skipped.
+
+use crate::benchmark::{DatasetSpec, LabeledDataset};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors raised by the dataset readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A malformed record with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The file contained no data records.
+    Empty,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Empty => write!(f, "no data records found"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses a labelled CSV dataset from a string (attributes..., label).
+pub fn parse_labeled_csv(name: &'static str, content: &str) -> Result<LabeledDataset, IoError> {
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut label_names: Vec<String> = Vec::new();
+    let mut attributes = 0usize;
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(IoError::Parse {
+                line,
+                message: format!("expected at least 2 fields, got {}", fields.len()),
+            });
+        }
+        let (attrs, label_field) = fields.split_at(fields.len() - 1);
+        if points.is_empty() {
+            attributes = attrs.len();
+        } else if attrs.len() != attributes {
+            return Err(IoError::Parse {
+                line,
+                message: format!("expected {attributes} attributes, got {}", attrs.len()),
+            });
+        }
+        let mut p = Vec::with_capacity(attributes);
+        for (j, a) in attrs.iter().enumerate() {
+            let v: f64 = a.parse().map_err(|_| IoError::Parse {
+                line,
+                message: format!("attribute {j} is not numeric: {a:?}"),
+            })?;
+            p.push(v);
+        }
+        let label_str = label_field[0];
+        let label = match label_names.iter().position(|l| l == label_str) {
+            Some(i) => i,
+            None => {
+                label_names.push(label_str.to_string());
+                label_names.len() - 1
+            }
+        };
+        points.push(p);
+        labels.push(label);
+    }
+
+    if points.is_empty() {
+        return Err(IoError::Empty);
+    }
+    let spec = DatasetSpec {
+        name,
+        objects: points.len(),
+        attributes,
+        classes: label_names.len(),
+    };
+    Ok(LabeledDataset { spec, points, labels })
+}
+
+/// Reads a labelled CSV dataset from a file.
+pub fn read_labeled_csv(
+    name: &'static str,
+    path: impl AsRef<Path>,
+) -> Result<LabeledDataset, IoError> {
+    let content = fs::read_to_string(path)?;
+    parse_labeled_csv(name, &content)
+}
+
+/// Serializes a labelled dataset back to the CSV layout accepted by
+/// [`parse_labeled_csv`] (numeric labels).
+pub fn to_labeled_csv(dataset: &LabeledDataset) -> String {
+    let mut out = String::new();
+    for (p, &l) in dataset.points.iter().zip(&dataset.labels) {
+        let attrs: Vec<String> = p.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&attrs.join(","));
+        out.push(',');
+        out.push_str(&l.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny dataset
+5.1,3.5,setosa
+4.9,3.0,setosa
+
+6.3,3.3,virginica
+5.8,2.7,virginica
+";
+
+    #[test]
+    fn parses_symbolic_labels_in_order() {
+        let d = parse_labeled_csv("tiny", SAMPLE).unwrap();
+        assert_eq!(d.spec.objects, 4);
+        assert_eq!(d.spec.attributes, 2);
+        assert_eq!(d.spec.classes, 2);
+        assert_eq!(d.labels, vec![0, 0, 1, 1]);
+        assert_eq!(d.points[0], vec![5.1, 3.5]);
+    }
+
+    #[test]
+    fn round_trips_through_csv() {
+        let d = parse_labeled_csv("tiny", SAMPLE).unwrap();
+        let csv = to_labeled_csv(&d);
+        let d2 = parse_labeled_csv("tiny2", &csv).unwrap();
+        assert_eq!(d.points, d2.points);
+        assert_eq!(d.labels, d2.labels);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let bad = "1.0,2.0,a\n1.0,b\n";
+        match parse_labeled_csv("bad", bad) {
+            Err(IoError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_numeric_attributes() {
+        let bad = "1.0,x,a\n";
+        assert!(matches!(
+            parse_labeled_csv("bad", bad),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(parse_labeled_csv("empty", "# only comments\n"), Err(IoError::Empty)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let d = parse_labeled_csv("tiny", SAMPLE).unwrap();
+        let path = std::env::temp_dir().join("ucpc_io_test.csv");
+        fs::write(&path, to_labeled_csv(&d)).unwrap();
+        let d2 = read_labeled_csv("tiny", &path).unwrap();
+        assert_eq!(d.points, d2.points);
+        let _ = fs::remove_file(path);
+    }
+}

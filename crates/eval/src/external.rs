@@ -1,0 +1,194 @@
+//! Additional external validity criteria beyond the paper's F-measure:
+//! purity, the adjusted Rand index, and normalized mutual information.
+//!
+//! The paper reports F only; these are provided because downstream users of
+//! a clustering library expect the standard external metrics, and because
+//! the integration tests use them to cross-check conclusions drawn from F
+//! (a ranking that flips under ARI/NMI is usually an evaluation bug).
+
+use ucpc_core::framework::Clustering;
+
+/// Contingency table between a clustering and a reference labelling.
+struct Contingency {
+    counts: Vec<Vec<usize>>, // [class][cluster]
+    class_sizes: Vec<usize>,
+    cluster_sizes: Vec<usize>,
+    n: usize,
+}
+
+fn contingency(clustering: &Clustering, reference: &[usize]) -> Contingency {
+    assert_eq!(
+        clustering.len(),
+        reference.len(),
+        "clustering and reference must cover the same objects"
+    );
+    let k = clustering.k();
+    let k_ref = reference.iter().copied().max().map_or(0, |m| m + 1);
+    let mut counts = vec![vec![0usize; k]; k_ref];
+    let mut class_sizes = vec![0usize; k_ref];
+    let mut cluster_sizes = vec![0usize; k];
+    for (i, &u) in reference.iter().enumerate() {
+        let v = clustering.label(i);
+        counts[u][v] += 1;
+        class_sizes[u] += 1;
+        cluster_sizes[v] += 1;
+    }
+    Contingency { counts, class_sizes, cluster_sizes, n: reference.len() }
+}
+
+/// Purity: every cluster votes for its majority class;
+/// `(1/n) Σ_v max_u |C_v ∩ C̃_u|`. Range `(0, 1]`, higher is better; trivially
+/// 1 for singletons (use together with NMI/ARI).
+pub fn purity(clustering: &Clustering, reference: &[usize]) -> f64 {
+    let c = contingency(clustering, reference);
+    if c.n == 0 {
+        return 0.0;
+    }
+    let k = clustering.k();
+    let mut total = 0usize;
+    for v in 0..k {
+        let best = c.counts.iter().map(|row| row[v]).max().unwrap_or(0);
+        total += best;
+    }
+    total as f64 / c.n as f64
+}
+
+/// Adjusted Rand index: pair-counting agreement corrected for chance.
+/// 1 for identical partitions (up to relabelling), ~0 for independent ones;
+/// can be negative.
+pub fn adjusted_rand_index(clustering: &Clustering, reference: &[usize]) -> f64 {
+    let c = contingency(clustering, reference);
+    if c.n < 2 {
+        return 1.0;
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_ij: f64 = c.counts.iter().flatten().map(|&x| choose2(x)).sum();
+    let sum_a: f64 = c.class_sizes.iter().map(|&x| choose2(x)).sum();
+    let sum_b: f64 = c.cluster_sizes.iter().map(|&x| choose2(x)).sum();
+    let total = choose2(c.n);
+    let expected = sum_a * sum_b / total;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-15 {
+        return if (sum_ij - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max - expected)
+}
+
+/// Normalized mutual information with arithmetic-mean normalization:
+/// `I(U; V) / ((H(U) + H(V)) / 2)`. Range `[0, 1]`, higher is better; 1 for
+/// identical partitions, 0 when independent (or when either side is a single
+/// block).
+pub fn normalized_mutual_information(clustering: &Clustering, reference: &[usize]) -> f64 {
+    let c = contingency(clustering, reference);
+    if c.n == 0 {
+        return 0.0;
+    }
+    let n = c.n as f64;
+    let entropy = |sizes: &[usize]| -> f64 {
+        sizes
+            .iter()
+            .filter(|&&s| s > 0)
+            .map(|&s| {
+                let p = s as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let h_u = entropy(&c.class_sizes);
+    let h_v = entropy(&c.cluster_sizes);
+    if h_u <= 0.0 || h_v <= 0.0 {
+        // One side is a single block: MI is 0 by definition here.
+        return if h_u <= 0.0 && h_v <= 0.0 { 1.0 } else { 0.0 };
+    }
+    let mut mi = 0.0;
+    for (u, row) in c.counts.iter().enumerate() {
+        for (v, &cnt) in row.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let p_uv = cnt as f64 / n;
+            let p_u = c.class_sizes[u] as f64 / n;
+            let p_v = c.cluster_sizes[v] as f64 / n;
+            mi += p_uv * (p_uv / (p_u * p_v)).ln();
+        }
+    }
+    (mi / (0.5 * (h_u + h_v))).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> (Clustering, Vec<usize>) {
+        (Clustering::new(vec![1, 1, 0, 0, 2, 2], 3), vec![0, 0, 1, 1, 2, 2])
+    }
+
+    #[test]
+    fn perfect_partition_maxes_all_metrics() {
+        let (c, r) = perfect();
+        assert!((purity(&c, &r) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&c, &r) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&c, &r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_scores() {
+        let r = vec![0, 0, 1, 1];
+        let c = Clustering::single(4);
+        assert!((purity(&c, &r) - 0.5).abs() < 1e-12);
+        assert!(adjusted_rand_index(&c, &r).abs() < 1e-12);
+        assert_eq!(normalized_mutual_information(&c, &r), 0.0);
+    }
+
+    #[test]
+    fn all_singletons_have_perfect_purity_but_low_nmi_weighting() {
+        let r = vec![0, 0, 0, 0];
+        let c = Clustering::new(vec![0, 1, 2, 3], 4);
+        assert_eq!(purity(&c, &r), 1.0);
+        // Reference is a single block: NMI defined as 0 here.
+        assert_eq!(normalized_mutual_information(&c, &r), 0.0);
+    }
+
+    #[test]
+    fn ari_is_near_zero_for_random_like_partitions() {
+        // A partition orthogonal to the reference.
+        let r = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let c = Clustering::new(vec![0, 1, 0, 1, 0, 1, 0, 1], 2);
+        assert!(adjusted_rand_index(&c, &r).abs() < 0.2);
+    }
+
+    #[test]
+    fn metrics_are_invariant_to_relabelling() {
+        let r = vec![0, 0, 1, 1, 2, 2];
+        let a = Clustering::new(vec![0, 0, 1, 1, 2, 2], 3);
+        let b = Clustering::new(vec![2, 2, 0, 0, 1, 1], 3);
+        assert_eq!(purity(&a, &r), purity(&b, &r));
+        assert!((adjusted_rand_index(&a, &r) - adjusted_rand_index(&b, &r)).abs() < 1e-12);
+        assert!(
+            (normalized_mutual_information(&a, &r)
+                - normalized_mutual_information(&b, &r))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn better_partition_scores_higher_on_all_metrics() {
+        let r = vec![0, 0, 0, 1, 1, 1];
+        let good = Clustering::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let bad = Clustering::new(vec![0, 0, 1, 1, 0, 1], 2);
+        assert!(purity(&good, &r) > purity(&bad, &r));
+        assert!(adjusted_rand_index(&good, &r) > adjusted_rand_index(&bad, &r));
+        assert!(
+            normalized_mutual_information(&good, &r)
+                > normalized_mutual_information(&bad, &r)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same objects")]
+    fn mismatched_lengths_panic() {
+        let c = Clustering::single(3);
+        let _ = purity(&c, &[0, 1]);
+    }
+}

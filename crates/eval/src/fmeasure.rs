@@ -1,0 +1,134 @@
+//! External cluster-validity criterion: the F-measure of Section 5.1.
+//!
+//! Given a reference classification `C̃ = {C̃_1, ..., C̃_k̃}` and a clustering
+//! `C = {C_1, ..., C_k}`:
+//!
+//! `F(C, C̃) = (1/|D|) Σ_u |C̃_u| max_v F_uv`, with
+//! `F_uv = 2 P_uv R_uv / (P_uv + R_uv)`,
+//! `P_uv = |C_v ∩ C̃_u| / |C_v|`, `R_uv = |C_v ∩ C̃_u| / |C̃_u|`.
+//!
+//! `F` ranges in `[0, 1]`, higher is better. `Θ = F(C'') − F(C')` compares the
+//! uncertainty-aware clustering against the perturbed-deterministic one.
+
+use ucpc_core::framework::Clustering;
+
+/// The paper's F-measure between a clustering and a reference classification
+/// (given as one class label per object).
+pub fn f_measure(clustering: &Clustering, reference: &[usize]) -> f64 {
+    assert_eq!(
+        clustering.len(),
+        reference.len(),
+        "clustering and reference must cover the same objects"
+    );
+    let n = reference.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = clustering.k();
+    let k_ref = reference.iter().copied().max().map_or(0, |m| m + 1);
+
+    // Contingency table: overlap[u][v] = |C_v ∩ C̃_u|.
+    let mut overlap = vec![vec![0usize; k]; k_ref];
+    let mut class_size = vec![0usize; k_ref];
+    let mut cluster_size = vec![0usize; k];
+    for (i, &u) in reference.iter().enumerate() {
+        let v = clustering.label(i);
+        overlap[u][v] += 1;
+        class_size[u] += 1;
+        cluster_size[v] += 1;
+    }
+
+    let mut total = 0.0;
+    for u in 0..k_ref {
+        if class_size[u] == 0 {
+            continue;
+        }
+        let mut best = 0.0f64;
+        for v in 0..k {
+            let ov = overlap[u][v];
+            if ov == 0 || cluster_size[v] == 0 {
+                continue;
+            }
+            let p = ov as f64 / cluster_size[v] as f64;
+            let r = ov as f64 / class_size[u] as f64;
+            let f = 2.0 * p * r / (p + r);
+            best = best.max(f);
+        }
+        total += class_size[u] as f64 * best;
+    }
+    total / n as f64
+}
+
+/// The paper's `Θ(C', C'', C̃) = F(C'', C̃) − F(C', C̃)`: positive when
+/// modelling uncertainty (Case 2) beats ignoring it (Case 1). Range `[-1, 1]`.
+pub fn theta(case1: &Clustering, case2: &Clustering, reference: &[usize]) -> f64 {
+    f_measure(case2, reference) - f_measure(case1, reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let reference = vec![0, 0, 1, 1, 2, 2];
+        let c = Clustering::new(vec![2, 2, 0, 0, 1, 1], 3); // permuted labels
+        assert!((f_measure(&c, &reference) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_scores_below_one_for_multiclass_data() {
+        let reference = vec![0, 0, 0, 1, 1, 1];
+        let c = Clustering::single(6);
+        let f = f_measure(&c, &reference);
+        // Each class: P = 0.5, R = 1 -> F_uv = 2/3.
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_fragmentsation_scores_low() {
+        // Every object its own cluster: P = 1, R = 1/|class|.
+        let reference = vec![0, 0, 0, 0];
+        let c = Clustering::new(vec![0, 1, 2, 3], 4);
+        let f = f_measure(&c, &reference);
+        let want = 2.0 * 1.0 * 0.25 / 1.25;
+        assert!((f - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_measure_is_within_bounds() {
+        let reference = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let c = Clustering::new(vec![0, 0, 1, 1, 2, 2, 0, 1], 3);
+        let f = f_measure(&c, &reference);
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn theta_sign_reflects_improvement() {
+        let reference = vec![0, 0, 1, 1];
+        let good = Clustering::new(vec![0, 0, 1, 1], 2);
+        let bad = Clustering::new(vec![0, 1, 0, 1], 2);
+        assert!(theta(&bad, &good, &reference) > 0.0);
+        assert!(theta(&good, &bad, &reference) < 0.0);
+        assert_eq!(theta(&good, &good, &reference), 0.0);
+    }
+
+    #[test]
+    fn unbalanced_classes_are_weighted_by_size() {
+        // One big class perfectly recovered, one small class destroyed:
+        // the score should stay high because weighting is by |C̃_u|.
+        let mut reference = vec![0; 9];
+        reference.push(1);
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0]; // small class absorbed
+        let c = Clustering::new(labels, 1);
+        let f = f_measure(&c, &reference);
+        assert!(f > 0.85, "size-weighted score unexpectedly low: {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same objects")]
+    fn length_mismatch_panics() {
+        let c = Clustering::single(3);
+        let _ = f_measure(&c, &[0, 1]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Additional internal validity criteria over uncertain objects: the
+//! silhouette coefficient and the Dunn index, both computed on the pairwise
+//! expected squared distance `ÊD` (Lemma 3 closed form).
+//!
+//! The paper's evaluation uses only `Q = inter − intra`; these are provided
+//! for downstream users and as cross-checks in the integration tests (a
+//! partition that wins on `Q` but loses badly on silhouette usually signals
+//! an evaluation artifact).
+
+use ucpc_core::framework::Clustering;
+use ucpc_uncertain::distance::expected_sq_distance;
+use ucpc_uncertain::UncertainObject;
+
+/// Mean silhouette coefficient over all objects, using `ÊD` as the
+/// dissimilarity. Range `[-1, 1]`, higher is better. Objects in singleton
+/// clusters contribute 0 (the standard convention).
+///
+/// O(n²·m); subsample large datasets first.
+pub fn silhouette(data: &[UncertainObject], clustering: &Clustering) -> f64 {
+    assert_eq!(data.len(), clustering.len(), "clustering must cover the data");
+    let n = data.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let members = clustering.members();
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = clustering.label(i);
+        if members[own].len() < 2 {
+            continue; // silhouette of a singleton is 0
+        }
+        // a(i): mean ÊD to own cluster (excluding self).
+        let a: f64 = members[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| expected_sq_distance(&data[i], &data[j]))
+            .sum::<f64>()
+            / (members[own].len() - 1) as f64;
+        // b(i): smallest mean ÊD to another non-empty cluster.
+        let mut b = f64::INFINITY;
+        for (c, ms) in members.iter().enumerate() {
+            if c == own || ms.is_empty() {
+                continue;
+            }
+            let mean: f64 = ms
+                .iter()
+                .map(|&j| expected_sq_distance(&data[i], &data[j]))
+                .sum::<f64>()
+                / ms.len() as f64;
+            b = b.min(mean);
+        }
+        if !b.is_finite() {
+            continue; // single non-empty cluster: silhouette undefined -> 0
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+/// Dunn index: minimum between-cluster separation divided by maximum
+/// within-cluster diameter, both under `ÊD`. Higher is better; degenerate
+/// partitions (a single non-empty cluster) return 0.
+///
+/// Note `ÊD` is not a metric (`ÊD(o,o) = 2σ²(o) > 0`), so the "diameter" of
+/// a cluster of high-variance objects is bounded below by their variances —
+/// which is exactly the behaviour an uncertainty-aware index should have.
+pub fn dunn_index(data: &[UncertainObject], clustering: &Clustering) -> f64 {
+    assert_eq!(data.len(), clustering.len(), "clustering must cover the data");
+    let members: Vec<Vec<usize>> = clustering
+        .members()
+        .into_iter()
+        .filter(|ms| !ms.is_empty())
+        .collect();
+    if members.len() < 2 {
+        return 0.0;
+    }
+
+    let mut max_diameter = 0.0f64;
+    for ms in &members {
+        for (ai, &a) in ms.iter().enumerate() {
+            for &b in &ms[ai + 1..] {
+                max_diameter = max_diameter.max(expected_sq_distance(&data[a], &data[b]));
+            }
+        }
+    }
+    if max_diameter <= 0.0 {
+        return f64::INFINITY; // all within-cluster distances zero, separated clusters
+    }
+
+    let mut min_separation = f64::INFINITY;
+    for (ci, a_ms) in members.iter().enumerate() {
+        for b_ms in &members[ci + 1..] {
+            for &a in a_ms {
+                for &b in b_ms {
+                    min_separation =
+                        min_separation.min(expected_sq_distance(&data[a], &data[b]));
+                }
+            }
+        }
+    }
+    min_separation / max_diameter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn blobs() -> Vec<UncertainObject> {
+        let mut data = Vec::new();
+        for c in [0.0, 10.0] {
+            for i in 0..4 {
+                data.push(UncertainObject::new(vec![UnivariatePdf::normal(
+                    c + i as f64 * 0.1,
+                    0.1,
+                )]));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn good_partition_has_high_silhouette_and_dunn() {
+        let data = blobs();
+        let good = Clustering::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let bad = Clustering::new(vec![0, 1, 0, 1, 0, 1, 0, 1], 2);
+        assert!(silhouette(&data, &good) > 0.8);
+        assert!(silhouette(&data, &good) > silhouette(&data, &bad));
+        assert!(dunn_index(&data, &good) > 1.0);
+        assert!(dunn_index(&data, &good) > dunn_index(&data, &bad));
+    }
+
+    #[test]
+    fn single_cluster_partitions_are_degenerate() {
+        let data = blobs();
+        let c = Clustering::single(8);
+        assert_eq!(silhouette(&data, &c), 0.0);
+        assert_eq!(dunn_index(&data, &c), 0.0);
+    }
+
+    #[test]
+    fn all_singletons_silhouette_zero() {
+        let data = blobs();
+        let c = Clustering::new((0..8).collect(), 8);
+        assert_eq!(silhouette(&data, &c), 0.0);
+    }
+
+    #[test]
+    fn variance_lowers_dunn_through_the_diameter() {
+        // Same means, higher object variance -> ÊD-diameter grows -> Dunn
+        // shrinks: the index is uncertainty-aware.
+        let tight = blobs();
+        let loose: Vec<UncertainObject> = tight
+            .iter()
+            .map(|o| UncertainObject::new(vec![UnivariatePdf::normal(o.mu()[0], 2.0)]))
+            .collect();
+        let c = Clustering::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        assert!(dunn_index(&loose, &c) < dunn_index(&tight, &c));
+    }
+
+    #[test]
+    fn silhouette_is_bounded() {
+        let data = blobs();
+        for labels in [vec![0, 0, 1, 1, 0, 0, 1, 1], vec![1, 0, 1, 0, 1, 0, 1, 0]] {
+            let c = Clustering::new(labels, 2);
+            let s = silhouette(&data, &c);
+            assert!((-1.0..=1.0).contains(&s), "silhouette {s} out of range");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # ucpc-eval — the paper's cluster-validity criteria (Section 5.1)
+//!
+//! * [`fmeasure::f_measure`] — external criterion `F ∈ [0, 1]` against a
+//!   reference classification, and [`fmeasure::theta`] — the paper's
+//!   `Θ = F(C'') − F(C')` comparing uncertainty-aware vs uncertainty-blind
+//!   clustering;
+//! * [`quality::quality`] — internal criterion: normalized intra/inter
+//!   expected distances and `Q = inter − intra ∈ [−1, 1]`.
+
+#![warn(missing_docs)]
+
+pub mod external;
+pub mod fmeasure;
+pub mod internal;
+pub mod quality;
+
+pub use external::{adjusted_rand_index, normalized_mutual_information, purity};
+pub use fmeasure::{f_measure, theta};
+pub use internal::{dunn_index, silhouette};
+pub use quality::{quality, Quality};

@@ -1,0 +1,187 @@
+//! Internal cluster-validity criteria: intra/inter distances and `Q`
+//! (Section 5.1).
+//!
+//! * `intra(C)` — mean pairwise expected squared distance `ÊD` within
+//!   clusters (cluster cohesiveness);
+//! * `inter(C)` — mean pairwise `ÊD` across cluster pairs (separation);
+//! * `Q(C) = inter(C) − intra(C)` after normalizing both to `[0, 1]` by the
+//!   dataset's maximum pairwise `ÊD`, so `Q ∈ [−1, 1]`, higher is better.
+//!
+//! All `ÊD` values use the Lemma-3 closed form — no sampling.
+
+use ucpc_core::framework::Clustering;
+use ucpc_uncertain::distance::expected_sq_distance;
+use ucpc_uncertain::UncertainObject;
+
+/// Internal-quality report for one clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Normalized mean within-cluster `ÊD` (lower is better).
+    pub intra: f64,
+    /// Normalized mean between-cluster `ÊD` (higher is better).
+    pub inter: f64,
+    /// `inter − intra`, in `[-1, 1]`.
+    pub q: f64,
+}
+
+/// Computes intra, inter and `Q` for `clustering` over `data`.
+///
+/// O(n²·m) in the dataset size; the experiment harness subsamples very large
+/// datasets before calling this, exactly as any implementation of the paper's
+/// protocol must.
+pub fn quality(data: &[UncertainObject], clustering: &Clustering) -> Quality {
+    assert_eq!(data.len(), clustering.len(), "clustering must cover the data");
+    let n = data.len();
+
+    // Normalization constant: max pairwise ÊD over the dataset.
+    let mut max_ed = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            max_ed = max_ed.max(expected_sq_distance(&data[i], &data[j]));
+        }
+    }
+    if max_ed <= 0.0 {
+        // All objects identical and deterministic: perfectly cohesive.
+        return Quality { intra: 0.0, inter: 0.0, q: 0.0 };
+    }
+
+    let members = clustering.members();
+
+    // intra(C): average over clusters of the mean pairwise ÊD within the
+    // cluster; singleton and empty clusters contribute zero cohesion cost
+    // and are excluded from the average (the paper's formula divides by
+    // |C|(|C|-1), undefined for singletons).
+    let mut intra_acc = 0.0;
+    let mut intra_clusters = 0usize;
+    for ms in &members {
+        if ms.len() < 2 {
+            continue;
+        }
+        let mut acc = 0.0;
+        for (ai, &a) in ms.iter().enumerate() {
+            for &b in &ms[ai + 1..] {
+                acc += expected_sq_distance(&data[a], &data[b]);
+            }
+        }
+        // Sum over ordered pairs = 2 * unordered; denominator |C|(|C|-1).
+        let denom = (ms.len() * (ms.len() - 1)) as f64;
+        intra_acc += 2.0 * acc / denom;
+        intra_clusters += 1;
+    }
+    let intra = if intra_clusters > 0 {
+        intra_acc / intra_clusters as f64 / max_ed
+    } else {
+        0.0
+    };
+
+    // inter(C): average over cluster pairs of the mean pairwise ÊD between
+    // their members.
+    let non_empty: Vec<&Vec<usize>> = members.iter().filter(|ms| !ms.is_empty()).collect();
+    let mut inter_acc = 0.0;
+    let mut inter_pairs = 0usize;
+    for (ci, a_members) in non_empty.iter().enumerate() {
+        for b_members in &non_empty[ci + 1..] {
+            let mut acc = 0.0;
+            for &a in a_members.iter() {
+                for &b in b_members.iter() {
+                    acc += expected_sq_distance(&data[a], &data[b]);
+                }
+            }
+            inter_acc += acc / (a_members.len() * b_members.len()) as f64;
+            inter_pairs += 1;
+        }
+    }
+    let inter = if inter_pairs > 0 {
+        inter_acc / inter_pairs as f64 / max_ed
+    } else {
+        0.0
+    };
+
+    Quality { intra, inter, q: inter - intra }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn blobs() -> Vec<UncertainObject> {
+        let mut data = Vec::new();
+        for c in [0.0, 10.0] {
+            for i in 0..4 {
+                data.push(UncertainObject::new(vec![UnivariatePdf::normal(
+                    c + i as f64 * 0.1,
+                    0.1,
+                )]));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn good_clustering_beats_bad_clustering() {
+        let data = blobs();
+        let good = Clustering::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let bad = Clustering::new(vec![0, 1, 0, 1, 0, 1, 0, 1], 2);
+        let qg = quality(&data, &good);
+        let qb = quality(&data, &bad);
+        assert!(qg.q > qb.q, "good {:?} vs bad {:?}", qg, qb);
+        assert!(qg.q > 0.5);
+        assert!(qb.q.abs() < 0.2, "mixed clustering should have ~zero Q");
+    }
+
+    #[test]
+    fn values_are_normalized() {
+        let data = blobs();
+        let c = Clustering::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let q = quality(&data, &c);
+        assert!((0.0..=1.0).contains(&q.intra));
+        assert!((0.0..=1.0).contains(&q.inter));
+        assert!((-1.0..=1.0).contains(&q.q));
+    }
+
+    #[test]
+    fn single_cluster_has_zero_inter() {
+        let data = blobs();
+        let c = Clustering::single(8);
+        let q = quality(&data, &c);
+        assert_eq!(q.inter, 0.0);
+        assert!(q.intra > 0.0);
+        assert!(q.q < 0.0);
+    }
+
+    #[test]
+    fn all_singletons_have_zero_intra() {
+        let data = blobs();
+        let c = Clustering::new((0..8).collect(), 8);
+        let q = quality(&data, &c);
+        assert_eq!(q.intra, 0.0);
+        assert!(q.inter > 0.0);
+    }
+
+    #[test]
+    fn identical_deterministic_objects_are_degenerate() {
+        let data: Vec<UncertainObject> =
+            (0..4).map(|_| UncertainObject::deterministic(&[1.0])).collect();
+        let c = Clustering::new(vec![0, 0, 1, 1], 2);
+        let q = quality(&data, &c);
+        assert_eq!(q.q, 0.0);
+    }
+
+    #[test]
+    fn uncertainty_inflates_intra() {
+        // Same means, higher variance -> higher (normalized) intra for the
+        // same partition, because ÊD includes both objects' variances.
+        let tight = blobs();
+        let loose: Vec<UncertainObject> = tight
+            .iter()
+            .map(|o| {
+                UncertainObject::new(vec![UnivariatePdf::normal(o.mu()[0], 2.0)])
+            })
+            .collect();
+        let c = Clustering::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let qt = quality(&tight, &c);
+        let ql = quality(&loose, &c);
+        assert!(ql.intra > qt.intra);
+    }
+}

@@ -1,0 +1,258 @@
+//! Distances between points, uncertain objects, and mixtures thereof.
+//!
+//! Three distance notions from the paper:
+//!
+//! * `ED(o, y)` — expected *squared Euclidean* distance between an uncertain
+//!   object and a point. Eq. (8) gives the closed form
+//!   `ED(o, y) = ED(o, mu(o)) + ||y - mu(o)||^2 = sigma^2(o) + ||y - mu(o)||^2`,
+//!   which is what makes UK-means (the fast variant of \[14\]) and UCPC's
+//!   objective computable without integration.
+//! * `ED_d(o, y)` — expected distance under an arbitrary metric `d`, which has
+//!   no closed form and is approximated from `S` samples; this is the basic
+//!   UK-means bottleneck the paper describes (complexity `O(I S k n m)`).
+//! * `ÊD(o, o')` — expected squared distance between two uncertain objects
+//!   (Eq. 13), with Lemma 3's closed form
+//!   `ÊD(o,o') = Σ_j ((mu2)_j(o) - 2 mu_j(o) mu_j(o') + (mu2)_j(o'))
+//!             = ||mu(o) - mu(o')||^2 + sigma^2(o) + sigma^2(o')`.
+
+use crate::object::UncertainObject;
+
+/// Metrics for the sample-approximated expected distance `ED_d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Euclidean distance `||x - y||`.
+    Euclidean,
+    /// Squared Euclidean distance `||x - y||^2` (the paper's default).
+    SquaredEuclidean,
+}
+
+impl Metric {
+    /// Evaluates the metric on a pair of points.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        let sq = sq_euclidean(x, y);
+        match self {
+            Metric::Euclidean => sq.sqrt(),
+            Metric::SquaredEuclidean => sq,
+        }
+    }
+}
+
+/// Squared Euclidean distance between two points.
+pub fn sq_euclidean(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dimension mismatch");
+    x.iter().zip(y).map(|(&a, &b)| (a - b) * (a - b)).sum()
+}
+
+/// Euclidean distance between two points.
+pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+    sq_euclidean(x, y).sqrt()
+}
+
+/// Closed-form expected squared Euclidean distance `ED(o, y)` between an
+/// uncertain object and a deterministic point (Eq. 8):
+/// `sigma^2(o) + ||mu(o) - y||^2`.
+pub fn expected_sq_distance_to_point(o: &UncertainObject, y: &[f64]) -> f64 {
+    o.total_variance() + sq_euclidean(o.mu(), y)
+}
+
+/// The constant first term of Eq. (8), `ED(o, mu(o)) = sigma^2(o)`: the
+/// expected squared distance between an object and its own expected value.
+/// UK-means precomputes this per object in its offline phase.
+pub fn self_expected_sq_distance(o: &UncertainObject) -> f64 {
+    o.total_variance()
+}
+
+/// Sample-approximated expected distance `ED_d(o, y)` for an arbitrary
+/// metric, the basic UK-means inner loop. `samples` are precomputed
+/// realizations of `o` (see [`crate::sampling::SampleCache`]).
+pub fn expected_distance_sampled(samples: &[Vec<f64>], y: &[f64], metric: Metric) -> f64 {
+    assert!(!samples.is_empty(), "need at least one sample");
+    samples.iter().map(|s| metric.eval(s, y)).sum::<f64>() / samples.len() as f64
+}
+
+/// Closed-form expected squared distance between two uncertain objects
+/// (Lemma 3): `||mu(o) - mu(o')||^2 + sigma^2(o) + sigma^2(o')`.
+pub fn expected_sq_distance(a: &UncertainObject, b: &UncertainObject) -> f64 {
+    sq_euclidean(a.mu(), b.mu()) + a.total_variance() + b.total_variance()
+}
+
+/// Lemma-3 closed form evaluated directly from moment vectors, for callers
+/// that carry moments without whole objects (e.g. mixture centroids):
+/// `Σ_j ((mu2)_j(a) - 2 mu_j(a) mu_j(b) + (mu2)_j(b))`.
+pub fn expected_sq_distance_from_moments(
+    mu_a: &[f64],
+    mu2_a: &[f64],
+    mu_b: &[f64],
+    mu2_b: &[f64],
+) -> f64 {
+    debug_assert_eq!(mu_a.len(), mu_b.len(), "dimension mismatch");
+    let mut acc = 0.0;
+    for j in 0..mu_a.len() {
+        acc += mu2_a[j] - 2.0 * mu_a[j] * mu_b[j] + mu2_b[j];
+    }
+    acc
+}
+
+/// Sample-approximated pairwise expected distance between two objects under
+/// an arbitrary metric: the mean of `d` over the paired sample sets
+/// (samples are matched index-wise when lengths agree, otherwise the full
+/// cross product is used).
+pub fn expected_distance_between_sampled(
+    samples_a: &[Vec<f64>],
+    samples_b: &[Vec<f64>],
+    metric: Metric,
+) -> f64 {
+    assert!(!samples_a.is_empty() && !samples_b.is_empty(), "need samples");
+    if samples_a.len() == samples_b.len() {
+        // Index-matched estimator: unbiased because realizations are
+        // independent across objects, and O(S) instead of O(S^2).
+        let n = samples_a.len();
+        (0..n).map(|i| metric.eval(&samples_a[i], &samples_b[i])).sum::<f64>() / n as f64
+    } else {
+        let mut acc = 0.0;
+        for sa in samples_a {
+            for sb in samples_b {
+                acc += metric.eval(sa, sb);
+            }
+        }
+        acc / (samples_a.len() * samples_b.len()) as f64
+    }
+}
+
+/// Probability that two uncertain objects lie within `eps` of each other
+/// (Euclidean), estimated from paired samples. This is the fuzzy distance
+/// function of FDBSCAN/FOPTICS (Kriegel & Pfeifle).
+pub fn distance_probability(
+    samples_a: &[Vec<f64>],
+    samples_b: &[Vec<f64>],
+    eps: f64,
+) -> f64 {
+    assert!(!samples_a.is_empty() && !samples_b.is_empty(), "need samples");
+    let eps_sq = eps * eps;
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    if samples_a.len() == samples_b.len() {
+        for (sa, sb) in samples_a.iter().zip(samples_b) {
+            total += 1;
+            if sq_euclidean(sa, sb) <= eps_sq {
+                hits += 1;
+            }
+        }
+    } else {
+        for sa in samples_a {
+            for sb in samples_b {
+                total += 1;
+                if sq_euclidean(sa, sb) <= eps_sq {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    hits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdf::UnivariatePdf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gaussian_obj(mu: &[f64], sd: f64) -> UncertainObject {
+        UncertainObject::new(mu.iter().map(|&m| UnivariatePdf::normal(m, sd)).collect())
+    }
+
+    #[test]
+    fn eq8_closed_form_matches_sampling() {
+        let o = gaussian_obj(&[1.0, 2.0], 0.5);
+        let y = [0.0, 0.0];
+        let closed = expected_sq_distance_to_point(&o, &y);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = o.sample_n(&mut rng, 300_000);
+        let approx = expected_distance_sampled(&samples, &y, Metric::SquaredEuclidean);
+        assert!(
+            (closed - approx).abs() / closed < 5e-3,
+            "Eq. (8): closed {closed} vs sampled {approx}"
+        );
+    }
+
+    #[test]
+    fn eq8_decomposition() {
+        // ED(o, y) = ED(o, mu(o)) + ||y - mu(o)||^2.
+        let o = gaussian_obj(&[3.0], 0.7);
+        let y = [1.0];
+        let lhs = expected_sq_distance_to_point(&o, &y);
+        let rhs = self_expected_sq_distance(&o) + sq_euclidean(o.mu(), &y);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma3_closed_form_matches_sampling() {
+        let a = gaussian_obj(&[0.0, 0.0], 1.0);
+        let b = gaussian_obj(&[2.0, -1.0], 0.3);
+        let closed = expected_sq_distance(&a, &b);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sa = a.sample_n(&mut rng, 200_000);
+        let sb = b.sample_n(&mut rng, 200_000);
+        let approx = expected_distance_between_sampled(&sa, &sb, Metric::SquaredEuclidean);
+        assert!(
+            (closed - approx).abs() / closed < 1e-2,
+            "Lemma 3: closed {closed} vs sampled {approx}"
+        );
+    }
+
+    #[test]
+    fn lemma3_from_moments_agrees_with_object_form() {
+        let a = gaussian_obj(&[1.0, -1.0], 0.4);
+        let b = gaussian_obj(&[0.5, 2.0], 0.9);
+        let via_objects = expected_sq_distance(&a, &b);
+        let via_moments =
+            expected_sq_distance_from_moments(a.mu(), a.mu2(), b.mu(), b.mu2());
+        assert!((via_objects - via_moments).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_sq_distance_is_symmetric_and_positive_for_distinct() {
+        let a = gaussian_obj(&[0.0], 0.1);
+        let b = gaussian_obj(&[1.0], 0.1);
+        assert_eq!(expected_sq_distance(&a, &b), expected_sq_distance(&b, &a));
+        assert!(expected_sq_distance(&a, &b) > 0.0);
+        // Note ÊD(o, o) = 2 sigma^2(o) != 0 for uncertain objects: ÊD is not
+        // a metric, exactly as in the paper's Eq. (13) usage.
+        assert!((expected_sq_distance(&a, &a) - 2.0 * a.total_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_metric_sampled_distance_exceeds_point_distance() {
+        // Jensen: E||X - y|| >= ||E X - y|| is false in general, but
+        // E||X - y||^2 >= ||EX - y||^2 always (variance is non-negative).
+        let o = gaussian_obj(&[0.0, 0.0], 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = o.sample_n(&mut rng, 100_000);
+        let y = [3.0, 4.0];
+        let ed2 = expected_distance_sampled(&s, &y, Metric::SquaredEuclidean);
+        assert!(ed2 > sq_euclidean(o.mu(), &y));
+    }
+
+    #[test]
+    fn distance_probability_basics() {
+        let a = UncertainObject::deterministic(&[0.0]);
+        let b = UncertainObject::deterministic(&[3.0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let sa = a.sample_n(&mut rng, 16);
+        let sb = b.sample_n(&mut rng, 16);
+        assert_eq!(distance_probability(&sa, &sb, 2.0), 0.0);
+        assert_eq!(distance_probability(&sa, &sb, 3.5), 1.0);
+    }
+
+    #[test]
+    fn cross_product_estimator_used_for_unequal_sample_counts() {
+        let a = UncertainObject::deterministic(&[0.0]);
+        let b = UncertainObject::deterministic(&[1.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sa = a.sample_n(&mut rng, 4);
+        let sb = b.sample_n(&mut rng, 8);
+        let d = expected_distance_between_sampled(&sa, &sb, Metric::Euclidean);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! Sampling substrate: Monte Carlo and Markov-Chain Monte Carlo.
+//!
+//! The paper's uncertainty-generation step (Section 5.1) perturbs each
+//! deterministic point with noise "sampled from its assigned pdf according to
+//! the classic Monte Carlo and Markov Chain Monte Carlo methods", using the
+//! SSJ library. SSJ is not available here, so this module implements both
+//! samplers:
+//!
+//! * [`monte_carlo`] — direct inverse-CDF draws (exact);
+//! * [`Metropolis`] — a random-walk Metropolis–Hastings chain targeting an
+//!   arbitrary density, used where only a density (not a quantile function)
+//!   is available and to exercise the same code path the paper's MCMC option
+//!   exercised.
+//!
+//! [`SampleCache`] precomputes a fixed-size sample matrix per uncertain
+//! object; the sample-based baselines (basic UK-means, the pruning variants,
+//! FDBSCAN, FOPTICS) all draw from the cache so their per-iteration cost
+//! matches the paper's complexity accounting (`S` = cache size).
+
+use crate::object::UncertainObject;
+use rand::Rng;
+
+/// Draws `n` independent realizations of `object` by inverse-CDF Monte Carlo.
+pub fn monte_carlo<R: Rng + ?Sized>(
+    object: &UncertainObject,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    object.sample_n(rng, n)
+}
+
+/// A random-walk Metropolis–Hastings sampler over a univariate density.
+///
+/// The proposal is Gaussian with the configured step size; the chain is
+/// burned in before the first returned sample and thinned between samples to
+/// reduce autocorrelation.
+#[derive(Debug, Clone)]
+pub struct Metropolis {
+    step: f64,
+    burn_in: usize,
+    thin: usize,
+}
+
+impl Default for Metropolis {
+    fn default() -> Self {
+        Self { step: 1.0, burn_in: 200, thin: 5 }
+    }
+}
+
+impl Metropolis {
+    /// Creates a sampler with the given proposal step size, burn-in length
+    /// and thinning interval.
+    pub fn new(step: f64, burn_in: usize, thin: usize) -> Self {
+        assert!(step > 0.0, "step must be positive");
+        assert!(thin > 0, "thinning interval must be at least 1");
+        Self { step, burn_in, thin }
+    }
+
+    /// Runs the chain against `density`, starting at `init`, returning `n`
+    /// (burned-in, thinned) samples.
+    pub fn sample<R: Rng + ?Sized, F: Fn(f64) -> f64>(
+        &self,
+        density: F,
+        init: f64,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let mut x = init;
+        let mut fx = density(x).max(f64::MIN_POSITIVE);
+        let mut out = Vec::with_capacity(n);
+        let total = self.burn_in + n * self.thin;
+        for i in 0..total {
+            // Gaussian proposal via Box-Muller to avoid a distribution dep.
+            let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-300), rng.gen());
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let cand = x + self.step * z;
+            let fc = density(cand);
+            if fc > 0.0 && rng.gen::<f64>() < (fc / fx).min(1.0) {
+                x = cand;
+                fx = fc;
+            }
+            if i >= self.burn_in && (i - self.burn_in).is_multiple_of(self.thin) {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// Samples a full multivariate realization of `object` by running one
+    /// chain per dimension (dimensions are independent in the model).
+    pub fn sample_object<R: Rng + ?Sized>(
+        &self,
+        object: &UncertainObject,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<f64>> {
+        let m = object.dims();
+        let per_dim: Vec<Vec<f64>> = (0..m)
+            .map(|j| {
+                let pdf = object.pdf(j).clone();
+                let init = object.mu()[j];
+                self.sample(move |x| pdf.density(x), init, n, rng)
+            })
+            .collect();
+        (0..n).map(|i| per_dim.iter().map(|col| col[i]).collect()).collect()
+    }
+}
+
+/// Precomputed realizations of a set of uncertain objects.
+///
+/// Sample-based algorithms index this cache instead of re-sampling: the cost
+/// model of the paper (`O(I S k n m)` for the basic UK-means) counts `S`
+/// sample accesses, not `S` pdf inversions, per expected-distance evaluation.
+#[derive(Debug, Clone)]
+pub struct SampleCache {
+    samples: Vec<Vec<Vec<f64>>>,
+    per_object: usize,
+}
+
+impl SampleCache {
+    /// Draws `per_object` Monte Carlo samples for every object.
+    pub fn build<R: Rng + ?Sized>(
+        objects: &[UncertainObject],
+        per_object: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(per_object > 0, "need at least one sample per object");
+        let samples = objects.iter().map(|o| o.sample_n(rng, per_object)).collect();
+        Self { samples, per_object }
+    }
+
+    /// Number of cached samples per object (`S`).
+    pub fn per_object(&self) -> usize {
+        self.per_object
+    }
+
+    /// Number of objects covered.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The sample matrix of object `i` (rows are realizations).
+    pub fn of(&self, i: usize) -> &[Vec<f64>] {
+        &self.samples[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdf::UnivariatePdf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn obj() -> UncertainObject {
+        UncertainObject::new(vec![
+            UnivariatePdf::normal(2.0, 1.0),
+            UnivariatePdf::uniform_centered(-1.0, 2.0),
+        ])
+    }
+
+    #[test]
+    fn monte_carlo_matches_moments() {
+        let o = obj();
+        let mut rng = StdRng::seed_from_u64(17);
+        let samples = monte_carlo(&o, 200_000, &mut rng);
+        let mean0: f64 = samples.iter().map(|s| s[0]).sum::<f64>() / samples.len() as f64;
+        let mean1: f64 = samples.iter().map(|s| s[1]).sum::<f64>() / samples.len() as f64;
+        assert!((mean0 - 2.0).abs() < 1e-2);
+        assert!((mean1 + 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn metropolis_targets_the_density() {
+        let pdf = UnivariatePdf::normal(0.0, 1.0);
+        let mcmc = Metropolis::new(1.5, 500, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = mcmc.sample(|x| pdf.density(x), 0.0, 30_000, &mut rng);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 =
+            xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "MCMC mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "MCMC variance {var}");
+    }
+
+    #[test]
+    fn metropolis_respects_truncated_support() {
+        let pdf = UnivariatePdf::normal(0.0, 1.0)
+            .truncate(crate::region::Interval::new(-0.5, 1.5));
+        let mcmc = Metropolis::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        for x in mcmc.sample(|x| pdf.density(x), 0.5, 2_000, &mut rng) {
+            assert!((-0.5..=1.5).contains(&x), "MCMC sample {x} escaped support");
+        }
+    }
+
+    #[test]
+    fn metropolis_object_sampling_shape() {
+        let o = obj();
+        let mcmc = Metropolis::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = mcmc.sample_object(&o, 50, &mut rng);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|row| row.len() == 2));
+    }
+
+    #[test]
+    fn sample_cache_shape_and_indexing() {
+        let objects = vec![obj(), UncertainObject::deterministic(&[0.0, 0.0])];
+        let mut rng = StdRng::seed_from_u64(8);
+        let cache = SampleCache::build(&objects, 64, &mut rng);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.per_object(), 64);
+        assert_eq!(cache.of(0).len(), 64);
+        // Deterministic object: every sample is the point itself.
+        assert!(cache.of(1).iter().all(|s| s == &vec![0.0, 0.0]));
+    }
+}

@@ -1,0 +1,137 @@
+//! Descriptive statistics over sample sets, used to validate the sampling
+//! substrate (Monte Carlo and MCMC) against the model's exact moments, and
+//! by the dataset generators to calibrate uncertainty spreads.
+
+/// Mean of a scalar sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of an empty sample is undefined");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a scalar sample.
+pub fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population covariance of two paired scalar samples.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance requires paired samples");
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64
+}
+
+/// Pearson correlation of two paired scalar samples (0 when either sample is
+/// constant).
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let denom = (variance(xs) * variance(ys)).sqrt();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    covariance(xs, ys) / denom
+}
+
+/// The `q`-quantile (nearest-rank) of a sample; `q` in `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of an empty sample is undefined");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic `sup_x |F_a(x) - F_b(x)|`.
+///
+/// Used by the test-suite to verify that the Metropolis MCMC sampler and the
+/// exact inverse-CDF sampler target the same distribution.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let mut d = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        // Advance both sides past the current value so that ties (identical
+        // observations in both samples) do not register a spurious gap.
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Fixed-width histogram of a sample over `[lo, hi]` with `bins` buckets;
+/// out-of-range values clamp into the edge buckets.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "histogram range must be non-degenerate");
+    let mut counts = vec![0usize; bins];
+    let w = (hi - lo) / bins as f64;
+    for &x in xs {
+        let b = (((x - lo) / w).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_and_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [6.0, 4.0, 2.0];
+        assert!((correlation(&xs, &zs) + 1.0).abs() < 1e-12);
+        let constant = [5.0, 5.0, 5.0];
+        assert_eq!(correlation(&xs, &constant), 0.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(ks_statistic(&xs, &xs) < 1e-12);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [0.0, 1.0];
+        let b = [10.0, 11.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let xs = [-1.0, 0.1, 0.5, 0.9, 2.0];
+        let h = histogram(&xs, 0.0, 1.0, 2);
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+        assert_eq!(h, vec![2, 3]); // clamp: -1 -> first, 2.0 -> last
+    }
+}

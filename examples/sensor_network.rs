@@ -1,0 +1,89 @@
+//! Sensor-network scenario: cluster imprecise sensor readings.
+//!
+//! The paper's introduction motivates uncertain data with sensor
+//! measurements "imprecise at a certain degree due to the presence of various
+//! noisy factors". This example simulates a field of temperature/humidity
+//! sensors in three physical zones; each reported reading carries
+//! sensor-specific Gaussian noise (cheap sensors are noisier). Clustering the
+//! *readings with their uncertainty* (Case 2) recovers the zones more
+//! reliably than clustering the noisy point estimates (Case 1) — the Θ
+//! comparison of Section 5.1 in miniature.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ucpc::core::Ucpc;
+use ucpc::eval::f_measure;
+use ucpc::uncertain::{UncertainObject, UnivariatePdf};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2012);
+
+    // Three climate zones with distinct (temperature C, humidity %) regimes.
+    let zones = [(18.0, 40.0), (26.0, 65.0), (22.0, 85.0)];
+    let sensors_per_zone = 40;
+
+    let mut truth = Vec::new();
+    let mut true_positions = Vec::new();
+    let mut noisy_readings = Vec::new(); // Case 1: point estimates
+    let mut uncertain_readings = Vec::new(); // Case 2: reading + noise model
+
+    for (zone, &(t, h)) in zones.iter().enumerate() {
+        for _ in 0..sensors_per_zone {
+            // True state of this sensor's location.
+            let true_t = t + rng.gen_range(-1.0..1.0);
+            let true_h = h + rng.gen_range(-3.0..3.0);
+            // Sensor quality: cheap sensors have sd up to 2.5C / 8% RH.
+            let sd_t = rng.gen_range(0.3..2.5);
+            let sd_h = rng.gen_range(1.0..8.0);
+            // The reported reading is one noisy observation.
+            let obs_t = true_t + gaussian(&mut rng) * sd_t;
+            let obs_h = true_h + gaussian(&mut rng) * sd_h;
+
+            truth.push(zone);
+            true_positions.push((true_t, true_h));
+            noisy_readings.push(UncertainObject::deterministic(&[obs_t, obs_h]));
+            // The uncertainty-aware representation: the sensor knows its own
+            // noise model, so the reading is a Normal centered on the
+            // observation with the sensor's calibrated sd.
+            uncertain_readings.push(UncertainObject::with_coverage(
+                vec![
+                    UnivariatePdf::normal(obs_t, sd_t),
+                    UnivariatePdf::normal(obs_h, sd_h),
+                ],
+                0.95,
+            ));
+        }
+    }
+
+    let k = zones.len();
+    let mut scores = (0.0, 0.0);
+    let trials = 20;
+    for trial in 0..trials {
+        let mut r1 = StdRng::seed_from_u64(100 + trial);
+        let mut r2 = StdRng::seed_from_u64(100 + trial);
+        let c1 = Ucpc::default().run(&noisy_readings, k, &mut r1).unwrap().clustering;
+        let c2 = Ucpc::default().run(&uncertain_readings, k, &mut r2).unwrap().clustering;
+        scores.0 += f_measure(&c1, &truth);
+        scores.1 += f_measure(&c2, &truth);
+    }
+    let f_case1 = scores.0 / trials as f64;
+    let f_case2 = scores.1 / trials as f64;
+
+    println!("sensors: {} in {} zones", truth.len(), k);
+    println!("F-measure, Case 1 (ignore uncertainty):  {f_case1:.3}");
+    println!("F-measure, Case 2 (model uncertainty):   {f_case2:.3}");
+    println!("Theta (Case 2 - Case 1):                 {:+.3}", f_case2 - f_case1);
+    if f_case2 >= f_case1 {
+        println!("\nModelling per-sensor noise helps zone recovery on this workload.");
+    } else {
+        println!("\nUnexpected: uncertainty modelling did not help on this seed.");
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}

@@ -1,0 +1,39 @@
+//! # ucpc — Uncertain Centroid based Partitional Clustering of Uncertain Data
+//!
+//! A full reproduction of Gullo & Tagarelli's VLDB 2012 paper: the U-centroid
+//! theory and UCPC algorithm, every baseline it is evaluated against, the
+//! uncertainty model and dataset substrates, the cluster-validity criteria,
+//! and an experiment harness regenerating every table and figure.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`uncertain`] — uncertain objects, pdfs, moments, sampling, distances;
+//! * [`core`] — the U-centroid, the closed-form objective, UCPC;
+//! * [`baselines`] — UK-means family, MMVar, UK-medoids, U-AHC, FDBSCAN,
+//!   FOPTICS;
+//! * [`datasets`] — Table-1 dataset generators and the Section-5.1
+//!   uncertainty pipeline;
+//! * [`eval`] — F-measure, Θ, intra/inter, Q.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use ucpc::core::Ucpc;
+//! use ucpc::uncertain::{UncertainObject, UnivariatePdf};
+//!
+//! let data: Vec<UncertainObject> = [0.0, 0.3, 5.0, 5.3]
+//!     .iter()
+//!     .map(|&c| UncertainObject::new(vec![UnivariatePdf::normal(c, 0.1)]))
+//!     .collect();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let result = Ucpc::default().run(&data, 2, &mut rng).unwrap();
+//! assert_eq!(result.clustering.label(0), result.clustering.label(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ucpc_baselines as baselines;
+pub use ucpc_core as core;
+pub use ucpc_datasets as datasets;
+pub use ucpc_eval as eval;
+pub use ucpc_uncertain as uncertain;

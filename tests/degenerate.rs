@@ -1,0 +1,116 @@
+//! Degenerate-case integration tests: on point-mass (deterministic) objects
+//! every moment-based uncertain algorithm must collapse to its classical
+//! counterpart, and the Case-1 evaluation path must be exactly the
+//! deterministic path.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ucpc::baselines::kmeans::KMeans;
+use ucpc::baselines::{MmVar, UkMeans};
+use ucpc::core::objective::ClusterStats;
+use ucpc::core::Ucpc;
+use ucpc::uncertain::distance::{expected_sq_distance, sq_euclidean};
+use ucpc::uncertain::UncertainObject;
+
+fn points_to_objects(points: &[Vec<f64>]) -> Vec<UncertainObject> {
+    points.iter().map(|p| UncertainObject::deterministic(p)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On deterministic objects, ÊD reduces to the squared Euclidean distance.
+    #[test]
+    fn expected_distance_reduces_to_euclidean(
+        a in prop::collection::vec(-100.0..100.0f64, 3),
+        b in prop::collection::vec(-100.0..100.0f64, 3),
+    ) {
+        let oa = UncertainObject::deterministic(&a);
+        let ob = UncertainObject::deterministic(&b);
+        let d = expected_sq_distance(&oa, &ob);
+        prop_assert!((d - sq_euclidean(&a, &b)).abs() < 1e-9);
+    }
+
+    /// On deterministic objects J = J_UK = K-means SSE contribution, and
+    /// J_MM = SSE/|C|.
+    #[test]
+    fn objectives_reduce_to_sse(
+        points in prop::collection::vec(prop::collection::vec(-10.0..10.0f64, 2), 2..10)
+    ) {
+        let objs = points_to_objects(&points);
+        let stats = ClusterStats::from_members(objs.iter());
+        // SSE around the centroid.
+        let c = stats.centroid();
+        let sse: f64 = points.iter().map(|p| sq_euclidean(p, &c)).sum();
+        prop_assert!((stats.j_uk() - sse).abs() < 1e-6 * (1.0 + sse));
+        prop_assert!((stats.j() - sse).abs() < 1e-6 * (1.0 + sse), "zero variance: J = J_UK");
+    }
+}
+
+#[test]
+fn ucpc_ukmeans_mmvar_all_find_the_same_obvious_partition() {
+    let points: Vec<Vec<f64>> = vec![
+        vec![0.0, 0.0],
+        vec![0.4, 0.1],
+        vec![0.2, 0.3],
+        vec![50.0, 50.0],
+        vec![50.3, 50.2],
+        vec![50.1, 49.8],
+    ];
+    let objs = points_to_objects(&points);
+
+    let mut results = Vec::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    results.push(Ucpc::default().run(&objs, 2, &mut rng).unwrap().clustering);
+    let mut rng = StdRng::seed_from_u64(1);
+    results.push(UkMeans::default().run(&objs, 2, &mut rng).unwrap().clustering);
+    let mut rng = StdRng::seed_from_u64(1);
+    results.push(MmVar::default().run(&objs, 2, &mut rng).unwrap().clustering);
+    let mut rng = StdRng::seed_from_u64(1);
+    results.push(KMeans::default().run(&objs, 2, &mut rng).unwrap().clustering);
+
+    for c in &results {
+        assert_eq!(c.label(0), c.label(1));
+        assert_eq!(c.label(0), c.label(2));
+        assert_eq!(c.label(3), c.label(4));
+        assert_eq!(c.label(3), c.label(5));
+        assert_ne!(c.label(0), c.label(3));
+    }
+}
+
+#[test]
+fn ucpc_objective_equals_kmeans_sse_on_point_masses() {
+    let points: Vec<Vec<f64>> = (0..20)
+        .map(|i| vec![(i % 5) as f64 * 2.0, (i / 5) as f64 * 3.0])
+        .collect();
+    let objs = points_to_objects(&points);
+    let mut rng = StdRng::seed_from_u64(5);
+    let ucpc = Ucpc::default().run(&objs, 3, &mut rng).unwrap();
+
+    // Recompute the K-means SSE of UCPC's final partition.
+    let mut sse = 0.0;
+    for members in ucpc.clustering.members() {
+        if members.is_empty() {
+            continue;
+        }
+        let stats = ClusterStats::from_members(members.iter().map(|&i| &objs[i]));
+        sse += stats.j_uk();
+    }
+    assert!(
+        (ucpc.objective - sse).abs() < 1e-9,
+        "zero-variance J must equal the SSE: {} vs {sse}",
+        ucpc.objective
+    );
+}
+
+#[test]
+fn deterministic_objects_report_themselves() {
+    let o = UncertainObject::deterministic(&[1.0, 2.0]);
+    assert!(o.is_deterministic());
+    let mixed = UncertainObject::new(vec![
+        ucpc::uncertain::UnivariatePdf::PointMass { x: 0.0 },
+        ucpc::uncertain::UnivariatePdf::normal(0.0, 1.0),
+    ]);
+    assert!(!mixed.is_deterministic());
+}

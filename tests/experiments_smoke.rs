@@ -1,0 +1,90 @@
+//! Miniature versions of the four experiment binaries, exercised as
+//! integration tests so that the table/figure pipelines cannot rot.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ucpc::datasets::benchmark::{generate_fraction, DatasetSpec, IRIS, KDDCUP99};
+use ucpc::datasets::microarray::{MicroarraySimulator, NEUROBLASTOMA};
+use ucpc::datasets::uncertainty::{NoiseKind, PdfAssignment, UncertaintyModel};
+use ucpc::eval::{f_measure, quality};
+use ucpc_bench::harness::{run_timed, Algo, RunConfig};
+
+fn mini_cfg() -> RunConfig {
+    RunConfig { max_iters: 20, samples_per_object: 8 }
+}
+
+#[test]
+fn table2_protocol_miniature() {
+    // One dataset, one pdf family, all seven algorithms, one run.
+    let mut rng = StdRng::seed_from_u64(1);
+    let d = generate_fraction(IRIS, 0.3, &mut rng);
+    let model = UncertaintyModel::paper_default(NoiseKind::Normal);
+    let a = PdfAssignment::assign(&d.points, &d.dim_std(), &model, &mut rng);
+    let d1 = a.perturbed_objects(&mut rng);
+    let d2 = a.uncertain_objects();
+
+    for algo in Algo::ACCURACY {
+        let c1 = run_timed(algo, &d1, IRIS.classes, 3, &mini_cfg()).unwrap().clustering;
+        let c2 = run_timed(algo, &d2, IRIS.classes, 3, &mini_cfg()).unwrap().clustering;
+        let theta = f_measure(&c2, &d.labels) - f_measure(&c1, &d.labels);
+        assert!((-1.0..=1.0).contains(&theta), "{}", algo.name());
+        let q = quality(&d2, &c2).q;
+        assert!((-1.0..=1.0).contains(&q), "{}", algo.name());
+    }
+}
+
+#[test]
+fn table3_protocol_miniature() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = MicroarraySimulator::default().simulate_genes(NEUROBLASTOMA, 60, &mut rng);
+    for k in [2usize, 5] {
+        for algo in Algo::ACCURACY {
+            let c = run_timed(algo, &data.objects, k, 4, &mini_cfg()).unwrap().clustering;
+            let q = quality(&data.objects, &c);
+            assert!(q.q.is_finite(), "{} at k={k}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn fig4_protocol_miniature() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let spec = DatasetSpec { name: "mini", objects: 60, attributes: 4, classes: 3 };
+    let d = generate_fraction(spec, 1.0, &mut rng);
+    let model = UncertaintyModel::paper_default(NoiseKind::Normal);
+    let a = PdfAssignment::assign(&d.points, &d.dim_std(), &model, &mut rng);
+    let data = a.uncertain_objects();
+
+    let mut all: Vec<Algo> = Algo::SLOW_PANEL.to_vec();
+    all.extend(Algo::FAST_PANEL);
+    all.push(Algo::Ucpc);
+    for algo in all {
+        let out = run_timed(algo, &data, 3, 5, &mini_cfg()).unwrap();
+        assert_eq!(out.clustering.len(), data.len(), "{}", algo.name());
+        // Times are measured (possibly sub-millisecond, but non-negative by
+        // construction); the point is the pipeline doesn't panic.
+    }
+}
+
+#[test]
+fn fig5_protocol_miniature() {
+    // Tiny KDD analogue: all 23 classes covered at every fraction.
+    let spec = DatasetSpec { objects: 300, ..KDDCUP99 };
+    for frac in [0.1, 0.5, 1.0] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = generate_fraction(spec, frac, &mut rng);
+        let mut seen = vec![false; spec.classes];
+        for &l in &d.labels {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "class coverage broken at {frac}");
+
+        let model = UncertaintyModel::paper_default(NoiseKind::Normal);
+        let a = PdfAssignment::assign(&d.points, &d.dim_std(), &model, &mut rng);
+        let data = a.uncertain_objects();
+        for algo in Algo::SCALABILITY {
+            let out = run_timed(algo, &data, spec.classes, 7, &mini_cfg()).unwrap();
+            assert_eq!(out.clustering.len(), data.len(), "{}", algo.name());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the evaluation criteria and partition utilities:
+//! invariances that must hold for *any* clustering, not just the ones the
+//! algorithms produce.
+
+use proptest::prelude::*;
+use ucpc::core::framework::Clustering;
+use ucpc::eval::{
+    adjusted_rand_index, dunn_index, f_measure, normalized_mutual_information, purity,
+    quality, silhouette,
+};
+use ucpc::uncertain::{UncertainObject, UnivariatePdf};
+
+/// Strategy: a labelling of `n` objects into at most `k` clusters.
+fn labelling(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..k, n..=n)
+}
+
+/// Strategy: a small uncertain dataset.
+fn dataset(n: usize) -> impl Strategy<Value = Vec<UncertainObject>> {
+    prop::collection::vec((-20.0..20.0f64, 0.05..2.0f64), n..=n).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(mean, sd)| UncertainObject::new(vec![UnivariatePdf::normal(mean, sd)]))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// External metrics are invariant under cluster relabelling.
+    #[test]
+    fn external_metrics_relabel_invariant(
+        labels in labelling(12, 4),
+        reference in labelling(12, 3),
+    ) {
+        let c = Clustering::new(labels.clone(), 4);
+        // Relabel via the permutation (0,1,2,3) -> (3,2,1,0).
+        let permuted = Clustering::new(labels.iter().map(|&l| 3 - l).collect(), 4);
+        prop_assert!((f_measure(&c, &reference) - f_measure(&permuted, &reference)).abs() < 1e-12);
+        prop_assert!((purity(&c, &reference) - purity(&permuted, &reference)).abs() < 1e-12);
+        prop_assert!(
+            (adjusted_rand_index(&c, &reference)
+                - adjusted_rand_index(&permuted, &reference)).abs() < 1e-12
+        );
+        prop_assert!(
+            (normalized_mutual_information(&c, &reference)
+                - normalized_mutual_information(&permuted, &reference)).abs() < 1e-12
+        );
+    }
+
+    /// Every external metric is maximal when the clustering equals the
+    /// reference (up to relabelling).
+    #[test]
+    fn self_comparison_is_maximal(reference in labelling(10, 3)) {
+        let k = reference.iter().copied().max().unwrap_or(0) + 1;
+        let c = Clustering::new(reference.clone(), k);
+        prop_assert!((f_measure(&c, &reference) - 1.0).abs() < 1e-12);
+        prop_assert!((purity(&c, &reference) - 1.0).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(&c, &reference) - 1.0).abs() < 1e-12);
+    }
+
+    /// All metrics stay in their documented ranges for arbitrary partitions.
+    #[test]
+    fn metric_ranges(
+        data in dataset(10),
+        labels in labelling(10, 3),
+        reference in labelling(10, 4),
+    ) {
+        let c = Clustering::new(labels, 3);
+        let f = f_measure(&c, &reference);
+        prop_assert!((0.0..=1.0).contains(&f));
+        let p = purity(&c, &reference);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let nmi = normalized_mutual_information(&c, &reference);
+        prop_assert!((0.0..=1.0).contains(&nmi));
+        let ari = adjusted_rand_index(&c, &reference);
+        prop_assert!((-1.0..=1.0).contains(&ari));
+        let q = quality(&data, &c);
+        prop_assert!((0.0..=1.0).contains(&q.intra));
+        prop_assert!((0.0..=1.0).contains(&q.inter));
+        prop_assert!((-1.0..=1.0).contains(&q.q));
+        let s = silhouette(&data, &c);
+        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
+        let d = dunn_index(&data, &c);
+        prop_assert!(d >= 0.0);
+    }
+
+    /// `Clustering::compact` preserves co-membership exactly.
+    #[test]
+    fn compact_preserves_comembership(labels in labelling(14, 6)) {
+        let c = Clustering::new(labels, 6);
+        let compacted = c.compact();
+        prop_assert!(compacted.non_empty() == compacted.k());
+        for i in 0..c.len() {
+            for j in 0..c.len() {
+                prop_assert_eq!(
+                    c.label(i) == c.label(j),
+                    compacted.label(i) == compacted.label(j),
+                    "co-membership changed for ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    /// Purity never decreases when a cluster is split (splitting can only
+    /// sharpen majorities).
+    #[test]
+    fn purity_monotone_under_split(reference in labelling(12, 3)) {
+        let coarse = Clustering::single(12);
+        // Split into two halves.
+        let fine = Clustering::new(
+            (0..12).map(|i| usize::from(i >= 6)).collect(),
+            2,
+        );
+        prop_assert!(purity(&fine, &reference) >= purity(&coarse, &reference) - 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Robustness integration tests: extreme inputs, degenerate shapes, and
+//! NaN-freedom across every algorithm.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ucpc::baselines::{FdbScan, Foptics, MmVar, Uahc, UkMeans, UkMedoids};
+use ucpc::core::framework::UncertainClusterer;
+use ucpc::core::parallel::ParallelUcpc;
+use ucpc::core::Ucpc;
+use ucpc::eval::quality;
+use ucpc::uncertain::{UncertainObject, UnivariatePdf};
+
+fn algorithms() -> Vec<Box<dyn UncertainClusterer>> {
+    vec![
+        Box::new(Ucpc::default()),
+        Box::new(ParallelUcpc::default()),
+        Box::new(UkMeans::default()),
+        Box::new(MmVar::default()),
+        Box::new(UkMedoids::default()),
+        Box::new(Uahc::default()),
+        Box::new(FdbScan::default()),
+        Box::new(Foptics::default()),
+    ]
+}
+
+fn run_all(data: &[UncertainObject], k: usize) {
+    for alg in algorithms() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let c = alg
+            .cluster(data, k, &mut rng)
+            .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        assert_eq!(c.len(), data.len(), "{}", alg.name());
+        // Internal quality must be finite on any valid clustering.
+        let q = quality(data, &c);
+        assert!(q.q.is_finite(), "{} produced NaN quality", alg.name());
+    }
+}
+
+#[test]
+fn identical_objects_do_not_break_anything() {
+    let data: Vec<UncertainObject> = (0..12)
+        .map(|_| UncertainObject::new(vec![UnivariatePdf::normal(1.0, 0.5)]))
+        .collect();
+    run_all(&data, 3);
+}
+
+#[test]
+fn zero_variance_dataset() {
+    let data: Vec<UncertainObject> = (0..10)
+        .map(|i| UncertainObject::deterministic(&[i as f64, (i % 3) as f64]))
+        .collect();
+    run_all(&data, 2);
+}
+
+#[test]
+fn extreme_scales_mixed_in_one_dataset() {
+    // Coordinates spanning 12 orders of magnitude and variances from tiny to
+    // huge: everything must stay finite.
+    let mut data = Vec::new();
+    for i in 0..6 {
+        data.push(UncertainObject::new(vec![
+            UnivariatePdf::normal(1e-6 * (i as f64 + 1.0), 1e-8),
+            UnivariatePdf::normal(1e6 * (i as f64 + 1.0), 1e3),
+        ]));
+    }
+    for i in 0..6 {
+        data.push(UncertainObject::new(vec![
+            UnivariatePdf::uniform_centered(-1e6 + i as f64, 10.0),
+            UnivariatePdf::exponential_with_mean(-50.0 + i as f64, 0.01),
+        ]));
+    }
+    run_all(&data, 2);
+}
+
+#[test]
+fn k_equals_one_and_k_equals_n() {
+    let data: Vec<UncertainObject> = (0..6)
+        .map(|i| UncertainObject::new(vec![UnivariatePdf::normal(i as f64 * 3.0, 0.2)]))
+        .collect();
+    run_all(&data, 1);
+    // k = n: partitional algorithms must produce n non-empty clusters.
+    let mut rng = StdRng::seed_from_u64(4);
+    let c = Ucpc::default().cluster(&data, data.len(), &mut rng).unwrap();
+    assert_eq!(c.non_empty(), data.len());
+}
+
+#[test]
+fn two_objects_two_clusters() {
+    let data = vec![
+        UncertainObject::new(vec![UnivariatePdf::normal(0.0, 1.0)]),
+        UncertainObject::new(vec![UnivariatePdf::normal(10.0, 1.0)]),
+    ];
+    run_all(&data, 2);
+}
+
+#[test]
+fn heavily_skewed_exponential_objects() {
+    let data: Vec<UncertainObject> = (0..15)
+        .map(|i| {
+            UncertainObject::with_coverage(
+                vec![
+                    UnivariatePdf::exponential_with_mean((i % 3) as f64 * 8.0, 0.5),
+                    UnivariatePdf::exponential_with_mean((i % 3) as f64 * 8.0, 5.0),
+                ],
+                0.95,
+            )
+        })
+        .collect();
+    run_all(&data, 3);
+}
+
+#[test]
+fn high_dimensional_objects() {
+    let m = 64;
+    let data: Vec<UncertainObject> = (0..20)
+        .map(|i| {
+            let base = (i % 2) as f64 * 5.0;
+            UncertainObject::new(
+                (0..m)
+                    .map(|j| UnivariatePdf::normal(base + (j % 7) as f64 * 0.1, 0.3))
+                    .collect(),
+            )
+        })
+        .collect();
+    run_all(&data, 2);
+}
