@@ -17,7 +17,7 @@ use ucpc_core::framework::{validate_input, ClusterError, Clustering, UncertainCl
 use ucpc_core::init::Initializer;
 use ucpc_uncertain::distance::{expected_distance_sampled, Metric};
 use ucpc_uncertain::sampling::SampleCache;
-use ucpc_uncertain::UncertainObject;
+use ucpc_uncertain::{MomentArena, UncertainObject};
 
 /// Configuration of the basic (sample-based) UK-means.
 #[derive(Debug, Clone)]
@@ -88,7 +88,8 @@ impl BasicUkMeans {
         cache: &SampleCache,
     ) -> Result<BasicUkMeansResult, ClusterError> {
         assert_eq!(cache.len(), data.len(), "cache must cover the dataset");
-        let mut centroids = centroids_of(data, &labels, k, m);
+        let arena = MomentArena::from_objects(data);
+        let mut centroids = centroids_of(&arena, &labels, k, m);
         let mut iterations = 0usize;
         let mut ed_evaluations = 0usize;
         let mut converged = false;
@@ -116,13 +117,11 @@ impl BasicUkMeans {
                 converged = true;
                 break;
             }
-            centroids = centroids_of(data, &labels, k, m);
+            centroids = centroids_of(&arena, &labels, k, m);
         }
 
         let objective = (0..data.len())
-            .map(|i| {
-                expected_distance_sampled(cache.of(i), &centroids[labels[i]], self.metric)
-            })
+            .map(|i| expected_distance_sampled(cache.of(i), &centroids[labels[i]], self.metric))
             .sum();
 
         Ok(BasicUkMeansResult {
@@ -136,27 +135,28 @@ impl BasicUkMeans {
     }
 }
 
-/// Average of member expected values per cluster (Eq. 7); empty clusters
-/// keep their previous centroid by re-seeding on the global mean.
+/// Average of member expected values per cluster (Eq. 7), read from the
+/// arena's contiguous `mu` rows; empty clusters keep their previous centroid
+/// by re-seeding on the global mean.
 pub(crate) fn centroids_of(
-    data: &[UncertainObject],
+    arena: &MomentArena,
     labels: &[usize],
     k: usize,
     m: usize,
 ) -> Vec<Vec<f64>> {
     let mut sums = vec![vec![0.0; m]; k];
     let mut counts = vec![0usize; k];
-    for (o, &l) in data.iter().zip(labels) {
+    for (i, &l) in labels.iter().enumerate() {
         counts[l] += 1;
-        for (s, &mu_j) in sums[l].iter_mut().zip(o.mu()) {
+        for (s, &mu_j) in sums[l].iter_mut().zip(arena.mu_row(i)) {
             *s += mu_j;
         }
     }
     let global: Vec<f64> = {
-        let inv = 1.0 / data.len() as f64;
+        let inv = 1.0 / arena.len() as f64;
         let mut g = vec![0.0; m];
-        for o in data {
-            for (gj, &mu_j) in g.iter_mut().zip(o.mu()) {
+        for i in 0..arena.len() {
+            for (gj, &mu_j) in g.iter_mut().zip(arena.mu_row(i)) {
                 *gj += mu_j;
             }
         }
@@ -236,7 +236,9 @@ mod tests {
         let basic = BasicUkMeans::default()
             .run_from(&data, 2, 2, labels.clone(), &cache)
             .unwrap();
-        let fast = UkMeans::default().run_with_labels(&data, 2, labels).unwrap();
+        let fast = UkMeans::default()
+            .run_with_labels(&data, 2, labels)
+            .unwrap();
         assert_eq!(basic.clustering.labels(), fast.clustering.labels());
     }
 
@@ -253,7 +255,10 @@ mod tests {
     fn euclidean_metric_also_clusters() {
         let data = blobs();
         let mut rng = StdRng::seed_from_u64(15);
-        let cfg = BasicUkMeans { metric: Metric::Euclidean, ..Default::default() };
+        let cfg = BasicUkMeans {
+            metric: Metric::Euclidean,
+            ..Default::default()
+        };
         let r = cfg.run(&data, 2, &mut rng).unwrap();
         let l = r.clustering.labels();
         assert_ne!(l[0], l[8]);

@@ -17,11 +17,11 @@
 //! distances unless set explicitly.
 
 use rand::RngCore;
+use std::collections::VecDeque;
 use ucpc_core::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
 use ucpc_uncertain::distance::{distance_probability, expected_sq_distance};
 use ucpc_uncertain::sampling::SampleCache;
 use ucpc_uncertain::UncertainObject;
-use std::collections::VecDeque;
 
 /// How the neighborhood radius `eps` is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,9 +119,7 @@ impl FdbScan {
                     continue; // border objects do not expand
                 }
                 for j in 0..n {
-                    if labels[j] == UNVISITED
-                        && prob[i * n + j] >= self.reachability_threshold
-                    {
+                    if labels[j] == UNVISITED && prob[i * n + j] >= self.reachability_threshold {
                         labels[j] = cluster;
                         queue.push_back(j);
                     }
@@ -130,8 +128,7 @@ impl FdbScan {
         }
 
         // Noise handling for the fixed-k evaluation protocol.
-        let noise: Vec<usize> =
-            (0..n).filter(|&i| labels[i] == UNVISITED).collect();
+        let noise: Vec<usize> = (0..n).filter(|&i| labels[i] == UNVISITED).collect();
         if next_cluster == 0 {
             // Degenerate: nothing dense enough; fall back to one cluster.
             return Ok(FdbScanResult {
@@ -229,7 +226,10 @@ mod tests {
     fn finds_two_dense_blobs() {
         let data = blobs();
         let mut rng = StdRng::seed_from_u64(40);
-        let cfg = FdbScan { eps: EpsSelection::Fixed(3.0), ..Default::default() };
+        let cfg = FdbScan {
+            eps: EpsSelection::Fixed(3.0),
+            ..Default::default()
+        };
         let r = cfg.run(&data, &mut rng).unwrap();
         assert_eq!(r.discovered_clusters, 2, "eps {} cores {:?}", r.eps, r.core);
         let l = r.clustering.labels();
@@ -246,7 +246,10 @@ mod tests {
             UnivariatePdf::normal(500.0, 0.1),
         ]));
         let mut rng = StdRng::seed_from_u64(41);
-        let cfg = FdbScan { eps: EpsSelection::Fixed(3.0), ..Default::default() };
+        let cfg = FdbScan {
+            eps: EpsSelection::Fixed(3.0),
+            ..Default::default()
+        };
         let r = cfg.run(&data, &mut rng).unwrap();
         assert!(r.noise.contains(&20), "outlier should be noise");
         // ...but still carries a label for the fixed-k protocol.
@@ -286,12 +289,18 @@ mod tests {
             .iter()
             .map(|o| {
                 UncertainObject::new(
-                    o.mu().iter().map(|&m| UnivariatePdf::normal(m, 5.0)).collect(),
+                    o.mu()
+                        .iter()
+                        .map(|&m| UnivariatePdf::normal(m, 5.0))
+                        .collect(),
                 )
             })
             .collect();
         let mut rng = StdRng::seed_from_u64(43);
-        let cfg = FdbScan { eps: EpsSelection::Fixed(3.0), ..Default::default() };
+        let cfg = FdbScan {
+            eps: EpsSelection::Fixed(3.0),
+            ..Default::default()
+        };
         let rt = cfg.run(&tight, &mut rng).unwrap();
         let rl = cfg.run(&loose, &mut rng).unwrap();
         let cores_tight = rt.core.iter().filter(|&&c| c).count();

@@ -27,7 +27,10 @@ pub struct Foptics {
 
 impl Default for Foptics {
     fn default() -> Self {
-        Self { min_pts: 4, samples_per_object: 32 }
+        Self {
+            min_pts: 4,
+            samples_per_object: 32,
+        }
     }
 }
 
@@ -62,11 +65,8 @@ impl Foptics {
         let mut dist = vec![0.0f64; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = expected_distance_between_sampled(
-                    cache.of(i),
-                    cache.of(j),
-                    Metric::Euclidean,
-                );
+                let d =
+                    expected_distance_between_sampled(cache.of(i), cache.of(j), Metric::Euclidean);
                 dist[i * n + j] = d;
                 dist[j * n + i] = d;
             }
@@ -75,8 +75,10 @@ impl Foptics {
         // Fuzzy core distance: min_pts-th smallest expected distance.
         let core_dist: Vec<f64> = (0..n)
             .map(|i| {
-                let mut ds: Vec<f64> =
-                    (0..n).filter(|&j| j != i).map(|j| dist[i * n + j]).collect();
+                let mut ds: Vec<f64> = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| dist[i * n + j])
+                    .collect();
                 ds.sort_by(f64::total_cmp);
                 let idx = self.min_pts.min(ds.len()).saturating_sub(1);
                 ds.get(idx).copied().unwrap_or(f64::INFINITY)
@@ -132,8 +134,7 @@ impl Foptics {
             }
         }
 
-        let (labels, threshold, clusters) =
-            extract_flat(&ordering, &reach_in_order, k, n);
+        let (labels, threshold, clusters) = extract_flat(&ordering, &reach_in_order, k, n);
         Ok(FopticsResult {
             clustering: Clustering::new(labels, clusters),
             ordering,
@@ -146,17 +147,8 @@ impl Foptics {
 /// Cuts the reachability plot at a threshold chosen (by search over the
 /// distinct reachability values) so that the number of resulting clusters is
 /// as close to `k` as possible, preferring exact matches.
-fn extract_flat(
-    ordering: &[usize],
-    reach: &[f64],
-    k: usize,
-    n: usize,
-) -> (Vec<usize>, f64, usize) {
-    let mut candidates: Vec<f64> = reach
-        .iter()
-        .copied()
-        .filter(|r| r.is_finite())
-        .collect();
+fn extract_flat(ordering: &[usize], reach: &[f64], k: usize, n: usize) -> (Vec<usize>, f64, usize) {
+    let mut candidates: Vec<f64> = reach.iter().copied().filter(|r| r.is_finite()).collect();
     candidates.sort_by(f64::total_cmp);
     candidates.dedup();
     candidates.push(f64::INFINITY);
@@ -262,8 +254,12 @@ mod tests {
         let data = blobs(&[0.0, 30.0]);
         let mut rng = StdRng::seed_from_u64(53);
         let r = Foptics::default().run(&data, 2, &mut rng).unwrap();
-        let finite: Vec<f64> =
-            r.reachability.iter().copied().filter(|x| x.is_finite()).collect();
+        let finite: Vec<f64> = r
+            .reachability
+            .iter()
+            .copied()
+            .filter(|x| x.is_finite())
+            .collect();
         let max = finite.iter().copied().fold(0.0, f64::max);
         let median = {
             let mut s = finite.clone();

@@ -10,7 +10,7 @@ use rand::RngCore;
 use ucpc_core::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
 use ucpc_core::init::Initializer;
 use ucpc_uncertain::distance::sq_euclidean;
-use ucpc_uncertain::UncertainObject;
+use ucpc_uncertain::{MomentArena, UncertainObject};
 
 /// Lloyd's K-means over the expected values of the input objects.
 #[derive(Debug, Clone)]
@@ -23,7 +23,10 @@ pub struct KMeans {
 
 impl Default for KMeans {
     fn default() -> Self {
-        Self { init: Initializer::RandomPartition, max_iters: 200 }
+        Self {
+            init: Initializer::RandomPartition,
+            max_iters: 200,
+        }
     }
 }
 
@@ -61,19 +64,31 @@ impl KMeans {
         data: &[UncertainObject],
         k: usize,
         m: usize,
+        labels: Vec<usize>,
+    ) -> Result<KMeansResult, ClusterError> {
+        self.run_on_arena(&MomentArena::from_objects(data), k, m, labels)
+    }
+
+    /// Runs Lloyd's algorithm over the contiguous `mu` rows of a prebuilt
+    /// arena (shared with the fast UK-means, which wraps this).
+    pub(crate) fn run_on_arena(
+        &self,
+        arena: &MomentArena,
+        k: usize,
+        m: usize,
         mut labels: Vec<usize>,
     ) -> Result<KMeansResult, ClusterError> {
-        let points: Vec<&[f64]> = data.iter().map(|o| o.mu()).collect();
-        let mut centroids = centroids_of(&points, &labels, k, m);
+        let mut centroids = mean_centroids(arena, &labels, k, m);
         let mut converged = false;
         let mut iterations = 0usize;
 
         while iterations < self.max_iters {
             iterations += 1;
             let mut moved = false;
-            for (i, p) in points.iter().enumerate() {
-                let mut best = labels[i];
-                let mut best_d = sq_euclidean(p, &centroids[labels[i]]);
+            for (i, label) in labels.iter_mut().enumerate() {
+                let p = arena.mu_row(i);
+                let mut best = *label;
+                let mut best_d = sq_euclidean(p, &centroids[*label]);
                 for (c, cent) in centroids.iter().enumerate() {
                     let d = sq_euclidean(p, cent);
                     if d < best_d {
@@ -81,8 +96,8 @@ impl KMeans {
                         best = c;
                     }
                 }
-                if best != labels[i] {
-                    labels[i] = best;
+                if best != *label {
+                    *label = best;
                     moved = true;
                 }
             }
@@ -90,13 +105,13 @@ impl KMeans {
                 converged = true;
                 break;
             }
-            centroids = centroids_of(&points, &labels, k, m);
+            centroids = mean_centroids(arena, &labels, k, m);
         }
 
-        let sse = points
+        let sse = labels
             .iter()
-            .zip(&labels)
-            .map(|(p, &l)| sq_euclidean(p, &centroids[l]))
+            .enumerate()
+            .map(|(i, &l)| sq_euclidean(arena.mu_row(i), &centroids[l]))
             .sum();
         Ok(KMeansResult {
             clustering: Clustering::new(labels, k),
@@ -108,16 +123,17 @@ impl KMeans {
     }
 }
 
-/// Mean of each cluster's points; empty clusters keep their previous role by
-/// being re-seeded on the farthest point from its centroid-less mass (here:
-/// first point, which the Lloyd loop immediately corrects).
-fn centroids_of(points: &[&[f64]], labels: &[usize], k: usize, m: usize) -> Vec<Vec<f64>> {
+/// Mean of each cluster's `mu` rows; empty clusters keep their previous role
+/// by being re-seeded on the farthest point from its centroid-less mass
+/// (here: first point, which the Lloyd loop immediately corrects).
+fn mean_centroids(arena: &MomentArena, labels: &[usize], k: usize, m: usize) -> Vec<Vec<f64>> {
     let mut sums = vec![vec![0.0; m]; k];
     let mut counts = vec![0usize; k];
-    for (p, &l) in points.iter().zip(labels) {
+    for (i, &l) in labels.iter().enumerate() {
         counts[l] += 1;
+        let row = arena.mu_row(i);
         for j in 0..m {
-            sums[l][j] += p[j];
+            sums[l][j] += row[j];
         }
     }
     for c in 0..k {
@@ -129,17 +145,14 @@ fn centroids_of(points: &[&[f64]], labels: &[usize], k: usize, m: usize) -> Vec<
         } else {
             // Re-seed an empty cluster on the point farthest from its
             // assigned centroid, which breaks ties deterministically.
-            let far = points
-                .iter()
-                .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    let da = sq_euclidean(a, &sums[labels[0]]);
-                    let db = sq_euclidean(b, &sums[labels[0]]);
+            let far = (0..arena.len())
+                .max_by(|&a, &b| {
+                    let da = sq_euclidean(arena.mu_row(a), &sums[labels[0]]);
+                    let db = sq_euclidean(arena.mu_row(b), &sums[labels[0]]);
                     da.total_cmp(&db)
                 })
-                .map(|(i, _)| i)
                 .unwrap_or(0);
-            sums[c] = points[far].to_vec();
+            sums[c] = arena.mu_row(far).to_vec();
         }
     }
     sums
@@ -170,7 +183,10 @@ mod tests {
         let mut data = Vec::new();
         for c in [0.0, 100.0] {
             for i in 0..8 {
-                data.push(UncertainObject::deterministic(&[c + (i % 4) as f64 * 0.1, c]));
+                data.push(UncertainObject::deterministic(&[
+                    c + (i % 4) as f64 * 0.1,
+                    c,
+                ]));
             }
         }
         data
@@ -206,8 +222,9 @@ mod tests {
 
     #[test]
     fn k_equals_n_gives_zero_sse() {
-        let data: Vec<UncertainObject> =
-            (0..4).map(|i| UncertainObject::deterministic(&[i as f64 * 10.0])).collect();
+        let data: Vec<UncertainObject> = (0..4)
+            .map(|i| UncertainObject::deterministic(&[i as f64 * 10.0]))
+            .collect();
         let mut rng = StdRng::seed_from_u64(3);
         let r = KMeans::default().run(&data, 4, &mut rng).unwrap();
         assert!(r.sse < 1e-12);

@@ -15,7 +15,7 @@ use rand::RngCore;
 use ucpc_core::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
 use ucpc_core::init::Initializer;
 use ucpc_core::objective::ClusterStats;
-use ucpc_uncertain::UncertainObject;
+use ucpc_uncertain::{MomentArena, UncertainObject};
 
 /// How MMVar searches for a minimum of `Σ_C σ²(C_MM)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,9 +98,10 @@ impl MmVar {
         m: usize,
         mut labels: Vec<usize>,
     ) -> Result<MmVarResult, ClusterError> {
+        let arena = MomentArena::from_objects(data);
         let mut stats: Vec<ClusterStats> = vec![ClusterStats::empty(m); k];
-        for (i, o) in data.iter().enumerate() {
-            stats[labels[i]].add(o.moments());
+        for (i, &label) in labels.iter().enumerate() {
+            stats[label].add_view(&arena.view(i));
         }
 
         let mut best_objective: f64 = stats.iter().map(ClusterStats::j_mm).sum();
@@ -127,23 +128,24 @@ impl MmVar {
                 })
                 .collect();
 
-            // Assignment step.
+            // Assignment step over the arena's contiguous `mu` rows.
             let mut new_labels = Vec::with_capacity(data.len());
             let mut moved = 0usize;
-            for (i, o) in data.iter().enumerate() {
-                let mut best = labels[i];
+            for (i, &label) in labels.iter().enumerate() {
+                let mu_row = arena.mu_row(i);
+                let mut best = label;
                 let mut best_d = f64::INFINITY;
                 for (c, (mu_c, var_c)) in centroids.iter().enumerate() {
                     if !var_c.is_finite() {
                         continue;
                     }
-                    let d = ucpc_uncertain::distance::sq_euclidean(o.mu(), mu_c) + var_c;
+                    let d = ucpc_uncertain::distance::sq_euclidean(mu_row, mu_c) + var_c;
                     if d < best_d {
                         best_d = d;
                         best = c;
                     }
                 }
-                if best != labels[i] {
+                if best != label {
                     moved += 1;
                 }
                 new_labels.push(best);
@@ -155,8 +157,8 @@ impl MmVar {
 
             // Update step + acceptance on the variance objective.
             let mut new_stats: Vec<ClusterStats> = vec![ClusterStats::empty(m); k];
-            for (i, o) in data.iter().enumerate() {
-                new_stats[new_labels[i]].add(o.moments());
+            for (i, &label) in new_labels.iter().enumerate() {
+                new_stats[label].add_view(&arena.view(i));
             }
             let new_objective: f64 = new_stats.iter().map(ClusterStats::j_mm).sum();
             if new_objective >= best_objective - self.tolerance {
@@ -188,11 +190,11 @@ impl MmVar {
         m: usize,
         mut labels: Vec<usize>,
     ) -> Result<MmVarResult, ClusterError> {
+        let arena = MomentArena::from_objects(data);
         let mut stats: Vec<ClusterStats> = vec![ClusterStats::empty(m); k];
-        for (i, o) in data.iter().enumerate() {
-            stats[labels[i]].add(o.moments());
+        for (i, &label) in labels.iter().enumerate() {
+            stats[label].add_view(&arena.view(i));
         }
-        let mut j_cache: Vec<f64> = stats.iter().map(ClusterStats::j_mm).collect();
 
         let mut iterations = 0usize;
         let mut relocations = 0usize;
@@ -201,31 +203,28 @@ impl MmVar {
         while iterations < self.max_iters {
             iterations += 1;
             let mut moved = false;
-            for (i, o) in data.iter().enumerate() {
-                let src = labels[i];
+            for (i, label) in labels.iter_mut().enumerate() {
+                let src = *label;
                 if stats[src].size() == 1 {
                     continue; // keep k clusters populated
                 }
-                let j_src_minus = stats[src].j_mm_after_remove(o.moments());
-                let removal_gain = j_src_minus - j_cache[src];
-                let mut best: Option<(usize, f64, f64)> = None;
-                for dst in 0..k {
+                let v = arena.view(i);
+                let removal_gain = stats[src].delta_j_mm_remove(&v);
+                let mut best: Option<(usize, f64)> = None;
+                for (dst, stat) in stats.iter().enumerate() {
                     if dst == src {
                         continue;
                     }
-                    let j_dst_plus = stats[dst].j_mm_after_add(o.moments());
-                    let delta = removal_gain + (j_dst_plus - j_cache[dst]);
-                    if best.is_none_or(|(_, bd, _)| delta < bd) {
-                        best = Some((dst, delta, j_dst_plus));
+                    let delta = removal_gain + stat.delta_j_mm_add(&v);
+                    if best.is_none_or(|(_, bd)| delta < bd) {
+                        best = Some((dst, delta));
                     }
                 }
-                if let Some((dst, delta, j_dst_plus)) = best {
+                if let Some((dst, delta)) = best {
                     if delta < -self.tolerance {
-                        stats[src].remove(o.moments());
-                        stats[dst].add(o.moments());
-                        j_cache[src] = j_src_minus;
-                        j_cache[dst] = j_dst_plus;
-                        labels[i] = dst;
+                        stats[src].remove_view(&v);
+                        stats[dst].add_view(&v);
+                        *label = dst;
                         relocations += 1;
                         moved = true;
                     }
@@ -335,7 +334,10 @@ mod tests {
     fn greedy_strategy_keeps_k_clusters_nonempty() {
         let data = blobs();
         let mut rng = StdRng::seed_from_u64(11);
-        let cfg = MmVar { strategy: MmVarStrategy::GreedyRelocation, ..Default::default() };
+        let cfg = MmVar {
+            strategy: MmVarStrategy::GreedyRelocation,
+            ..Default::default()
+        };
         let r = cfg.run(&data, 6, &mut rng).unwrap();
         assert_eq!(r.clustering.non_empty(), 6);
     }
@@ -367,10 +369,12 @@ mod tests {
     fn lloyd_assignment_is_variance_aware() {
         // Two clusters with identical means but different mixture variances:
         // a point equidistant in mean-space joins the lower-variance one.
-        let tight: Vec<UncertainObject> =
-            (0..5).map(|i| UncertainObject::new(vec![UnivariatePdf::normal(i as f64 * 0.01, 0.05)])).collect();
-        let loose: Vec<UncertainObject> =
-            (0..5).map(|i| UncertainObject::new(vec![UnivariatePdf::normal(10.0 + i as f64 * 0.01, 3.0)])).collect();
+        let tight: Vec<UncertainObject> = (0..5)
+            .map(|i| UncertainObject::new(vec![UnivariatePdf::normal(i as f64 * 0.01, 0.05)]))
+            .collect();
+        let loose: Vec<UncertainObject> = (0..5)
+            .map(|i| UncertainObject::new(vec![UnivariatePdf::normal(10.0 + i as f64 * 0.01, 3.0)]))
+            .collect();
         let probe = UncertainObject::new(vec![UnivariatePdf::normal(5.0, 0.1)]);
         let mut data = tight;
         data.extend(loose);
@@ -380,14 +384,10 @@ mod tests {
         // the variance term decides for the tight cluster.
         let s_tight = ClusterStats::from_members(data[..5].iter());
         let s_loose = ClusterStats::from_members(data[5..10].iter());
-        let d_tight = ucpc_uncertain::distance::sq_euclidean(
-            data[10].mu(),
-            &s_tight.centroid(),
-        ) + s_tight.mixture_moments().total_variance();
-        let d_loose = ucpc_uncertain::distance::sq_euclidean(
-            data[10].mu(),
-            &s_loose.centroid(),
-        ) + s_loose.mixture_moments().total_variance();
+        let d_tight = ucpc_uncertain::distance::sq_euclidean(data[10].mu(), &s_tight.centroid())
+            + s_tight.mixture_moments().total_variance();
+        let d_loose = ucpc_uncertain::distance::sq_euclidean(data[10].mu(), &s_loose.centroid())
+            + s_loose.mixture_moments().total_variance();
         assert!(d_tight < d_loose, "variance term must break the mean tie");
     }
 }

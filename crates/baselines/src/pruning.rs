@@ -70,7 +70,10 @@ impl PruningUkMeans {
 
     /// VDBiP with cluster-shift, the paper's Figure-4 configuration.
     pub fn vdbip() -> Self {
-        Self { strategy: PruningStrategy::VdBiP, ..Self::min_max_bb() }
+        Self {
+            strategy: PruningStrategy::VdBiP,
+            ..Self::min_max_bb()
+        }
     }
 }
 
@@ -123,7 +126,8 @@ impl PruningUkMeans {
         cache: &SampleCache,
     ) -> Result<PruningResult, ClusterError> {
         let n = data.len();
-        let mut centroids = centroids_of(data, &labels, k, m);
+        let arena = ucpc_uncertain::MomentArena::from_objects(data);
+        let mut centroids = centroids_of(&arena, &labels, k, m);
 
         // Cluster-shift state: last exact ED per (object, centroid) plus the
         // accumulated centroid drift since it was computed. INFINITY means
@@ -206,8 +210,7 @@ impl PruningUkMeans {
                         let mut best = survivors[0];
                         let mut best_d = f64::INFINITY;
                         for &c in &survivors {
-                            let d =
-                                expected_distance_sampled(cache.of(i), &centroids[c], METRIC);
+                            let d = expected_distance_sampled(cache.of(i), &centroids[c], METRIC);
                             ed_evaluations += 1;
                             last_ed[i * k + c] = d;
                             if d < best_d {
@@ -230,7 +233,7 @@ impl PruningUkMeans {
                 break;
             }
 
-            let new_centroids = centroids_of(data, &labels, k, m);
+            let new_centroids = centroids_of(&arena, &labels, k, m);
             for c in 0..k {
                 let shift = euclidean(&centroids[c], &new_centroids[c]);
                 drift[c] += shift;
@@ -339,8 +342,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let cache = SampleCache::build(&data, 128, &mut rng);
 
-        let pruned =
-            PruningUkMeans::vdbip().run_from(&data, 3, 2, labels.clone(), &cache).unwrap();
+        let pruned = PruningUkMeans::vdbip()
+            .run_from(&data, 3, 2, labels.clone(), &cache)
+            .unwrap();
         let unpruned = BasicUkMeans {
             metric: Metric::Euclidean,
             ..Default::default()
@@ -385,7 +389,9 @@ mod tests {
         let mm = PruningUkMeans::min_max_bb()
             .run_from(&data, 3, 2, labels.clone(), &cache)
             .unwrap();
-        let vd = PruningUkMeans::vdbip().run_from(&data, 3, 2, labels, &cache).unwrap();
+        let vd = PruningUkMeans::vdbip()
+            .run_from(&data, 3, 2, labels, &cache)
+            .unwrap();
         assert!(vd.ed_evaluations <= mm.ed_evaluations);
     }
 

@@ -108,7 +108,11 @@ impl Uahc {
             }
 
             // Merge j into i.
-            merges.push(Merge { a: bi, b: bj, height: bd });
+            merges.push(Merge {
+                a: bi,
+                b: bj,
+                height: bd,
+            });
             let moved = std::mem::take(&mut members[bj]);
             for &obj in &moved {
                 stats[bi].add(data[obj].moments());
@@ -122,8 +126,7 @@ impl Uahc {
                 if j == bi || !alive[j] {
                     continue;
                 }
-                let d =
-                    self.dissimilarity(&stats[bi], &stats[j], &members[bi], &members[j], data);
+                let d = self.dissimilarity(&stats[bi], &stats[j], &members[bi], &members[j], data);
                 dist[bi * n + j] = d;
                 dist[j * n + bi] = d;
             }
@@ -141,7 +144,10 @@ impl Uahc {
             }
         }
         debug_assert_eq!(next, k, "agglomeration must stop at exactly k clusters");
-        Ok(UahcResult { clustering: Clustering::new(labels, k), merges })
+        Ok(UahcResult {
+            clustering: Clustering::new(labels, k),
+            merges,
+        })
     }
 
     fn dissimilarity(
@@ -162,9 +168,7 @@ impl Uahc {
                 let mut acc = 0.0;
                 for &i in members_a {
                     for &j in members_b {
-                        acc += ucpc_uncertain::distance::expected_sq_distance(
-                            &data[i], &data[j],
-                        );
+                        acc += ucpc_uncertain::distance::expected_sq_distance(&data[i], &data[j]);
                     }
                 }
                 acc / (members_a.len() * members_b.len()) as f64

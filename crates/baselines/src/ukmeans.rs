@@ -13,10 +13,12 @@
 
 use crate::kmeans::KMeans;
 use rand::RngCore;
-use ucpc_core::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
+use ucpc_core::framework::{
+    validate_input, validate_labels, ClusterError, Clustering, UncertainClusterer,
+};
 use ucpc_core::init::Initializer;
 use ucpc_core::objective::ClusterStats;
-use ucpc_uncertain::UncertainObject;
+use ucpc_uncertain::{MomentArena, UncertainObject};
 
 /// The fast UK-means algorithm ("UKM" in the paper's tables).
 #[derive(Debug, Clone)]
@@ -29,7 +31,10 @@ pub struct UkMeans {
 
 impl Default for UkMeans {
     fn default() -> Self {
-        Self { init: Initializer::RandomPartition, max_iters: 200 }
+        Self {
+            init: Initializer::RandomPartition,
+            max_iters: 200,
+        }
     }
 }
 
@@ -70,7 +75,7 @@ impl UkMeans {
         labels: Vec<usize>,
     ) -> Result<UkMeansResult, ClusterError> {
         let m = validate_input(data, k)?;
-        assert_eq!(labels.len(), data.len(), "one label per object required");
+        validate_labels(&labels, data.len(), k)?;
         self.run_from(data, k, m, labels)
     }
 
@@ -81,19 +86,24 @@ impl UkMeans {
         m: usize,
         labels: Vec<usize>,
     ) -> Result<UkMeansResult, ClusterError> {
-        // Online phase: K-means over expected values (Eq. 8 reduction).
-        let inner = KMeans { init: self.init, max_iters: self.max_iters };
-        let km = inner.run_with_labels(data, k, m, labels)?;
+        // One arena shared by the Lloyd loop and the objective evaluation.
+        let arena = MomentArena::from_objects(data);
 
-        // J_UK per cluster via the Lemma-1 closed form (equals the SSE over
-        // expected values plus the per-object variance constants).
-        let objective = km
-            .clustering
-            .members()
-            .iter()
-            .filter(|ms| !ms.is_empty())
-            .map(|ms| ClusterStats::from_members(ms.iter().map(|&i| &data[i])).j_uk())
-            .sum();
+        // Online phase: K-means over expected values (Eq. 8 reduction).
+        let inner = KMeans {
+            init: self.init,
+            max_iters: self.max_iters,
+        };
+        let km = inner.run_on_arena(&arena, k, m, labels)?;
+
+        // J_UK per cluster via the Lemma-1 closed form in scalar aggregates
+        // (equals the SSE over expected values plus the per-object variance
+        // constants).
+        let mut stats = vec![ClusterStats::empty(m); k];
+        for (i, &label) in km.clustering.labels().iter().enumerate() {
+            stats[label].add_view(&arena.view(i));
+        }
+        let objective = stats.iter().map(ClusterStats::j_uk).sum();
 
         Ok(UkMeansResult {
             clustering: km.clustering,
@@ -181,7 +191,15 @@ mod tests {
             UncertainObject::new(vec![UnivariatePdf::normal(100.0, 10.0)]),
         ];
         let mut rng = StdRng::seed_from_u64(6);
-        let r = UkMeans::default().run(&data, 2, &mut rng).unwrap();
+        // k-means++ seeding: the mean-twins are at distance zero from each
+        // other, so the two D²-weighted seeds always land in different mean
+        // groups regardless of the RNG stream — the assignment step alone
+        // decides, which is exactly the property under test.
+        let alg = UkMeans {
+            init: Initializer::KMeansPlusPlus,
+            ..UkMeans::default()
+        };
+        let r = alg.run(&data, 2, &mut rng).unwrap();
         assert_eq!(r.clustering.label(0), r.clustering.label(1));
         assert_eq!(r.clustering.label(2), r.clustering.label(3));
     }
@@ -193,9 +211,16 @@ mod tests {
             .map(|&x| UncertainObject::deterministic(&[x]))
             .collect();
         let labels = vec![0, 1, 0, 1, 0, 1];
-        let uk = UkMeans::default().run_with_labels(&points, 2, labels.clone()).unwrap();
-        let km = KMeans::default().run_with_labels(&points, 2, 1, labels).unwrap();
+        let uk = UkMeans::default()
+            .run_with_labels(&points, 2, labels.clone())
+            .unwrap();
+        let km = KMeans::default()
+            .run_with_labels(&points, 2, 1, labels)
+            .unwrap();
         assert_eq!(uk.clustering.labels(), km.clustering.labels());
-        assert!((uk.objective - km.sse).abs() < 1e-9, "zero-variance: J_UK = SSE");
+        assert!(
+            (uk.objective - km.sse).abs() < 1e-9,
+            "zero-variance: J_UK = SSE"
+        );
     }
 }

@@ -141,8 +141,7 @@ impl UkMedoids {
             // Update: medoid = member minimizing total ÊD to its cluster.
             let mut changed = false;
             for (c, medoid) in medoids.iter_mut().enumerate() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&i| labels[i] == c).collect();
+                let members: Vec<usize> = (0..n).filter(|&i| labels[i] == c).collect();
                 if members.is_empty() {
                     continue;
                 }
@@ -167,8 +166,7 @@ impl UkMedoids {
             }
         }
 
-        let objective =
-            (0..n).map(|i| ed.get(i, medoids[labels[i]])).sum();
+        let objective = (0..n).map(|i| ed.get(i, medoids[labels[i]])).sum();
         Ok(UkMedoidsResult {
             clustering: Clustering::new(labels, k),
             medoids,
@@ -232,7 +230,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let r = UkMedoids::default().run(&data, 2, &mut rng).unwrap();
         for (c, &mi) in r.medoids.iter().enumerate() {
-            assert_eq!(r.clustering.label(mi), c, "medoid must belong to its cluster");
+            assert_eq!(
+                r.clustering.label(mi),
+                c,
+                "medoid must belong to its cluster"
+            );
         }
     }
 

@@ -50,7 +50,12 @@ fn bench_compactness_criteria(c: &mut Criterion) {
 }
 
 fn workload(seed: u64) -> Vec<UncertainObject> {
-    let spec = DatasetSpec { name: "abl", objects: 400, attributes: 6, classes: 4 };
+    let spec = DatasetSpec {
+        name: "abl",
+        objects: 400,
+        attributes: 6,
+        classes: 4,
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let d = generate_fraction(spec, 1.0, &mut rng);
     let model = UncertaintyModel::paper_default(NoiseKind::Normal);
@@ -68,7 +73,10 @@ fn bench_initializers(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(9);
-                let alg = Ucpc { init, ..Ucpc::default() };
+                let alg = Ucpc {
+                    init,
+                    ..Ucpc::default()
+                };
                 black_box(alg.run(&data, 4, &mut rng).unwrap().objective)
             })
         });
@@ -83,7 +91,10 @@ fn bench_iteration_caps(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(9);
-                let alg = Ucpc { max_iters: cap, ..Ucpc::default() };
+                let alg = Ucpc {
+                    max_iters: cap,
+                    ..Ucpc::default()
+                };
                 black_box(alg.run(&data, 4, &mut rng).unwrap().objective)
             })
         });
@@ -109,7 +120,10 @@ fn bench_sequential_vs_parallel(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(9);
-                    let alg = ParallelUcpc { threads, ..Default::default() };
+                    let alg = ParallelUcpc {
+                        threads,
+                        ..Default::default()
+                    };
                     black_box(alg.run(&data, 4, &mut rng).unwrap().objective)
                 })
             },

@@ -10,7 +10,12 @@ use ucpc_datasets::uncertainty::{NoiseKind, PdfAssignment, UncertaintyModel};
 use ucpc_uncertain::UncertainObject;
 
 fn workload(n: usize, m: usize, classes: usize, seed: u64) -> Vec<UncertainObject> {
-    let spec = DatasetSpec { name: "bench", objects: n, attributes: m, classes };
+    let spec = DatasetSpec {
+        name: "bench",
+        objects: n,
+        attributes: m,
+        classes,
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let d = generate_fraction(spec, 1.0, &mut rng);
     let model = UncertaintyModel::paper_default(NoiseKind::Normal);
@@ -19,9 +24,18 @@ fn workload(n: usize, m: usize, classes: usize, seed: u64) -> Vec<UncertainObjec
 
 fn bench_fast_algorithms(c: &mut Criterion) {
     let data = workload(500, 8, 5, 1);
-    let cfg = RunConfig { max_iters: 30, samples_per_object: 16 };
+    let cfg = RunConfig {
+        max_iters: 30,
+        samples_per_object: 16,
+    };
     let mut group = c.benchmark_group("fast_algorithms_n500");
-    for algo in [Algo::Ucpc, Algo::Ukm, Algo::Mmv, Algo::MinMaxBb, Algo::VdBiP] {
+    for algo in [
+        Algo::Ucpc,
+        Algo::Ukm,
+        Algo::Mmv,
+        Algo::MinMaxBb,
+        Algo::VdBiP,
+    ] {
         group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
             b.iter(|| run_timed(algo, &data, 5, 7, &cfg).unwrap())
         });
@@ -32,10 +46,20 @@ fn bench_fast_algorithms(c: &mut Criterion) {
 fn bench_slow_algorithms(c: &mut Criterion) {
     // Smaller n: these are the O(n^2)+ baselines of Figure 4's left panels.
     let data = workload(150, 8, 5, 2);
-    let cfg = RunConfig { max_iters: 30, samples_per_object: 16 };
+    let cfg = RunConfig {
+        max_iters: 30,
+        samples_per_object: 16,
+    };
     let mut group = c.benchmark_group("slow_algorithms_n150");
     group.sample_size(10);
-    for algo in [Algo::Ucpc, Algo::BUkm, Algo::UkMed, Algo::Uahc, Algo::Fdb, Algo::Fopt] {
+    for algo in [
+        Algo::Ucpc,
+        Algo::BUkm,
+        Algo::UkMed,
+        Algo::Uahc,
+        Algo::Fdb,
+        Algo::Fopt,
+    ] {
         group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
             b.iter(|| run_timed(algo, &data, 5, 7, &cfg).unwrap())
         });
@@ -45,7 +69,10 @@ fn bench_slow_algorithms(c: &mut Criterion) {
 
 fn bench_ucpc_scaling(c: &mut Criterion) {
     // Linearity in n (Proposition 5): time n and 2n workloads.
-    let cfg = RunConfig { max_iters: 30, samples_per_object: 16 };
+    let cfg = RunConfig {
+        max_iters: 30,
+        samples_per_object: 16,
+    };
     let mut group = c.benchmark_group("ucpc_scaling");
     for n in [250usize, 500, 1000, 2000] {
         let data = workload(n, 8, 5, 3);

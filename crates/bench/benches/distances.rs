@@ -33,7 +33,11 @@ fn bench_eq8_closed_vs_sampled(c: &mut Criterion) {
         let samples = o.sample_n(&mut rng, s);
         group.bench_with_input(BenchmarkId::new("sampled", s), &samples, |b, samples| {
             b.iter(|| {
-                black_box(expected_distance_sampled(samples, &y, Metric::SquaredEuclidean))
+                black_box(expected_distance_sampled(
+                    samples,
+                    &y,
+                    Metric::SquaredEuclidean,
+                ))
             })
         });
     }

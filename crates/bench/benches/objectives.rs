@@ -30,9 +30,7 @@ fn bench_theorem3_vs_bruteforce(c: &mut Criterion) {
     let stats = ClusterStats::from_members(objs.iter());
 
     let mut group = c.benchmark_group("objective_j");
-    group.bench_function("theorem3_closed_form", |b| {
-        b.iter(|| black_box(stats.j()))
-    });
+    group.bench_function("theorem3_closed_form", |b| b.iter(|| black_box(stats.j())));
     group.bench_function("bruteforce_via_ucentroid", |b| {
         b.iter(|| {
             let c = UCentroid::from_cluster(&refs);

@@ -1,0 +1,28 @@
+//! Criterion micro-benchmark of the UCPC relocation pass: the naive
+//! three-sweep Corollary-1 evaluation vs the flat-arena scalar-aggregate
+//! delta-`J` kernel, over an n × m × k grid that includes the acceptance
+//! point (n=10000, m=32, k=20). Run `cargo bench --bench relocation_kernel`;
+//! the `bench_relocation` binary emits the same measurements as
+//! `BENCH_relocation.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucpc_bench::relocation::{kernel_pass, naive_pass, workload, GRID};
+
+fn bench_relocation_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relocation_pass");
+    group.sample_size(11);
+    for shape in GRID {
+        let w = workload(shape, 7);
+        let label = format!("n{}_m{}_k{}", shape.n, shape.m, shape.k);
+        group.bench_with_input(BenchmarkId::new("naive", &label), &w, |b, w| {
+            b.iter(|| black_box(naive_pass(w)))
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", &label), &w, |b, w| {
+            b.iter(|| black_box(kernel_pass(w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relocation_pass);
+criterion_main!(benches);

@@ -18,7 +18,10 @@ fn main() {
     let data = a.uncertain_objects();
 
     for strategy in [MmVarStrategy::Lloyd, MmVarStrategy::GreedyRelocation] {
-        let cfg = MmVar { strategy, ..Default::default() };
+        let cfg = MmVar {
+            strategy,
+            ..Default::default()
+        };
         let r = cfg.run(&data, 10, &mut rng).unwrap();
         let mut sizes = r.clustering.sizes();
         sizes.sort_unstable();

@@ -1,0 +1,74 @@
+//! Emits the machine-readable relocation-kernel baseline,
+//! `BENCH_relocation.json`: median wall time of one evaluation-only UCPC
+//! relocation pass on the naive three-sweep path vs the scalar-aggregate
+//! delta-`J` kernel, over the shared n × m × k grid.
+//!
+//! Usage: `cargo run --release -p ucpc-bench --bin bench_relocation
+//! [output.json]` (default output path: `BENCH_relocation.json`).
+
+use std::time::Instant;
+use ucpc_bench::relocation::{kernel_pass, naive_pass, workload, Workload, GRID};
+
+/// Median nanoseconds per call of `f` over `reps` timed repetitions (after
+/// one warm-up call).
+fn median_ns(w: &Workload, reps: usize, f: fn(&Workload) -> f64) -> u128 {
+    let mut sink = 0.0;
+    sink += f(w); // warm-up
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            sink += f(w);
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    // Keep the accumulated objective observable so the passes cannot be
+    // optimized away.
+    assert!(
+        sink.is_finite(),
+        "benchmark payload produced a non-finite objective"
+    );
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_relocation.json".into());
+    let reps = 9;
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "shape", "naive ns/pass", "kernel ns/pass", "speedup"
+    );
+    for shape in GRID {
+        let w = workload(shape, 7);
+        let naive = median_ns(&w, reps, naive_pass);
+        let kernel = median_ns(&w, reps, kernel_pass);
+        let speedup = naive as f64 / kernel as f64;
+        println!(
+            "n={:<6} m={:<3} k={:<4} {naive:>14} {kernel:>14} {speedup:>8.2}x",
+            shape.n, shape.m, shape.k
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"n\": {}, \"m\": {}, \"k\": {}, ",
+                "\"naive_ns_per_pass\": {}, \"kernel_ns_per_pass\": {}, ",
+                "\"speedup\": {:.3}}}"
+            ),
+            shape.n, shape.m, shape.k, naive, kernel, speedup
+        ));
+    }
+
+    let acceptance = GRID
+        .iter()
+        .position(|s| s.n == 10_000 && s.m == 32 && s.k == 20)
+        .expect("acceptance shape present in GRID");
+    let json = format!(
+        "{{\n  \"benchmark\": \"ucpc_relocation_pass\",\n  \"description\": \"one evaluation-only UCPC relocation pass: naive three-sweep Corollary-1 path vs flat-arena scalar-aggregate delta-J kernel\",\n  \"units\": \"nanoseconds per pass (median of {reps} repetitions, release profile)\",\n  \"acceptance_shape\": {{\"n\": 10000, \"m\": 32, \"k\": 20, \"required_speedup\": 2.0}},\n  \"acceptance_row_index\": {acceptance},\n  \"grid\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark baseline");
+    println!("wrote {out_path}");
+}

@@ -34,7 +34,10 @@ fn main() {
     };
 
     // The KDD Cup '99 analogue at the configured absolute size.
-    let spec = DatasetSpec { objects, ..KDDCUP99 };
+    let spec = DatasetSpec {
+        objects,
+        ..KDDCUP99
+    };
     let k = spec.classes;
 
     let mut table = Table::new(

@@ -30,14 +30,18 @@ fn main() {
     let seed = args.u64_or("seed", 2012);
     let cfg = RunConfig::default();
 
-    let columns: Vec<String> =
-        Algo::ACCURACY.iter().map(|a| a.name().to_string()).collect();
+    let columns: Vec<String> = Algo::ACCURACY
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
     let mut theta_table = Table::new(
         format!("Table 2 — F-measure gain Theta (scale {scale}, {runs} runs)"),
         columns.clone(),
     );
-    let mut q_table =
-        Table::new(format!("Table 2 — Quality Q (scale {scale}, {runs} runs)"), columns);
+    let mut q_table = Table::new(
+        format!("Table 2 — Quality Q (scale {scale}, {runs} runs)"),
+        columns,
+    );
 
     // Per-pdf rows for the paper's "avg score" aggregates.
     let mut pdf_theta_rows: Vec<(NoiseKind, Vec<f64>)> = Vec::new();
@@ -58,8 +62,7 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(run_seed);
                 let d = generate_fraction(spec, scale, &mut rng);
                 let model = UncertaintyModel::paper_default(kind);
-                let assignment =
-                    PdfAssignment::assign(&d.points, &d.dim_std(), &model, &mut rng);
+                let assignment = PdfAssignment::assign(&d.points, &d.dim_std(), &model, &mut rng);
                 // Paired Case-1/Case-2 datasets: one shared noise
                 // realization, uncertainty model centered on the observed
                 // values (see Centering in ucpc-datasets).
@@ -106,8 +109,11 @@ fn main() {
 fn append_aggregates(table: &mut Table, rows: &[(NoiseKind, Vec<f64>)]) {
     let n_cols = rows.first().map_or(0, |(_, r)| r.len());
     for kind in NoiseKind::all() {
-        let subset: Vec<&Vec<f64>> =
-            rows.iter().filter(|(k, _)| *k == kind).map(|(_, r)| r).collect();
+        let subset: Vec<&Vec<f64>> = rows
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, r)| r)
+            .collect();
         if subset.is_empty() {
             continue;
         }

@@ -30,8 +30,10 @@ fn main() {
     let seed = args.u64_or("seed", 2012);
     let cfg = RunConfig::default();
 
-    let columns: Vec<String> =
-        Algo::ACCURACY.iter().map(|a| a.name().to_string()).collect();
+    let columns: Vec<String> = Algo::ACCURACY
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
     let mut table = Table::new(
         format!("Table 3 — Quality Q on microarray data ({genes} genes, {runs} runs)"),
         columns,

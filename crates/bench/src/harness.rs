@@ -10,10 +10,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
+use ucpc_baselines::ukmedoids::PairwiseEd;
 use ucpc_baselines::{
     BasicUkMeans, FdbScan, Foptics, MmVar, PruningUkMeans, Uahc, UkMeans, UkMedoids,
 };
-use ucpc_baselines::ukmedoids::PairwiseEd;
 use ucpc_core::framework::{ClusterError, Clustering};
 use ucpc_core::Ucpc;
 use ucpc_uncertain::sampling::SampleCache;
@@ -58,15 +58,19 @@ impl Algo {
     ];
 
     /// Figure 4's "slower" panel (plus UCPC for reference).
-    pub const SLOW_PANEL: [Algo; 5] =
-        [Algo::BUkm, Algo::UkMed, Algo::Uahc, Algo::Fdb, Algo::Fopt];
+    pub const SLOW_PANEL: [Algo; 5] = [Algo::BUkm, Algo::UkMed, Algo::Uahc, Algo::Fdb, Algo::Fopt];
 
     /// Figure 4's "faster" panel (plus UCPC for reference).
     pub const FAST_PANEL: [Algo; 4] = [Algo::Ukm, Algo::Mmv, Algo::MinMaxBb, Algo::VdBiP];
 
     /// Figure 5's scalability contenders.
-    pub const SCALABILITY: [Algo; 5] =
-        [Algo::Ucpc, Algo::Ukm, Algo::Mmv, Algo::MinMaxBb, Algo::VdBiP];
+    pub const SCALABILITY: [Algo; 5] = [
+        Algo::Ucpc,
+        Algo::Ukm,
+        Algo::Mmv,
+        Algo::MinMaxBb,
+        Algo::VdBiP,
+    ];
 
     /// Table/figure label.
     pub fn name(&self) -> &'static str {
@@ -107,7 +111,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { max_iters: 100, samples_per_object: 32 }
+        Self {
+            max_iters: 100,
+            samples_per_object: 32,
+        }
     }
 }
 
@@ -123,36 +130,62 @@ pub fn run_timed(
     let mut rng = StdRng::seed_from_u64(seed);
     match algo {
         Algo::Ucpc => {
-            let alg = Ucpc { max_iters: cfg.max_iters, ..Ucpc::default() };
+            let alg = Ucpc {
+                max_iters: cfg.max_iters,
+                ..Ucpc::default()
+            };
             let t = Instant::now();
             let r = alg.run(data, k, &mut rng)?;
-            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+            Ok(TimedClustering {
+                clustering: r.clustering,
+                online: t.elapsed(),
+            })
         }
         Algo::Ukm => {
-            let alg = UkMeans { max_iters: cfg.max_iters, ..UkMeans::default() };
+            let alg = UkMeans {
+                max_iters: cfg.max_iters,
+                ..UkMeans::default()
+            };
             let t = Instant::now();
             let r = alg.run(data, k, &mut rng)?;
-            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+            Ok(TimedClustering {
+                clustering: r.clustering,
+                online: t.elapsed(),
+            })
         }
         Algo::Mmv => {
-            let alg = MmVar { max_iters: cfg.max_iters, ..MmVar::default() };
+            let alg = MmVar {
+                max_iters: cfg.max_iters,
+                ..MmVar::default()
+            };
             let t = Instant::now();
             let r = alg.run(data, k, &mut rng)?;
-            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+            Ok(TimedClustering {
+                clustering: r.clustering,
+                online: t.elapsed(),
+            })
         }
         Algo::UkMed => {
             // Offline: pairwise ÊD matrix (untimed, as in the paper).
             let ed = PairwiseEd::compute(data);
-            let alg = UkMedoids { max_iters: cfg.max_iters };
+            let alg = UkMedoids {
+                max_iters: cfg.max_iters,
+            };
             let t = Instant::now();
             let r = alg.run_with_matrix(data.len(), k, &ed, &mut rng)?;
-            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+            Ok(TimedClustering {
+                clustering: r.clustering,
+                online: t.elapsed(),
+            })
         }
         Algo::Uahc => {
             let alg = Uahc::default();
             let t = Instant::now();
             let r = alg.run(data, k)?;
-            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+            Ok(TimedClustering {
+                clustering: r.clustering,
+                online: t.elapsed(),
+            })
         }
         Algo::Fdb => {
             let alg = FdbScan {
@@ -161,7 +194,10 @@ pub fn run_timed(
             };
             let t = Instant::now();
             let r = alg.run(data, &mut rng)?;
-            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+            Ok(TimedClustering {
+                clustering: r.clustering,
+                online: t.elapsed(),
+            })
         }
         Algo::Fopt => {
             let alg = Foptics {
@@ -170,7 +206,10 @@ pub fn run_timed(
             };
             let t = Instant::now();
             let r = alg.run(data, k, &mut rng)?;
-            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+            Ok(TimedClustering {
+                clustering: r.clustering,
+                online: t.elapsed(),
+            })
         }
         Algo::BUkm => {
             let m = ucpc_core::framework::validate_input(data, k)?;
@@ -184,7 +223,10 @@ pub fn run_timed(
             let cache = SampleCache::build(data, cfg.samples_per_object, &mut rng);
             let t = Instant::now();
             let r = alg.run_from(data, k, m, labels, &cache)?;
-            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+            Ok(TimedClustering {
+                clustering: r.clustering,
+                online: t.elapsed(),
+            })
         }
         Algo::MinMaxBb | Algo::VdBiP => {
             let m = ucpc_core::framework::validate_input(data, k)?;
@@ -202,7 +244,10 @@ pub fn run_timed(
             let cache = SampleCache::build(data, cfg.samples_per_object, &mut rng);
             let t = Instant::now();
             let r = alg.run_from(data, k, m, labels, &cache)?;
-            Ok(TimedClustering { clustering: r.clustering, online: t.elapsed() })
+            Ok(TimedClustering {
+                clustering: r.clustering,
+                online: t.elapsed(),
+            })
         }
     }
 }
@@ -253,7 +298,10 @@ mod tests {
     #[test]
     fn every_algorithm_runs_through_the_harness() {
         let d = data();
-        let cfg = RunConfig { max_iters: 30, samples_per_object: 16 };
+        let cfg = RunConfig {
+            max_iters: 30,
+            samples_per_object: 16,
+        };
         for algo in [
             Algo::Fdb,
             Algo::Fopt,

@@ -17,4 +17,5 @@
 
 pub mod args;
 pub mod harness;
+pub mod relocation;
 pub mod report;

@@ -1,0 +1,171 @@
+//! Shared workload for the relocation-kernel micro-benchmark: the UCPC inner
+//! loop evaluated two ways over identical data — the original naive
+//! three-sweep path (`j_after_remove` + (k−1) × `j_after_add` against cached
+//! cluster objectives) and the scalar-aggregate delta-`J` kernel (one fused
+//! dot product per candidate, moments read from the flat [`MomentArena`]).
+//!
+//! Both the criterion bench (`benches/relocation_kernel.rs`) and the
+//! `bench_relocation` binary (which emits the machine-readable
+//! `BENCH_relocation.json` baseline) drive these functions, so the numbers
+//! in the report and the JSON come from the same code path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ucpc_core::objective::ClusterStats;
+use ucpc_uncertain::{MomentArena, UncertainObject, UnivariatePdf};
+
+/// One grid point of the benchmark: `n` objects, `m` dimensions, `k` clusters.
+#[derive(Debug, Clone, Copy)]
+pub struct Shape {
+    /// Number of objects.
+    pub n: usize,
+    /// Number of dimensions.
+    pub m: usize,
+    /// Number of clusters.
+    pub k: usize,
+}
+
+/// The default n × m × k grid, including the acceptance point
+/// (n=10000, m=32, k=20).
+pub const GRID: [Shape; 3] = [
+    Shape {
+        n: 2_000,
+        m: 8,
+        k: 5,
+    },
+    Shape {
+        n: 10_000,
+        m: 32,
+        k: 20,
+    },
+    Shape {
+        n: 10_000,
+        m: 64,
+        k: 10,
+    },
+];
+
+/// A ready-to-scan workload: the dataset in both representations plus a
+/// label assignment and per-cluster statistics.
+pub struct Workload {
+    /// The objects (consumed by the naive path through `Moments`).
+    pub data: Vec<UncertainObject>,
+    /// The same moments in flat SoA form (consumed by the kernel path).
+    pub arena: MomentArena,
+    /// Cluster assignment, every cluster non-empty.
+    pub labels: Vec<usize>,
+    /// Per-cluster sufficient statistics for `labels`.
+    pub stats: Vec<ClusterStats>,
+    /// Number of clusters.
+    pub k: usize,
+}
+
+/// Builds a seeded Gaussian workload for one grid shape.
+pub fn workload(shape: Shape, seed: u64) -> Workload {
+    let Shape { n, m, k } = shape;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<UncertainObject> = (0..n)
+        .map(|_| {
+            UncertainObject::new(
+                (0..m)
+                    .map(|_| {
+                        UnivariatePdf::normal(rng.gen_range(-10.0..10.0), rng.gen_range(0.1..1.5))
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let labels: Vec<usize> = (0..n)
+        .map(|i| if i < k { i } else { rng.gen_range(0..k) })
+        .collect();
+    let arena = MomentArena::from_objects(&data);
+    let mut stats = vec![ClusterStats::empty(m); k];
+    for (i, &l) in labels.iter().enumerate() {
+        stats[l].add_view(&arena.view(i));
+    }
+    Workload {
+        data,
+        arena,
+        labels,
+        stats,
+        k,
+    }
+}
+
+/// One evaluation-only relocation pass on the naive three-sweep path: for
+/// every object, `J(src − o)` plus `J(dst + o)` for each of the k−1
+/// candidates, against cached per-cluster objectives — exactly the work the
+/// pre-kernel UCPC inner loop performed. Returns the sum of best deltas (a
+/// value the optimizer cannot discard).
+pub fn naive_pass(w: &Workload) -> f64 {
+    let j_cache: Vec<f64> = w.stats.iter().map(ClusterStats::j_naive).collect();
+    let mut acc = 0.0;
+    for (i, o) in w.data.iter().enumerate() {
+        let src = w.labels[i];
+        if w.stats[src].size() <= 1 {
+            continue;
+        }
+        let moments = o.moments();
+        let removal_gain = w.stats[src].j_after_remove(moments) - j_cache[src];
+        let mut best = f64::INFINITY;
+        for (dst, (stat, cached)) in w.stats.iter().zip(&j_cache).enumerate() {
+            if dst == src {
+                continue;
+            }
+            let delta = removal_gain + stat.j_after_add(moments) - cached;
+            if delta < best {
+                best = delta;
+            }
+        }
+        acc += best;
+    }
+    acc
+}
+
+/// The same evaluation-only pass on the scalar-aggregate delta-`J` kernel:
+/// one fused dot product per candidate over the arena's contiguous rows.
+pub fn kernel_pass(w: &Workload) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..w.arena.len() {
+        let src = w.labels[i];
+        if w.stats[src].size() <= 1 {
+            continue;
+        }
+        let v = w.arena.view(i);
+        let removal_gain = w.stats[src].delta_j_remove(&v);
+        let mut best = f64::INFINITY;
+        for (dst, stat) in w.stats.iter().enumerate() {
+            if dst == src {
+                continue;
+            }
+            let delta = removal_gain + stat.delta_j_add(&v);
+            if delta < best {
+                best = delta;
+            }
+        }
+        acc += best;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_agree_on_the_same_workload() {
+        let w = workload(Shape { n: 200, m: 6, k: 4 }, 42);
+        let naive = naive_pass(&w);
+        let kernel = kernel_pass(&w);
+        assert!(
+            (naive - kernel).abs() <= 1e-9 * (1.0 + naive.abs()),
+            "naive {naive} vs kernel {kernel}"
+        );
+    }
+
+    #[test]
+    fn workload_clusters_are_nonempty() {
+        let w = workload(Shape { n: 50, m: 3, k: 7 }, 1);
+        assert!(w.stats.iter().all(|s| !s.is_empty()));
+    }
+}

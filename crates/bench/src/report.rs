@@ -17,7 +17,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(title: impl Into<String>, columns: impl IntoIterator<Item = String>) -> Self {
-        Self { title: title.into(), columns: columns.into_iter().collect(), rows: Vec::new() }
+        Self {
+            title: title.into(),
+            columns: columns.into_iter().collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; the value count must match the column count.
@@ -65,7 +69,13 @@ impl Table {
             .max()
             .unwrap_or(8)
             .max(8);
-        let col_w = self.columns.iter().map(|c| c.len()).max().unwrap_or(6).max(7);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(6)
+            .max(7);
 
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);

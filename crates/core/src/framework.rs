@@ -27,6 +27,22 @@ pub enum ClusterError {
         /// Index of the offending object.
         index: usize,
     },
+    /// A caller-supplied label vector does not have one label per object.
+    LabelLengthMismatch {
+        /// Number of objects in the dataset.
+        expected: usize,
+        /// Number of labels supplied.
+        found: usize,
+    },
+    /// A caller-supplied label lies outside `0..k`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The requested number of clusters.
+        k: usize,
+        /// Index of the object carrying the offending label.
+        index: usize,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -36,9 +52,21 @@ impl fmt::Display for ClusterError {
             ClusterError::InvalidK { k, n } => {
                 write!(f, "invalid cluster count k={k} for dataset of size n={n}")
             }
-            ClusterError::DimensionMismatch { expected, found, index } => write!(
+            ClusterError::DimensionMismatch {
+                expected,
+                found,
+                index,
+            } => write!(
                 f,
                 "object {index} has {found} dimensions, expected {expected}"
+            ),
+            ClusterError::LabelLengthMismatch { expected, found } => write!(
+                f,
+                "label vector has {found} entries, expected one per object ({expected})"
+            ),
+            ClusterError::LabelOutOfRange { label, k, index } => write!(
+                f,
+                "label {label} of object {index} is out of range for k={k}"
             ),
         }
     }
@@ -65,6 +93,23 @@ pub fn validate_input(data: &[UncertainObject], k: usize) -> Result<usize, Clust
         }
     }
     Ok(m)
+}
+
+/// Validates a caller-supplied initial partition: one label per object, every
+/// label in `0..k`.
+pub fn validate_labels(labels: &[usize], n: usize, k: usize) -> Result<(), ClusterError> {
+    if labels.len() != n {
+        return Err(ClusterError::LabelLengthMismatch {
+            expected: n,
+            found: labels.len(),
+        });
+    }
+    for (index, &label) in labels.iter().enumerate() {
+        if label >= k {
+            return Err(ClusterError::LabelOutOfRange { label, k, index });
+        }
+    }
+    Ok(())
 }
 
 /// A hard partition of `n` objects into at most `k` clusters.
@@ -154,10 +199,7 @@ impl Clustering {
                 next += 1;
             }
         }
-        Clustering::new(
-            self.labels.iter().map(|&l| remap[l]).collect(),
-            next.max(1),
-        )
+        Clustering::new(self.labels.iter().map(|&l| remap[l]).collect(), next.max(1))
     }
 }
 
@@ -211,8 +253,14 @@ mod tests {
     fn validate_rejects_bad_inputs() {
         assert_eq!(validate_input(&[], 2), Err(ClusterError::EmptyDataset));
         let data = vec![UncertainObject::deterministic(&[0.0])];
-        assert_eq!(validate_input(&data, 0), Err(ClusterError::InvalidK { k: 0, n: 1 }));
-        assert_eq!(validate_input(&data, 2), Err(ClusterError::InvalidK { k: 2, n: 1 }));
+        assert_eq!(
+            validate_input(&data, 0),
+            Err(ClusterError::InvalidK { k: 0, n: 1 })
+        );
+        assert_eq!(
+            validate_input(&data, 2),
+            Err(ClusterError::InvalidK { k: 2, n: 1 })
+        );
         assert_eq!(validate_input(&data, 1), Ok(1));
     }
 
@@ -224,7 +272,11 @@ mod tests {
         ];
         assert_eq!(
             validate_input(&data, 1),
-            Err(ClusterError::DimensionMismatch { expected: 2, found: 1, index: 1 })
+            Err(ClusterError::DimensionMismatch {
+                expected: 2,
+                found: 1,
+                index: 1
+            })
         );
     }
 

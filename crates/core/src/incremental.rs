@@ -1,6 +1,8 @@
 //! Incremental (online) maintenance of a UCPC clustering.
 //!
-//! Corollary 1 makes `J` updatable in O(m) per object addition/removal; this
+//! Corollary 1 makes `J` updatable in O(m) per object addition/removal — one
+//! fused dot product in the scalar-aggregate kernel form (see
+//! [`ucpc_uncertain::arena`]); this
 //! module exploits it beyond batch clustering: an [`IncrementalUcpc`] holds a
 //! live partition of a stream of uncertain objects, inserting each arrival
 //! into the cluster that minimizes the objective increase, removing departed
@@ -108,16 +110,17 @@ impl IncrementalUcpc {
             });
         }
         let moments = object.moments().clone();
+        let view = moments.view();
         let mut best = 0usize;
         let mut best_delta = f64::INFINITY;
         for (c, stats) in self.stats.iter().enumerate() {
-            let delta = stats.j_after_add(&moments) - stats.j();
+            let delta = stats.delta_j_add(&view);
             if delta < best_delta {
                 best_delta = delta;
                 best = c;
             }
         }
-        self.stats[best].add(&moments);
+        self.stats[best].add_view(&view);
         self.objects.push(Some(moments));
         self.labels.push(Some(best));
         self.live += 1;
@@ -151,16 +154,14 @@ impl IncrementalUcpc {
                 if self.stats[src].size() == 1 {
                     continue;
                 }
-                let j_src = self.stats[src].j();
-                let j_src_minus = self.stats[src].j_after_remove(moments);
-                let removal_gain = j_src_minus - j_src;
+                let view = moments.view();
+                let removal_gain = self.stats[src].delta_j_remove(&view);
                 let mut best: Option<(usize, f64)> = None;
                 for dst in 0..self.k {
                     if dst == src {
                         continue;
                     }
-                    let delta = removal_gain
-                        + (self.stats[dst].j_after_add(moments) - self.stats[dst].j());
+                    let delta = removal_gain + self.stats[dst].delta_j_add(&view);
                     if best.is_none_or(|(_, bd)| delta < bd) {
                         best = Some((dst, delta));
                     }
@@ -168,8 +169,9 @@ impl IncrementalUcpc {
                 if let Some((dst, delta)) = best {
                     if delta < -1e-9 {
                         let moments = moments.clone();
-                        self.stats[src].remove(&moments);
-                        self.stats[dst].add(&moments);
+                        let view = moments.view();
+                        self.stats[src].remove_view(&view);
+                        self.stats[dst].add_view(&view);
                         self.labels[i] = Some(dst);
                         relocations += 1;
                         moved = true;
@@ -233,8 +235,10 @@ mod tests {
     #[test]
     fn removal_is_exact() {
         let mut inc = IncrementalUcpc::new(1, 2).unwrap();
-        let keep: Vec<ObjectId> =
-            [0.0, 0.5, 8.0].iter().map(|&c| inc.insert(&obj(c)).unwrap()).collect();
+        let keep: Vec<ObjectId> = [0.0, 0.5, 8.0]
+            .iter()
+            .map(|&c| inc.insert(&obj(c)).unwrap())
+            .collect();
         let gone = inc.insert(&obj(100.0)).unwrap();
         let with = inc.objective();
         assert!(inc.remove(gone));
@@ -247,8 +251,10 @@ mod tests {
     #[test]
     fn objective_matches_batch_rebuild() {
         let mut inc = IncrementalUcpc::new(1, 3).unwrap();
-        let objs: Vec<UncertainObject> =
-            [0.0, 0.1, 5.0, 5.1, 10.0, 10.1].iter().map(|&c| obj(c)).collect();
+        let objs: Vec<UncertainObject> = [0.0, 0.1, 5.0, 5.1, 10.0, 10.1]
+            .iter()
+            .map(|&c| obj(c))
+            .collect();
         for o in &objs {
             inc.insert(o).unwrap();
         }

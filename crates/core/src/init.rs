@@ -113,8 +113,10 @@ fn kmeanspp_seeds(data: &[UncertainObject], k: usize, rng: &mut dyn RngCore) -> 
     let n = data.len();
     let first = rng.gen_range(0..n);
     let mut seeds: Vec<Vec<f64>> = vec![data[first].mu().to_vec()];
-    let mut dist_sq: Vec<f64> =
-        data.iter().map(|o| sq_euclidean(o.mu(), &seeds[0])).collect();
+    let mut dist_sq: Vec<f64> = data
+        .iter()
+        .map(|o| sq_euclidean(o.mu(), &seeds[0]))
+        .collect();
     while seeds.len() < k {
         let total: f64 = dist_sq.iter().sum();
         let next = if total <= 0.0 {
@@ -193,8 +195,9 @@ mod tests {
 
     #[test]
     fn kmeanspp_handles_identical_points() {
-        let data: Vec<UncertainObject> =
-            (0..8).map(|_| UncertainObject::deterministic(&[1.0, 1.0])).collect();
+        let data: Vec<UncertainObject> = (0..8)
+            .map(|_| UncertainObject::deterministic(&[1.0, 1.0]))
+            .collect();
         let mut rng = StdRng::seed_from_u64(11);
         let labels = Initializer::KMeansPlusPlus.initial_partition(&data, 3, &mut rng);
         check_partition(&labels, 8, 3);

@@ -23,29 +23,64 @@
 //!
 //! and adding/removing one object is O(m) (Corollary 1), which is what gives
 //! UCPC its `O(I k n m)` complexity (Proposition 5).
+//!
+//! # The scalar-aggregate delta-`J` kernel
+//!
+//! On top of the per-dimension vectors, [`ClusterStats`] incrementally
+//! maintains the three scalar aggregates
+//!
+//! * `Ψ_tot = Σ_j psi_j`,
+//! * `Φ_tot = Σ_j phi_j`,
+//! * `S₂   = Σ_j s_j²`,
+//!
+//! which make every objective O(1) (`J = Ψ_tot/|C| + Φ_tot − S₂/|C|`) and
+//! collapse each candidate relocation to closed-form scalars plus a single
+//! fused dot product `⟨s, mu(o)⟩` over contiguous memory — see the
+//! derivation in [`ucpc_uncertain::arena`]. The `delta_j_*` methods are this
+//! kernel; the `*_after_add` / `*_after_remove` methods keep the original
+//! three-sweep O(m) evaluation as the `naive` reference path that tests and
+//! benches compare against.
 
+use ucpc_uncertain::arena::{dot, MomentView};
 use ucpc_uncertain::{Moments, UncertainObject};
 
-/// Per-cluster sufficient statistics with O(m) add/remove and O(m) objective
-/// evaluation.
+/// Per-cluster sufficient statistics with O(m) add/remove, O(1) objective
+/// evaluation, and the single-dot-product relocation kernel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterStats {
     psi: Vec<f64>,
     phi: Vec<f64>,
     mean_sum: Vec<f64>,
     size: usize,
+    /// `Ψ_tot = Σ_j psi_j`, maintained incrementally.
+    psi_tot: f64,
+    /// `Φ_tot = Σ_j phi_j`, maintained incrementally.
+    phi_tot: f64,
+    /// `S₂ = Σ_j s_j²`, maintained incrementally via the kernel identity
+    /// `Σ_j (s_j ± mu_j)² = S₂ ± 2⟨s, mu⟩ + Σ_j mu_j²`.
+    s_sq_tot: f64,
 }
 
 impl ClusterStats {
     /// Empty cluster over `m` dimensions.
     pub fn empty(m: usize) -> Self {
-        Self { psi: vec![0.0; m], phi: vec![0.0; m], mean_sum: vec![0.0; m], size: 0 }
+        Self {
+            psi: vec![0.0; m],
+            phi: vec![0.0; m],
+            mean_sum: vec![0.0; m],
+            size: 0,
+            psi_tot: 0.0,
+            phi_tot: 0.0,
+            s_sq_tot: 0.0,
+        }
     }
 
     /// Builds statistics from a set of member objects.
     pub fn from_members<'a>(members: impl IntoIterator<Item = &'a UncertainObject>) -> Self {
         let mut iter = members.into_iter();
-        let first = iter.next().expect("from_members requires at least one object");
+        let first = iter
+            .next()
+            .expect("from_members requires at least one object");
         let mut stats = Self::empty(first.dims());
         stats.add(first.moments());
         for o in iter {
@@ -91,13 +126,7 @@ impl ClusterStats {
 
     /// Adds one object (Corollary 1, `C+` direction). O(m).
     pub fn add(&mut self, o: &Moments) {
-        debug_assert_eq!(o.dims(), self.dims(), "dimension mismatch");
-        for j in 0..self.dims() {
-            self.psi[j] += o.variance()[j];
-            self.phi[j] += o.mu2()[j];
-            self.mean_sum[j] += o.mu()[j];
-        }
-        self.size += 1;
+        self.add_view(&o.view());
     }
 
     /// Removes one member (Corollary 1, `C−` direction). O(m).
@@ -105,19 +134,66 @@ impl ClusterStats {
     /// The caller must only remove objects previously added; this is not
     /// checked beyond a size underflow panic.
     pub fn remove(&mut self, o: &Moments) {
-        assert!(self.size > 0, "cannot remove from an empty cluster");
-        debug_assert_eq!(o.dims(), self.dims(), "dimension mismatch");
-        for j in 0..self.dims() {
-            self.psi[j] -= o.variance()[j];
-            self.phi[j] -= o.mu2()[j];
-            self.mean_sum[j] -= o.mu()[j];
-        }
-        self.size -= 1;
+        self.remove_view(&o.view());
     }
 
-    /// The UCPC objective `J(C)` of Theorem 3:
-    /// `Σ_j (Ψ_j/|C| + Φ_j − Υ_j/|C|)`. Zero for an empty cluster.
+    /// Adds one object through a kernel view: one fused O(m) pass updates the
+    /// per-dimension vectors and the `⟨s, mu⟩` cross term, then the scalar
+    /// aggregates move by the view's precomputed scalars.
+    pub fn add_view(&mut self, v: &MomentView<'_>) {
+        debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
+        let mut cross = 0.0;
+        for j in 0..self.dims() {
+            self.psi[j] += v.var[j];
+            self.phi[j] += v.mu2[j];
+            cross += self.mean_sum[j] * v.mu[j];
+            self.mean_sum[j] += v.mu[j];
+        }
+        self.psi_tot += v.sum_var;
+        self.phi_tot += v.sum_mu2;
+        self.s_sq_tot += 2.0 * cross + v.sum_mu_sq;
+        self.size += 1;
+    }
+
+    /// Removes one member through a kernel view (see [`Self::add_view`]).
+    pub fn remove_view(&mut self, v: &MomentView<'_>) {
+        assert!(self.size > 0, "cannot remove from an empty cluster");
+        debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
+        let mut cross = 0.0;
+        for j in 0..self.dims() {
+            self.psi[j] -= v.var[j];
+            self.phi[j] -= v.mu2[j];
+            self.mean_sum[j] -= v.mu[j];
+            cross += self.mean_sum[j] * v.mu[j];
+        }
+        self.psi_tot -= v.sum_var;
+        self.phi_tot -= v.sum_mu2;
+        // s' = s − mu, and Σ (s'_j)² = S₂ − 2⟨s', mu⟩ − Σ mu_j² with the
+        // cross term taken against the *post-removal* mean sums.
+        self.s_sq_tot -= 2.0 * cross + v.sum_mu_sq;
+        self.size -= 1;
+        if self.size == 0 {
+            // Re-zero the aggregates so floating-point residue cannot leak
+            // into a reused empty cluster.
+            self.psi_tot = 0.0;
+            self.phi_tot = 0.0;
+            self.s_sq_tot = 0.0;
+        }
+    }
+
+    /// The UCPC objective `J(C)` of Theorem 3, in scalar-aggregate form:
+    /// `Ψ_tot/|C| + Φ_tot − S₂/|C|`. O(1); zero for an empty cluster.
     pub fn j(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        let inv = 1.0 / self.size as f64;
+        self.psi_tot * inv + self.phi_tot - self.s_sq_tot * inv
+    }
+
+    /// `J(C)` recomputed by the original per-dimension sweep — the naive
+    /// reference for the scalar-aggregate [`Self::j`].
+    pub fn j_naive(&self) -> f64 {
         if self.size == 0 {
             return 0.0;
         }
@@ -129,9 +205,18 @@ impl ClusterStats {
         acc
     }
 
-    /// The UK-means objective `J_UK(C)` in Lemma 1's closed form:
-    /// `Σ_j (Φ_j − (Σ mu_j)²/|C|)`. Zero for an empty cluster.
+    /// The UK-means objective `J_UK(C)` in Lemma 1's closed form, scalar
+    /// aggregates: `Φ_tot − S₂/|C|`. O(1); zero for an empty cluster.
     pub fn j_uk(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        self.phi_tot - self.s_sq_tot / self.size as f64
+    }
+
+    /// `J_UK(C)` recomputed by the original per-dimension sweep — the naive
+    /// reference for the scalar-aggregate [`Self::j_uk`].
+    pub fn j_uk_naive(&self) -> f64 {
         if self.size == 0 {
             return 0.0;
         }
@@ -158,8 +243,89 @@ impl ClusterStats {
         2.0 * self.j_uk()
     }
 
-    /// `J` of the cluster with `o` added, computed in O(m) without mutating
-    /// the statistics (Corollary 1, Eq. 15).
+    /// Objective change `J(C ∪ {o}) − J(C)` evaluated by the
+    /// scalar-aggregate kernel: one fused dot product `⟨s, mu(o)⟩` plus O(1)
+    /// scalar algebra (see [`ucpc_uncertain::arena`] for the derivation).
+    #[inline]
+    pub fn delta_j_add(&self, v: &MomentView<'_>) -> f64 {
+        debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
+        let cross = dot(&self.mean_sum, v.mu);
+        let new_inv = 1.0 / (self.size + 1) as f64;
+        let psi = self.psi_tot + v.sum_var;
+        let s_sq = self.s_sq_tot + 2.0 * cross + v.sum_mu_sq;
+        let j_new = (psi - s_sq) * new_inv + self.phi_tot + v.sum_mu2;
+        j_new - self.j()
+    }
+
+    /// Objective change `J(C ∖ {o}) − J(C)` evaluated by the
+    /// scalar-aggregate kernel. `o` must be a member; `−J(C)` when removing
+    /// the last member.
+    #[inline]
+    pub fn delta_j_remove(&self, v: &MomentView<'_>) -> f64 {
+        debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
+        assert!(self.size > 0, "cannot remove from an empty cluster");
+        if self.size == 1 {
+            return -self.j();
+        }
+        let cross = dot(&self.mean_sum, v.mu);
+        let new_inv = 1.0 / (self.size - 1) as f64;
+        let psi = self.psi_tot - v.sum_var;
+        // ⟨s − mu, mu⟩ = ⟨s, mu⟩ − Σ mu², so against the pre-removal sums:
+        // S₂' = S₂ − 2⟨s, mu⟩ + Σ mu².
+        let s_sq = self.s_sq_tot - 2.0 * cross + v.sum_mu_sq;
+        let j_new = (psi - s_sq) * new_inv + self.phi_tot - v.sum_mu2;
+        j_new - self.j()
+    }
+
+    /// `J_UK(C ∪ {o}) − J_UK(C)` via the kernel (Lemma 1 analogue of
+    /// [`Self::delta_j_add`]).
+    #[inline]
+    pub fn delta_j_uk_add(&self, v: &MomentView<'_>) -> f64 {
+        debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
+        let cross = dot(&self.mean_sum, v.mu);
+        let s_sq = self.s_sq_tot + 2.0 * cross + v.sum_mu_sq;
+        let j_new = self.phi_tot + v.sum_mu2 - s_sq / (self.size + 1) as f64;
+        j_new - self.j_uk()
+    }
+
+    /// `J_UK(C ∖ {o}) − J_UK(C)` via the kernel. `o` must be a member;
+    /// `−J_UK(C)` when removing the last member.
+    #[inline]
+    pub fn delta_j_uk_remove(&self, v: &MomentView<'_>) -> f64 {
+        debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
+        assert!(self.size > 0, "cannot remove from an empty cluster");
+        if self.size == 1 {
+            return -self.j_uk();
+        }
+        let cross = dot(&self.mean_sum, v.mu);
+        let s_sq = self.s_sq_tot - 2.0 * cross + v.sum_mu_sq;
+        let j_new = self.phi_tot - v.sum_mu2 - s_sq / (self.size - 1) as f64;
+        j_new - self.j_uk()
+    }
+
+    /// `J_MM(C ∪ {o}) − J_MM(C)` via the kernel (Proposition 2:
+    /// `J_MM = J_UK/|C|`).
+    #[inline]
+    pub fn delta_j_mm_add(&self, v: &MomentView<'_>) -> f64 {
+        let new_size = (self.size + 1) as f64;
+        (self.j_uk() + self.delta_j_uk_add(v)) / new_size - self.j_mm()
+    }
+
+    /// `J_MM(C ∖ {o}) − J_MM(C)` via the kernel. `−J_MM(C)` when removing
+    /// the last member.
+    #[inline]
+    pub fn delta_j_mm_remove(&self, v: &MomentView<'_>) -> f64 {
+        if self.size <= 1 {
+            return -self.j_mm();
+        }
+        let new_size = (self.size - 1) as f64;
+        (self.j_uk() + self.delta_j_uk_remove(v)) / new_size - self.j_mm()
+    }
+
+    /// `J` of the cluster with `o` added, computed by the original three
+    /// per-dimension sweeps (Corollary 1, Eq. 15). Kept as the `naive`
+    /// reference path for the kernel above; tests and the
+    /// `relocation_kernel` bench compare the two.
     pub fn j_after_add(&self, o: &Moments) -> f64 {
         debug_assert_eq!(o.dims(), self.dims(), "dimension mismatch");
         let n = (self.size + 1) as f64;
@@ -353,8 +519,10 @@ mod tests {
         let objs = objects();
         let stats = ClusterStats::from_members(objs.iter());
         let c = stats.centroid();
-        let direct: f64 =
-            objs.iter().map(|o| expected_sq_distance_to_point(o, &c)).sum();
+        let direct: f64 = objs
+            .iter()
+            .map(|o| expected_sq_distance_to_point(o, &c))
+            .sum();
         assert!(
             (stats.j_uk() - direct).abs() < 1e-9,
             "Lemma 1: {} vs {}",
@@ -402,7 +570,10 @@ mod tests {
         let stats = ClusterStats::from_members(objs.iter());
         let predicted = stats.j_after_remove(objs[1].moments());
         let rebuilt = ClusterStats::from_members(
-            objs.iter().enumerate().filter(|&(i, _)| i != 1).map(|(_, o)| o),
+            objs.iter()
+                .enumerate()
+                .filter(|&(i, _)| i != 1)
+                .map(|(_, o)| o),
         )
         .j();
         assert!(
@@ -441,14 +612,15 @@ mod tests {
     fn negative_mean_sums_are_handled() {
         // The published Corollary-1 update uses sqrt(Υ), undefined for
         // negative sums; storing the raw sum must make this exact.
-        let objs = [UncertainObject::new(vec![UnivariatePdf::normal(-5.0, 1.0)]),
-            UncertainObject::new(vec![UnivariatePdf::normal(-3.0, 0.5)])];
+        let objs = [
+            UncertainObject::new(vec![UnivariatePdf::normal(-5.0, 1.0)]),
+            UncertainObject::new(vec![UnivariatePdf::normal(-3.0, 0.5)]),
+        ];
         let stats = ClusterStats::from_members(objs.iter());
         assert!(stats.mean_sum()[0] < 0.0);
         let extra = UncertainObject::new(vec![UnivariatePdf::normal(-1.0, 0.2)]);
         let predicted = stats.j_after_add(extra.moments());
-        let rebuilt =
-            ClusterStats::from_members(objs.iter().chain(std::iter::once(&extra))).j();
+        let rebuilt = ClusterStats::from_members(objs.iter().chain(std::iter::once(&extra))).j();
         assert!((predicted - rebuilt).abs() < 1e-9);
     }
 
@@ -495,8 +667,14 @@ mod tests {
         let sa = ClusterStats::from_members(a.iter());
         let sb = ClusterStats::from_members(b.iter());
         assert!((sa.phi()[0] - sb.phi()[0]).abs() < 1e-12, "equal Σ mu2");
-        assert!((sa.mean_sum()[0] - sb.mean_sum()[0]).abs() < 1e-12, "equal Σ mu");
-        assert!((sa.j_uk() - sb.j_uk()).abs() < 1e-12, "Proposition 1: equal J_UK");
+        assert!(
+            (sa.mean_sum()[0] - sb.mean_sum()[0]).abs() < 1e-12,
+            "equal Σ mu"
+        );
+        assert!(
+            (sa.j_uk() - sb.j_uk()).abs() < 1e-12,
+            "Proposition 1: equal J_UK"
+        );
         let var_a: f64 = a.iter().map(|o| o.total_variance()).sum();
         let var_b: f64 = b.iter().map(|o| o.total_variance()).sum();
         assert!(
@@ -504,6 +682,9 @@ mod tests {
             "…despite different cluster variances ({var_a} vs {var_b})"
         );
         // And the UCPC objective *does* separate them (Theorem 3 uses Ψ).
-        assert!((sa.j() - sb.j()).abs() > 0.1, "J distinguishes the clusters");
+        assert!(
+            (sa.j() - sb.j()).abs() > 0.1,
+            "J distinguishes the clusters"
+        );
     }
 }

@@ -8,11 +8,11 @@
 //! and keeping the lowest-objective result — which is what [`BestOfRestarts`]
 //! does for any objective-reporting algorithm.
 
-use crate::framework::{ClusterError, Clustering};
+use crate::framework::{validate_input, ClusterError, Clustering};
 use crate::ucpc::{Ucpc, UcpcResult};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use ucpc_uncertain::UncertainObject;
+use ucpc_uncertain::{MomentArena, UncertainObject};
 
 /// Restarts UCPC from `restarts` independent initializations and keeps the
 /// result with the lowest objective.
@@ -45,7 +45,10 @@ pub struct BestOfRestarts {
 
 impl Default for BestOfRestarts {
     fn default() -> Self {
-        Self { algorithm: Ucpc::default(), restarts: 10 }
+        Self {
+            algorithm: Ucpc::default(),
+            restarts: 10,
+        }
     }
 }
 
@@ -69,11 +72,16 @@ impl BestOfRestarts {
         rng: &mut dyn RngCore,
     ) -> Result<RestartResult, ClusterError> {
         assert!(self.restarts >= 1, "need at least one restart");
+        validate_input(data, k)?;
+        // One arena shared by every restart: the SoA moment matrices are
+        // read-only during the search, so only the initial partition differs.
+        let arena = MomentArena::from_objects(data);
         let mut best: Option<(usize, UcpcResult)> = None;
         let mut objectives = Vec::with_capacity(self.restarts);
         for r in 0..self.restarts {
             let mut run_rng = StdRng::seed_from_u64(rng.next_u64());
-            let result = self.algorithm.run(data, k, &mut run_rng)?;
+            let labels = self.algorithm.init.initial_partition(data, k, &mut run_rng);
+            let result = self.algorithm.run_on_arena(&arena, k, labels)?;
             objectives.push(result.objective);
             let better = best
                 .as_ref()
@@ -83,7 +91,11 @@ impl BestOfRestarts {
             }
         }
         let (winner, best) = best.expect("restarts >= 1");
-        Ok(RestartResult { best, objectives, winner })
+        Ok(RestartResult {
+            best,
+            objectives,
+            winner,
+        })
     }
 
     /// Convenience: just the winning partition.
@@ -121,9 +133,12 @@ mod tests {
     fn best_restart_is_no_worse_than_any_single_run() {
         let data = tricky_data();
         let mut rng = StdRng::seed_from_u64(1);
-        let r = BestOfRestarts { restarts: 8, ..Default::default() }
-            .run(&data, 4, &mut rng)
-            .unwrap();
+        let r = BestOfRestarts {
+            restarts: 8,
+            ..Default::default()
+        }
+        .run(&data, 4, &mut rng)
+        .unwrap();
         assert_eq!(r.objectives.len(), 8);
         let min = r.objectives.iter().copied().fold(f64::INFINITY, f64::min);
         assert!((r.best.objective - min).abs() < 1e-12);
@@ -135,11 +150,14 @@ mod tests {
         let data = tricky_data();
         let obj = |restarts: usize| {
             let mut rng = StdRng::seed_from_u64(2);
-            BestOfRestarts { restarts, ..Default::default() }
-                .run(&data, 4, &mut rng)
-                .unwrap()
-                .best
-                .objective
+            BestOfRestarts {
+                restarts,
+                ..Default::default()
+            }
+            .run(&data, 4, &mut rng)
+            .unwrap()
+            .best
+            .objective
         };
         // Same seed stream: the first restart of both runs coincides, and
         // the 10-restart minimum can only be lower or equal.
@@ -150,9 +168,12 @@ mod tests {
     fn recovers_all_four_groups() {
         let data = tricky_data();
         let mut rng = StdRng::seed_from_u64(3);
-        let c = BestOfRestarts { restarts: 12, ..Default::default() }
-            .cluster(&data, 4, &mut rng)
-            .unwrap();
+        let c = BestOfRestarts {
+            restarts: 12,
+            ..Default::default()
+        }
+        .cluster(&data, 4, &mut rng)
+        .unwrap();
         for g in 0..4 {
             let group: Vec<usize> = (0..6).map(|i| c.label(g * 6 + i)).collect();
             assert!(

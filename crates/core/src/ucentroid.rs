@@ -38,7 +38,10 @@ impl UCentroid {
     ///
     /// Panics if `members` is empty or dimensionalities differ.
     pub fn from_cluster(members: &[&UncertainObject]) -> Self {
-        assert!(!members.is_empty(), "U-centroid of an empty cluster is undefined");
+        assert!(
+            !members.is_empty(),
+            "U-centroid of an empty cluster is undefined"
+        );
         let m = members[0].dims();
         let n = members.len() as f64;
 
@@ -106,11 +109,11 @@ impl UCentroid {
 
     /// Draws one realization of the U-centroid's defining random variable:
     /// the average of one independent realization per member object.
-    pub fn sample<R: Rng + ?Sized>(
-        members: &[&UncertainObject],
-        rng: &mut R,
-    ) -> Vec<f64> {
-        assert!(!members.is_empty(), "cannot sample an empty cluster's centroid");
+    pub fn sample<R: Rng + ?Sized>(members: &[&UncertainObject], rng: &mut R) -> Vec<f64> {
+        assert!(
+            !members.is_empty(),
+            "cannot sample an empty cluster's centroid"
+        );
         let m = members[0].dims();
         let mut acc = vec![0.0; m];
         for o in members {
@@ -226,16 +229,17 @@ mod tests {
         // All-uniform members have bounded supports; the average of their
         // realizations must land in the average box.
         let objs: Vec<UncertainObject> = (0..4)
-            .map(|i| {
-                UncertainObject::new(vec![UnivariatePdf::uniform_centered(i as f64, 1.0)])
-            })
+            .map(|i| UncertainObject::new(vec![UnivariatePdf::uniform_centered(i as f64, 1.0)]))
             .collect();
         let refs: Vec<&UncertainObject> = objs.iter().collect();
         let c = UCentroid::from_cluster(&refs);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..5_000 {
             let x = UCentroid::sample(&refs, &mut rng);
-            assert!(c.region().contains(&x), "realization {x:?} outside Theorem-1 region");
+            assert!(
+                c.region().contains(&x),
+                "realization {x:?} outside Theorem-1 region"
+            );
         }
     }
 

@@ -27,32 +27,68 @@ pub struct DatasetSpec {
 }
 
 /// Iris: 150 objects, 4 attributes, 3 classes.
-pub const IRIS: DatasetSpec =
-    DatasetSpec { name: "Iris", objects: 150, attributes: 4, classes: 3 };
+pub const IRIS: DatasetSpec = DatasetSpec {
+    name: "Iris",
+    objects: 150,
+    attributes: 4,
+    classes: 3,
+};
 /// Wine: 178 objects, 13 attributes, 3 classes.
-pub const WINE: DatasetSpec =
-    DatasetSpec { name: "Wine", objects: 178, attributes: 13, classes: 3 };
+pub const WINE: DatasetSpec = DatasetSpec {
+    name: "Wine",
+    objects: 178,
+    attributes: 13,
+    classes: 3,
+};
 /// Glass: 214 objects, 10 attributes, 6 classes.
-pub const GLASS: DatasetSpec =
-    DatasetSpec { name: "Glass", objects: 214, attributes: 10, classes: 6 };
+pub const GLASS: DatasetSpec = DatasetSpec {
+    name: "Glass",
+    objects: 214,
+    attributes: 10,
+    classes: 6,
+};
 /// Ecoli: 327 objects, 7 attributes, 5 classes.
-pub const ECOLI: DatasetSpec =
-    DatasetSpec { name: "Ecoli", objects: 327, attributes: 7, classes: 5 };
+pub const ECOLI: DatasetSpec = DatasetSpec {
+    name: "Ecoli",
+    objects: 327,
+    attributes: 7,
+    classes: 5,
+};
 /// Yeast: 1484 objects, 8 attributes, 10 classes.
-pub const YEAST: DatasetSpec =
-    DatasetSpec { name: "Yeast", objects: 1_484, attributes: 8, classes: 10 };
+pub const YEAST: DatasetSpec = DatasetSpec {
+    name: "Yeast",
+    objects: 1_484,
+    attributes: 8,
+    classes: 10,
+};
 /// Image (segmentation): 2310 objects, 19 attributes, 7 classes.
-pub const IMAGE: DatasetSpec =
-    DatasetSpec { name: "Image", objects: 2_310, attributes: 19, classes: 7 };
+pub const IMAGE: DatasetSpec = DatasetSpec {
+    name: "Image",
+    objects: 2_310,
+    attributes: 19,
+    classes: 7,
+};
 /// Abalone: 4124 objects, 7 attributes, 17 classes.
-pub const ABALONE: DatasetSpec =
-    DatasetSpec { name: "Abalone", objects: 4_124, attributes: 7, classes: 17 };
+pub const ABALONE: DatasetSpec = DatasetSpec {
+    name: "Abalone",
+    objects: 4_124,
+    attributes: 7,
+    classes: 17,
+};
 /// Letter (recognition): 7648 objects, 16 attributes, 10 classes.
-pub const LETTER: DatasetSpec =
-    DatasetSpec { name: "Letter", objects: 7_648, attributes: 16, classes: 10 };
+pub const LETTER: DatasetSpec = DatasetSpec {
+    name: "Letter",
+    objects: 7_648,
+    attributes: 16,
+    classes: 10,
+};
 /// KDD Cup '99: 4 million objects, 42 attributes, 23 classes (scalability).
-pub const KDDCUP99: DatasetSpec =
-    DatasetSpec { name: "KDDCup99", objects: 4_000_000, attributes: 42, classes: 23 };
+pub const KDDCUP99: DatasetSpec = DatasetSpec {
+    name: "KDDCup99",
+    objects: 4_000_000,
+    attributes: 42,
+    classes: 23,
+};
 
 /// The eight accuracy-evaluation datasets of Table 1(a), paper order.
 pub fn accuracy_benchmarks() -> [DatasetSpec; 8] {
@@ -174,7 +210,11 @@ pub fn generate_fraction(
             labels.push(class);
         }
     }
-    LabeledDataset { spec, points, labels }
+    LabeledDataset {
+        spec,
+        points,
+        labels,
+    }
 }
 
 /// A standard-normal draw via Box–Muller (keeps `rand` distribution-free).
@@ -222,7 +262,12 @@ mod tests {
     fn every_fraction_covers_all_classes() {
         // The Figure-5 protocol: all classes present in every subset.
         let mut rng = StdRng::seed_from_u64(3);
-        let spec = DatasetSpec { name: "mini-kdd", objects: 500, attributes: 5, classes: 23 };
+        let spec = DatasetSpec {
+            name: "mini-kdd",
+            objects: 500,
+            attributes: 5,
+            classes: 23,
+        };
         for frac in [0.05, 0.1, 0.5, 1.0] {
             let d = generate_fraction(spec, frac, &mut rng);
             let mut seen = [false; 23];
@@ -274,7 +319,10 @@ mod tests {
                 max_sep = max_sep.max(sep);
             }
         }
-        assert!(max_sep > 2.0, "classes too entangled: max separation {max_sep}");
+        assert!(
+            max_sep > 2.0,
+            "classes too entangled: max separation {max_sep}"
+        );
     }
 
     #[test]

@@ -106,7 +106,11 @@ pub fn parse_labeled_csv(name: &'static str, content: &str) -> Result<LabeledDat
         attributes,
         classes: label_names.len(),
     };
-    Ok(LabeledDataset { spec, points, labels })
+    Ok(LabeledDataset {
+        spec,
+        points,
+        labels,
+    })
 }
 
 /// Reads a labelled CSV dataset from a file.
@@ -184,7 +188,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_input() {
-        assert!(matches!(parse_labeled_csv("empty", "# only comments\n"), Err(IoError::Empty)));
+        assert!(matches!(
+            parse_labeled_csv("empty", "# only comments\n"),
+            Err(IoError::Empty)
+        ));
     }
 
     #[test]

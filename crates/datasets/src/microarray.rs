@@ -34,11 +34,17 @@ pub struct MicroarraySpec {
 }
 
 /// Neuroblastoma: 22,282 genes, 14 arrays.
-pub const NEUROBLASTOMA: MicroarraySpec =
-    MicroarraySpec { name: "Neuroblastoma", genes: 22_282, arrays: 14 };
+pub const NEUROBLASTOMA: MicroarraySpec = MicroarraySpec {
+    name: "Neuroblastoma",
+    genes: 22_282,
+    arrays: 14,
+};
 /// Leukaemia: 22,690 genes, 21 arrays.
-pub const LEUKAEMIA: MicroarraySpec =
-    MicroarraySpec { name: "Leukaemia", genes: 22_690, arrays: 21 };
+pub const LEUKAEMIA: MicroarraySpec = MicroarraySpec {
+    name: "Leukaemia",
+    genes: 22_690,
+    arrays: 21,
+};
 
 /// Configuration of the probe-level simulator.
 #[derive(Debug, Clone)]
@@ -103,8 +109,7 @@ impl MicroarraySimulator {
         let arrays = spec.arrays;
 
         // Array effects (chip-to-chip normalization offsets).
-        let array_effect: Vec<f64> =
-            (0..arrays).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let array_effect: Vec<f64> = (0..arrays).map(|_| rng.gen_range(-0.5..0.5)).collect();
         // Group-by-array expression profiles.
         let profiles: Vec<Vec<f64>> = (0..self.groups)
             .map(|_| {
@@ -118,8 +123,8 @@ impl MicroarraySimulator {
         let mut latent_groups = Vec::with_capacity(genes);
         for g in 0..genes {
             let group = g % self.groups; // balanced groups, deterministic
-            // Baseline abundance of this gene (log2 scale, typical range).
-            let abundance = rng.gen_range(4.0..12.0);
+                                         // Baseline abundance of this gene (log2 scale, typical range).
+            let abundance: f64 = rng.gen_range(4.0..12.0);
             let dims: Vec<UnivariatePdf> = (0..arrays)
                 .map(|a| {
                     let level = abundance
@@ -211,7 +216,10 @@ mod tests {
     #[test]
     fn latent_groups_are_balanced_and_recoverable_in_expectation() {
         let mut rng = StdRng::seed_from_u64(73);
-        let sim = MicroarraySimulator { groups: 4, ..Default::default() };
+        let sim = MicroarraySimulator {
+            groups: 4,
+            ..Default::default()
+        };
         let d = sim.simulate_genes(NEUROBLASTOMA, 120, &mut rng);
         let mut counts = vec![0usize; 4];
         for &g in &d.latent_groups {

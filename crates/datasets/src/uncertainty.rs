@@ -36,7 +36,11 @@ pub enum NoiseKind {
 impl NoiseKind {
     /// All three families, paper order.
     pub fn all() -> [NoiseKind; 3] {
-        [NoiseKind::Uniform, NoiseKind::Normal, NoiseKind::Exponential]
+        [
+            NoiseKind::Uniform,
+            NoiseKind::Normal,
+            NoiseKind::Exponential,
+        ]
     }
 
     /// Table-column label ("U", "N", "E").
@@ -309,7 +313,10 @@ impl PdfAssignment {
                 UncertainObject::with_coverage(centered, self.coverage)
             })
             .collect();
-        PairedDatasets { observed, uncertain }
+        PairedDatasets {
+            observed,
+            uncertain,
+        }
     }
 }
 
@@ -320,8 +327,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn grid_points() -> (Vec<Vec<f64>>, Vec<f64>) {
-        let points: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![i as f64, (i % 5) as f64 * 2.0]).collect();
+        let points: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i % 5) as f64 * 2.0])
+            .collect();
         (points, vec![5.0, 3.0])
     }
 
@@ -462,8 +470,7 @@ mod tests {
         let reference = a.uncertain_objects();
         for (p, r) in pair.uncertain.iter().zip(&reference) {
             assert!(
-                (p.total_variance() - r.total_variance()).abs()
-                    < 1e-6 * (1.0 + r.total_variance()),
+                (p.total_variance() - r.total_variance()).abs() < 1e-6 * (1.0 + r.total_variance()),
                 "translation must preserve truncated variance"
             );
         }

@@ -33,7 +33,12 @@ fn contingency(clustering: &Clustering, reference: &[usize]) -> Contingency {
         class_sizes[u] += 1;
         cluster_sizes[v] += 1;
     }
-    Contingency { counts, class_sizes, cluster_sizes, n: reference.len() }
+    Contingency {
+        counts,
+        class_sizes,
+        cluster_sizes,
+        n: reference.len(),
+    }
 }
 
 /// Purity: every cluster votes for its majority class;
@@ -69,7 +74,11 @@ pub fn adjusted_rand_index(clustering: &Clustering, reference: &[usize]) -> f64 
     let expected = sum_a * sum_b / total;
     let max = 0.5 * (sum_a + sum_b);
     if (max - expected).abs() < 1e-15 {
-        return if (sum_ij - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+        return if (sum_ij - expected).abs() < 1e-15 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_ij - expected) / (max - expected)
 }
@@ -120,7 +129,10 @@ mod tests {
     use super::*;
 
     fn perfect() -> (Clustering, Vec<usize>) {
-        (Clustering::new(vec![1, 1, 0, 0, 2, 2], 3), vec![0, 0, 1, 1, 2, 2])
+        (
+            Clustering::new(vec![1, 1, 0, 0, 2, 2], 3),
+            vec![0, 0, 1, 1, 2, 2],
+        )
     }
 
     #[test]
@@ -165,9 +177,7 @@ mod tests {
         assert_eq!(purity(&a, &r), purity(&b, &r));
         assert!((adjusted_rand_index(&a, &r) - adjusted_rand_index(&b, &r)).abs() < 1e-12);
         assert!(
-            (normalized_mutual_information(&a, &r)
-                - normalized_mutual_information(&b, &r))
-            .abs()
+            (normalized_mutual_information(&a, &r) - normalized_mutual_information(&b, &r)).abs()
                 < 1e-12
         );
     }
@@ -179,10 +189,7 @@ mod tests {
         let bad = Clustering::new(vec![0, 0, 1, 1, 0, 1], 2);
         assert!(purity(&good, &r) > purity(&bad, &r));
         assert!(adjusted_rand_index(&good, &r) > adjusted_rand_index(&bad, &r));
-        assert!(
-            normalized_mutual_information(&good, &r)
-                > normalized_mutual_information(&bad, &r)
-        );
+        assert!(normalized_mutual_information(&good, &r) > normalized_mutual_information(&bad, &r));
     }
 
     #[test]

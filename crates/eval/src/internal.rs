@@ -17,7 +17,11 @@ use ucpc_uncertain::UncertainObject;
 ///
 /// O(n²·m); subsample large datasets first.
 pub fn silhouette(data: &[UncertainObject], clustering: &Clustering) -> f64 {
-    assert_eq!(data.len(), clustering.len(), "clustering must cover the data");
+    assert_eq!(
+        data.len(),
+        clustering.len(),
+        "clustering must cover the data"
+    );
     let n = data.len();
     if n == 0 {
         return 0.0;
@@ -69,7 +73,11 @@ pub fn silhouette(data: &[UncertainObject], clustering: &Clustering) -> f64 {
 /// a cluster of high-variance objects is bounded below by their variances —
 /// which is exactly the behaviour an uncertainty-aware index should have.
 pub fn dunn_index(data: &[UncertainObject], clustering: &Clustering) -> f64 {
-    assert_eq!(data.len(), clustering.len(), "clustering must cover the data");
+    assert_eq!(
+        data.len(),
+        clustering.len(),
+        "clustering must cover the data"
+    );
     let members: Vec<Vec<usize>> = clustering
         .members()
         .into_iter()
@@ -96,8 +104,7 @@ pub fn dunn_index(data: &[UncertainObject], clustering: &Clustering) -> f64 {
         for b_ms in &members[ci + 1..] {
             for &a in a_ms {
                 for &b in b_ms {
-                    min_separation =
-                        min_separation.min(expected_sq_distance(&data[a], &data[b]));
+                    min_separation = min_separation.min(expected_sq_distance(&data[a], &data[b]));
                 }
             }
         }

@@ -30,7 +30,11 @@ pub struct Quality {
 /// datasets before calling this, exactly as any implementation of the paper's
 /// protocol must.
 pub fn quality(data: &[UncertainObject], clustering: &Clustering) -> Quality {
-    assert_eq!(data.len(), clustering.len(), "clustering must cover the data");
+    assert_eq!(
+        data.len(),
+        clustering.len(),
+        "clustering must cover the data"
+    );
     let n = data.len();
 
     // Normalization constant: max pairwise ÊD over the dataset.
@@ -42,7 +46,11 @@ pub fn quality(data: &[UncertainObject], clustering: &Clustering) -> Quality {
     }
     if max_ed <= 0.0 {
         // All objects identical and deterministic: perfectly cohesive.
-        return Quality { intra: 0.0, inter: 0.0, q: 0.0 };
+        return Quality {
+            intra: 0.0,
+            inter: 0.0,
+            q: 0.0,
+        };
     }
 
     let members = clustering.members();
@@ -97,7 +105,11 @@ pub fn quality(data: &[UncertainObject], clustering: &Clustering) -> Quality {
         0.0
     };
 
-    Quality { intra, inter, q: inter - intra }
+    Quality {
+        intra,
+        inter,
+        q: inter - intra,
+    }
 }
 
 #[cfg(test)]
@@ -161,8 +173,9 @@ mod tests {
 
     #[test]
     fn identical_deterministic_objects_are_degenerate() {
-        let data: Vec<UncertainObject> =
-            (0..4).map(|_| UncertainObject::deterministic(&[1.0])).collect();
+        let data: Vec<UncertainObject> = (0..4)
+            .map(|_| UncertainObject::deterministic(&[1.0]))
+            .collect();
         let c = Clustering::new(vec![0, 0, 1, 1], 2);
         let q = quality(&data, &c);
         assert_eq!(q.q, 0.0);
@@ -175,9 +188,7 @@ mod tests {
         let tight = blobs();
         let loose: Vec<UncertainObject> = tight
             .iter()
-            .map(|o| {
-                UncertainObject::new(vec![UnivariatePdf::normal(o.mu()[0], 2.0)])
-            })
+            .map(|o| UncertainObject::new(vec![UnivariatePdf::normal(o.mu()[0], 2.0)]))
             .collect();
         let c = Clustering::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
         let qt = quality(&tight, &c);

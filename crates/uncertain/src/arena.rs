@@ -1,0 +1,323 @@
+//! Flat structure-of-arrays storage for per-object moments — the data layout
+//! behind the scalar-aggregate delta-`J` kernel.
+//!
+//! # Why an arena
+//!
+//! UCPC's entire `O(I·k·n·m)` cost (Proposition 5) is the inner
+//! candidate-relocation evaluation. With per-object [`Moments`] stored as
+//! three separately heap-allocated slices, every candidate evaluation chases
+//! pointers into small scattered allocations and re-reads `mu`, `mu_2` and
+//! `sigma^2` once per cluster statistic it updates. [`MomentArena`] stores
+//! the moments of a whole dataset as three contiguous row-major `n × m`
+//! matrices plus three per-object scalar columns, so the hot loop touches one
+//! contiguous row per object and a handful of scalars.
+//!
+//! # The dot-product form of the Corollary-1 update
+//!
+//! Theorem 3 writes the cluster objective in per-dimension sufficient
+//! statistics (`s_j = Σ_{o∈C} mu_j(o)` is the signed mean sum whose square is
+//! the theorem's `Υ_j`):
+//!
+//! ```text
+//! J(C) = Σ_j ( Ψ_j/|C| + Φ_j − s_j²/|C| )
+//!      = Ψ_tot/|C| + Φ_tot − S₂/|C|,
+//! ```
+//!
+//! where `Ψ_tot = Σ_j Ψ_j`, `Φ_tot = Σ_j Φ_j` and `S₂ = Σ_j s_j²` are plain
+//! scalars. Corollary 1 updates each `Ψ_j`, `Φ_j`, `s_j` in O(1) per
+//! dimension; summing those updates over `j` shows how the three aggregates
+//! move when one object `o` joins `C`:
+//!
+//! ```text
+//! Ψ_tot' = Ψ_tot + Σ_j sigma²_j(o)          (the scalar `sum_var(o)`)
+//! Φ_tot' = Φ_tot + Σ_j (mu_2)_j(o)          (the scalar `sum_mu2(o)`)
+//! S₂'    = Σ_j (s_j + mu_j(o))²
+//!        = S₂ + 2·Σ_j s_j·mu_j(o) + Σ_j mu_j(o)²
+//!        = S₂ + 2·⟨s, mu(o)⟩ + sum_mu_sq(o),
+//! ```
+//!
+//! and symmetrically with flipped signs when `o` leaves. Every term except
+//! `⟨s, mu(o)⟩` is a precomputed per-object scalar, so the full objective
+//! change of a candidate relocation collapses to **one fused dot product**
+//! between the cluster's flat mean-sum vector `s` and the object's contiguous
+//! `mu` row — a single auto-vectorizable O(m) pass — instead of the naive
+//! three O(m) sweeps (`J(C−o)`, `J(C+o)` per candidate cluster, against ~6
+//! array reads and 7 flops per dimension each). The same algebra applied to
+//! Lemma 1 (`J_UK = Φ_tot − S₂/|C|`) and Proposition 2 (`J_MM = J_UK/|C|`)
+//! yields the UK-means and MMVar kernels.
+//!
+//! The per-object scalars needed by these updates are exactly the columns the
+//! arena precomputes at construction:
+//!
+//! * `sum_mu_sq(o) = Σ_j mu_j(o)²`,
+//! * `sum_mu2(o)  = Σ_j (mu_2)_j(o)` (the object's contribution to `Φ_tot`),
+//! * `sum_var(o)  = Σ_j sigma²_j(o)` (Eq. 6's global variance; the
+//!   contribution to `Ψ_tot`).
+//!
+//! [`MomentView`] bundles one object's rows and scalars; `ClusterStats` in
+//! `ucpc-core` consumes views through its `delta_j_*` methods and keeps the
+//! original per-dimension sweeps as the `naive` reference path.
+
+use crate::moments::Moments;
+use crate::object::UncertainObject;
+
+/// Borrowed view of one object's moment rows plus its precomputed scalar
+/// aggregates — the unit of work of the delta-`J` kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct MomentView<'a> {
+    /// Expected values `mu_j(o)` (contiguous, length `m`).
+    pub mu: &'a [f64],
+    /// Second-order moments `(mu_2)_j(o)`.
+    pub mu2: &'a [f64],
+    /// Variances `sigma²_j(o)`.
+    pub var: &'a [f64],
+    /// `Σ_j mu_j(o)²`.
+    pub sum_mu_sq: f64,
+    /// `Σ_j (mu_2)_j(o)` — the object's contribution to `Φ_tot`.
+    pub sum_mu2: f64,
+    /// `Σ_j sigma²_j(o)` — Eq. (6); the object's contribution to `Ψ_tot`.
+    pub sum_var: f64,
+}
+
+impl MomentView<'_> {
+    /// Number of dimensions `m`.
+    pub fn dims(&self) -> usize {
+        self.mu.len()
+    }
+}
+
+/// Contiguous row-major SoA storage of the moments of `n` objects over `m`
+/// dimensions, with precomputed per-object scalar aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentArena {
+    n: usize,
+    m: usize,
+    mu: Vec<f64>,
+    mu2: Vec<f64>,
+    var: Vec<f64>,
+    sum_mu_sq: Vec<f64>,
+    sum_mu2: Vec<f64>,
+    sum_var: Vec<f64>,
+}
+
+impl MomentArena {
+    /// Builds the arena from a dataset of uncertain objects. All objects must
+    /// share one dimensionality (callers validate through
+    /// `ucpc_core::framework::validate_input`; this panics otherwise).
+    pub fn from_objects(data: &[UncertainObject]) -> Self {
+        Self::from_moments(data.iter().map(UncertainObject::moments))
+    }
+
+    /// Builds the arena from an iterator of per-object moments.
+    pub fn from_moments<'a>(moments: impl IntoIterator<Item = &'a Moments>) -> Self {
+        let mut arena = Self {
+            n: 0,
+            m: 0,
+            mu: Vec::new(),
+            mu2: Vec::new(),
+            var: Vec::new(),
+            sum_mu_sq: Vec::new(),
+            sum_mu2: Vec::new(),
+            sum_var: Vec::new(),
+        };
+        for mo in moments {
+            arena.push(mo);
+        }
+        arena
+    }
+
+    /// Appends one object's moments as a new row.
+    pub fn push(&mut self, mo: &Moments) {
+        if self.n == 0 {
+            self.m = mo.dims();
+            let hint = 64 * self.m;
+            self.mu.reserve(hint);
+            self.mu2.reserve(hint);
+            self.var.reserve(hint);
+        }
+        assert_eq!(
+            mo.dims(),
+            self.m,
+            "arena rows must share one dimensionality"
+        );
+        self.mu.extend_from_slice(mo.mu());
+        self.mu2.extend_from_slice(mo.mu2());
+        self.var.extend_from_slice(mo.variance());
+        self.sum_mu_sq.push(mo.sum_mu_sq());
+        self.sum_mu2.push(mo.sum_mu2());
+        self.sum_var.push(mo.total_variance());
+        self.n += 1;
+    }
+
+    /// Number of objects `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the arena holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of dimensions `m` (0 until the first row is pushed).
+    pub fn dims(&self) -> usize {
+        self.m
+    }
+
+    /// The `mu` row of object `i` (contiguous slice of length `m`).
+    pub fn mu_row(&self, i: usize) -> &[f64] {
+        &self.mu[i * self.m..(i + 1) * self.m]
+    }
+
+    /// The `mu_2` row of object `i`.
+    pub fn mu2_row(&self, i: usize) -> &[f64] {
+        &self.mu2[i * self.m..(i + 1) * self.m]
+    }
+
+    /// The variance row of object `i`.
+    pub fn var_row(&self, i: usize) -> &[f64] {
+        &self.var[i * self.m..(i + 1) * self.m]
+    }
+
+    /// `Σ_j mu_j(o_i)²`.
+    pub fn sum_mu_sq(&self, i: usize) -> f64 {
+        self.sum_mu_sq[i]
+    }
+
+    /// `Σ_j (mu_2)_j(o_i)`.
+    pub fn sum_mu2(&self, i: usize) -> f64 {
+        self.sum_mu2[i]
+    }
+
+    /// `Σ_j sigma²_j(o_i)` (the object's global variance, Eq. 6).
+    pub fn sum_var(&self, i: usize) -> f64 {
+        self.sum_var[i]
+    }
+
+    /// The kernel view of object `i`: its three rows plus the scalars.
+    pub fn view(&self, i: usize) -> MomentView<'_> {
+        let row = i * self.m..(i + 1) * self.m;
+        MomentView {
+            mu: &self.mu[row.clone()],
+            mu2: &self.mu2[row.clone()],
+            var: &self.var[row],
+            sum_mu_sq: self.sum_mu_sq[i],
+            sum_mu2: self.sum_mu2[i],
+            sum_var: self.sum_var[i],
+        }
+    }
+}
+
+/// Four-accumulator fused dot product `⟨a, b⟩` — the kernel's single O(m)
+/// pass. The manual unroll gives LLVM independent accumulation chains it can
+/// keep in SIMD registers (plain reductions cannot be auto-vectorized because
+/// float addition is not associative).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    // A hard check, not a debug_assert: silently truncating on mismatched
+    // lengths would turn a caller's dimension bug into wrong relocation
+    // deltas in release builds. One predictable branch on the hot path.
+    assert_eq!(a.len(), b.len(), "dot product requires equal-length slices");
+    let n = a.len();
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdf::UnivariatePdf;
+
+    fn objects() -> Vec<UncertainObject> {
+        vec![
+            UncertainObject::new(vec![
+                UnivariatePdf::normal(1.0, 0.5),
+                UnivariatePdf::uniform_centered(-2.0, 1.0),
+                UnivariatePdf::normal(0.25, 2.0),
+            ]),
+            UncertainObject::new(vec![
+                UnivariatePdf::exponential_with_mean(0.5, 1.5),
+                UnivariatePdf::normal(3.0, 0.1),
+                UnivariatePdf::PointMass { x: -4.0 },
+            ]),
+        ]
+    }
+
+    #[test]
+    fn rows_match_per_object_moments() {
+        let objs = objects();
+        let arena = MomentArena::from_objects(&objs);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.dims(), 3);
+        for (i, o) in objs.iter().enumerate() {
+            assert_eq!(arena.mu_row(i), o.mu());
+            assert_eq!(arena.mu2_row(i), o.mu2());
+            assert_eq!(arena.var_row(i), o.variance());
+        }
+    }
+
+    #[test]
+    fn scalars_match_row_sums() {
+        let objs = objects();
+        let arena = MomentArena::from_objects(&objs);
+        for i in 0..arena.len() {
+            let mu_sq: f64 = arena.mu_row(i).iter().map(|&x| x * x).sum();
+            let mu2: f64 = arena.mu2_row(i).iter().sum();
+            let var: f64 = arena.var_row(i).iter().sum();
+            assert!((arena.sum_mu_sq(i) - mu_sq).abs() < 1e-12);
+            assert!((arena.sum_mu2(i) - mu2).abs() < 1e-12);
+            assert!((arena.sum_var(i) - var).abs() < 1e-12);
+            let v = arena.view(i);
+            assert_eq!(v.dims(), 3);
+            assert_eq!(v.mu, arena.mu_row(i));
+            assert!((v.sum_mu_sq - mu_sq).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn view_agrees_with_moments_view() {
+        let objs = objects();
+        let arena = MomentArena::from_objects(&objs);
+        for (i, o) in objs.iter().enumerate() {
+            let a = arena.view(i);
+            let m = o.moments().view();
+            assert_eq!(a.mu, m.mu);
+            assert_eq!(a.mu2, m.mu2);
+            assert_eq!(a.var, m.var);
+            assert!((a.sum_mu_sq - m.sum_mu_sq).abs() < 1e-12);
+            assert!((a.sum_mu2 - m.sum_mu2).abs() < 1e-12);
+            assert!((a.sum_var - m.sum_var).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dot_matches_naive_for_all_lengths() {
+        for n in 0..20usize {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 3.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 - (i as f64) * 0.25).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-9, "length {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimensionality")]
+    fn mixed_dimensionality_panics() {
+        let mut arena = MomentArena::from_objects(&objects());
+        let one_dim = Moments::of_point(&[1.0]);
+        arena.push(&one_dim);
+    }
+}

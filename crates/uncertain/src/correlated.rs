@@ -39,9 +39,9 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct CorrelatedGaussian {
     mean: Vec<f64>,
-    cov: Vec<f64>,      // row-major m x m
-    chol: Vec<f64>,     // lower-triangular Cholesky factor, row-major
-    inv_det_sqrt: f64,  // 1 / sqrt((2 pi)^m det(cov))
+    cov: Vec<f64>,     // row-major m x m
+    chol: Vec<f64>,    // lower-triangular Cholesky factor, row-major
+    inv_det_sqrt: f64, // 1 / sqrt((2 pi)^m det(cov))
 }
 
 impl CorrelatedGaussian {
@@ -56,9 +56,7 @@ impl CorrelatedGaussian {
         // Symmetry check.
         for i in 0..m {
             for j in (i + 1)..m {
-                if (cov[i * m + j] - cov[j * m + i]).abs()
-                    > 1e-9 * (1.0 + cov[i * m + j].abs())
-                {
+                if (cov[i * m + j] - cov[j * m + i]).abs() > 1e-9 * (1.0 + cov[i * m + j].abs()) {
                     return None;
                 }
             }
@@ -69,9 +67,13 @@ impl CorrelatedGaussian {
         for i in 0..m {
             log_det += chol[i * m + i].ln() * 2.0;
         }
-        let log_norm =
-            -0.5 * (m as f64 * (2.0 * std::f64::consts::PI).ln() + log_det);
-        Some(Self { mean, cov, chol, inv_det_sqrt: log_norm.exp() })
+        let log_norm = -0.5 * (m as f64 * (2.0 * std::f64::consts::PI).ln() + log_det);
+        Some(Self {
+            mean,
+            cov,
+            chol,
+            inv_det_sqrt: log_norm.exp(),
+        })
     }
 
     /// Convenience: independent (diagonal) Gaussian.
@@ -144,8 +146,9 @@ impl CorrelatedGaussian {
     pub fn marginal_moments(&self) -> Moments {
         let m = self.dims();
         let mu = self.mean.clone();
-        let mu2: Vec<f64> =
-            (0..m).map(|j| self.mean[j] * self.mean[j] + self.cov(j, j)).collect();
+        let mu2: Vec<f64> = (0..m)
+            .map(|j| self.mean[j] * self.mean[j] + self.cov(j, j))
+            .collect();
         Moments::from_mu_mu2(mu, mu2)
     }
 

@@ -102,12 +102,18 @@ pub fn expected_distance_between_sampled(
     samples_b: &[Vec<f64>],
     metric: Metric,
 ) -> f64 {
-    assert!(!samples_a.is_empty() && !samples_b.is_empty(), "need samples");
+    assert!(
+        !samples_a.is_empty() && !samples_b.is_empty(),
+        "need samples"
+    );
     if samples_a.len() == samples_b.len() {
         // Index-matched estimator: unbiased because realizations are
         // independent across objects, and O(S) instead of O(S^2).
         let n = samples_a.len();
-        (0..n).map(|i| metric.eval(&samples_a[i], &samples_b[i])).sum::<f64>() / n as f64
+        (0..n)
+            .map(|i| metric.eval(&samples_a[i], &samples_b[i]))
+            .sum::<f64>()
+            / n as f64
     } else {
         let mut acc = 0.0;
         for sa in samples_a {
@@ -122,12 +128,11 @@ pub fn expected_distance_between_sampled(
 /// Probability that two uncertain objects lie within `eps` of each other
 /// (Euclidean), estimated from paired samples. This is the fuzzy distance
 /// function of FDBSCAN/FOPTICS (Kriegel & Pfeifle).
-pub fn distance_probability(
-    samples_a: &[Vec<f64>],
-    samples_b: &[Vec<f64>],
-    eps: f64,
-) -> f64 {
-    assert!(!samples_a.is_empty() && !samples_b.is_empty(), "need samples");
+pub fn distance_probability(samples_a: &[Vec<f64>], samples_b: &[Vec<f64>], eps: f64) -> f64 {
+    assert!(
+        !samples_a.is_empty() && !samples_b.is_empty(),
+        "need samples"
+    );
     let eps_sq = eps * eps;
     let mut hits = 0usize;
     let mut total = 0usize;
@@ -206,8 +211,7 @@ mod tests {
         let a = gaussian_obj(&[1.0, -1.0], 0.4);
         let b = gaussian_obj(&[0.5, 2.0], 0.9);
         let via_objects = expected_sq_distance(&a, &b);
-        let via_moments =
-            expected_sq_distance_from_moments(a.mu(), a.mu2(), b.mu(), b.mu2());
+        let via_moments = expected_sq_distance_from_moments(a.mu(), a.mu2(), b.mu(), b.mu2());
         assert!((via_objects - via_moments).abs() < 1e-9);
     }
 

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod correlated;
 pub mod distance;
 pub mod math;
@@ -39,6 +40,7 @@ pub mod region;
 pub mod sampling;
 pub mod stats;
 
+pub use arena::{MomentArena, MomentView};
 pub use moments::Moments;
 pub use object::UncertainObject;
 pub use pdf::{PdfFamily, UnivariatePdf};

@@ -6,16 +6,21 @@
 //! stores them once per object (Line 1 of Algorithm 1), so that the clustering
 //! loops never touch a pdf again.
 
+use crate::arena::MomentView;
 use serde::{Deserialize, Serialize};
 
 /// Per-dimension expected value, second-order moment and variance of an
-/// uncertain object, plus the aggregated "global" variance of Eq. (6).
+/// uncertain object, plus the aggregated "global" variance of Eq. (6) and the
+/// scalar aggregates consumed by the delta-`J` kernel
+/// (see [`crate::arena`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Moments {
     mu: Box<[f64]>,
     mu2: Box<[f64]>,
     var: Box<[f64]>,
     total_var: f64,
+    sum_mu_sq: f64,
+    sum_mu2: f64,
 }
 
 impl Moments {
@@ -32,7 +37,16 @@ impl Moments {
             .map(|(&m, &m2)| (m2 - m * m).max(0.0))
             .collect();
         let total_var = var.iter().sum();
-        Self { mu: mu.into(), mu2: mu2.into(), var, total_var }
+        let sum_mu_sq = mu.iter().map(|&m| m * m).sum();
+        let sum_mu2 = mu2.iter().sum();
+        Self {
+            mu: mu.into(),
+            mu2: mu2.into(),
+            var,
+            total_var,
+            sum_mu_sq,
+            sum_mu2,
+        }
     }
 
     /// Moments of a deterministic point (`sigma^2 = 0` everywhere).
@@ -84,6 +98,30 @@ impl Moments {
     /// "Global" scalar variance, Eq. (6): `sigma^2(o) = || sigma^2 vec ||_1`.
     pub fn total_variance(&self) -> f64 {
         self.total_var
+    }
+
+    /// `Σ_j mu_j²` — precomputed for the delta-`J` kernel.
+    pub fn sum_mu_sq(&self) -> f64 {
+        self.sum_mu_sq
+    }
+
+    /// `Σ_j (mu_2)_j` — the object's contribution to `Φ_tot`.
+    pub fn sum_mu2(&self) -> f64 {
+        self.sum_mu2
+    }
+
+    /// Kernel view over these moments (same shape as
+    /// [`crate::arena::MomentArena::view`], for callers that hold moments
+    /// outside an arena, e.g. streaming insertion).
+    pub fn view(&self) -> MomentView<'_> {
+        MomentView {
+            mu: &self.mu,
+            mu2: &self.mu2,
+            var: &self.var,
+            sum_mu_sq: self.sum_mu_sq,
+            sum_mu2: self.sum_mu2,
+            sum_var: self.total_var,
+        }
     }
 }
 

@@ -30,12 +30,17 @@ impl UncertainObject {
     /// density outside `R`), prefer [`UncertainObject::with_coverage`], which
     /// truncates and renormalizes.
     pub fn new(dims: Vec<UnivariatePdf>) -> Self {
-        assert!(!dims.is_empty(), "uncertain object needs at least one dimension");
-        let region = BoxRegion::new(
-            dims.iter().map(|p| p.support()).collect::<Vec<_>>(),
+        assert!(
+            !dims.is_empty(),
+            "uncertain object needs at least one dimension"
         );
+        let region = BoxRegion::new(dims.iter().map(|p| p.support()).collect::<Vec<_>>());
         let moments = moments_of(&dims);
-        Self { region, dims: dims.into(), moments }
+        Self {
+            region,
+            dims: dims.into(),
+            moments,
+        }
     }
 
     /// Builds an object whose domain region is the per-dimension central
@@ -43,7 +48,10 @@ impl UncertainObject {
     /// pdf is truncated and renormalized on that region so that condition (1)
     /// of Definition 1 holds exactly (Section 5.1, Case 2).
     pub fn with_coverage(dims: Vec<UnivariatePdf>, coverage: f64) -> Self {
-        assert!(!dims.is_empty(), "uncertain object needs at least one dimension");
+        assert!(
+            !dims.is_empty(),
+            "uncertain object needs at least one dimension"
+        );
         let truncated: Vec<UnivariatePdf> = dims
             .into_iter()
             .map(|p| {
@@ -61,7 +69,11 @@ impl UncertainObject {
     /// A deterministic point viewed as a degenerate uncertain object
     /// (Case 1 of the evaluation; `sigma^2 = 0`).
     pub fn deterministic(x: &[f64]) -> Self {
-        Self::new(x.iter().map(|&v| UnivariatePdf::PointMass { x: v }).collect())
+        Self::new(
+            x.iter()
+                .map(|&v| UnivariatePdf::PointMass { x: v })
+                .collect(),
+        )
     }
 
     /// Number of dimensions `m`.
@@ -111,13 +123,19 @@ impl UncertainObject {
 
     /// Whether the object is deterministic (every dimension a point mass).
     pub fn is_deterministic(&self) -> bool {
-        self.dims.iter().all(|p| matches!(p, UnivariatePdf::PointMass { .. }))
+        self.dims
+            .iter()
+            .all(|p| matches!(p, UnivariatePdf::PointMass { .. }))
     }
 
     /// Joint density `f(x)` (product across dimensions).
     pub fn density(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dims(), "dimension mismatch");
-        self.dims.iter().zip(x).map(|(p, &v)| p.density(v)).product()
+        self.dims
+            .iter()
+            .zip(x)
+            .map(|(p, &v)| p.density(v))
+            .product()
     }
 
     /// Draws one deterministic realization of the object.
@@ -192,7 +210,10 @@ mod tests {
     #[test]
     fn with_coverage_truncates_and_keeps_definition_1() {
         let o = UncertainObject::with_coverage(
-            vec![UnivariatePdf::normal(0.0, 1.0), UnivariatePdf::exponential_with_mean(2.0, 1.0)],
+            vec![
+                UnivariatePdf::normal(0.0, 1.0),
+                UnivariatePdf::exponential_with_mean(2.0, 1.0),
+            ],
             0.95,
         );
         // Region is finite.
@@ -210,7 +231,10 @@ mod tests {
     #[test]
     fn samples_fall_in_region() {
         let o = UncertainObject::with_coverage(
-            vec![UnivariatePdf::normal(5.0, 2.0), UnivariatePdf::uniform_centered(0.0, 1.0)],
+            vec![
+                UnivariatePdf::normal(5.0, 2.0),
+                UnivariatePdf::uniform_centered(0.0, 1.0),
+            ],
             0.9,
         );
         let mut rng = StdRng::seed_from_u64(42);

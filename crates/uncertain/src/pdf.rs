@@ -118,7 +118,10 @@ impl UnivariatePdf {
     /// (so that its expected value is exactly `mean`, per Section 5.1).
     pub fn uniform_centered(mean: f64, h: f64) -> Self {
         assert!(h > 0.0, "uniform half-width must be positive, got {h}");
-        UnivariatePdf::Uniform { lo: mean - h, hi: mean + h }
+        UnivariatePdf::Uniform {
+            lo: mean - h,
+            hi: mean + h,
+        }
     }
 
     /// Normal pdf with the given mean and standard deviation.
@@ -132,7 +135,10 @@ impl UnivariatePdf {
     /// `E[f_w] = w` for every generated pdf).
     pub fn exponential_with_mean(mean: f64, rate: f64) -> Self {
         assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
-        UnivariatePdf::Exponential { origin: mean - 1.0 / rate, rate }
+        UnivariatePdf::Exponential {
+            origin: mean - 1.0 / rate,
+            rate,
+        }
     }
 
     /// Empirical pdf from weighted atoms. Weights must be non-negative with a
@@ -146,10 +152,7 @@ impl UnivariatePdf {
             total > 0.0 && atoms.iter().all(|&(_, w)| w >= 0.0),
             "discrete pdf weights must be non-negative with positive sum"
         );
-        let (xs, ws) = atoms
-            .into_iter()
-            .map(|(x, w)| (x, w / total))
-            .unzip();
+        let (xs, ws) = atoms.into_iter().map(|(x, w)| (x, w / total)).unzip();
         UnivariatePdf::Discrete { xs, ws }
     }
 
@@ -332,9 +335,7 @@ impl UnivariatePdf {
                 let z = 1.0 - e;
                 origin + 1.0 / rate - c * e / z
             }
-            UnivariatePdf::Discrete { xs, ws } => {
-                xs.iter().zip(ws).map(|(&x, &w)| x * w).sum()
-            }
+            UnivariatePdf::Discrete { xs, ws } => xs.iter().zip(ws).map(|(&x, &w)| x * w).sum(),
         }
     }
 
@@ -362,9 +363,7 @@ impl UnivariatePdf {
                 let ey2 = exact_truncated_exp_second_moment(*rate, c, e, z);
                 origin * origin + 2.0 * origin * ey + ey2
             }
-            UnivariatePdf::Discrete { xs, ws } => {
-                xs.iter().zip(ws).map(|(&x, &w)| x * x * w).sum()
-            }
+            UnivariatePdf::Discrete { xs, ws } => xs.iter().zip(ws).map(|(&x, &w)| x * x * w).sum(),
         }
     }
 
@@ -408,12 +407,8 @@ impl UnivariatePdf {
             UnivariatePdf::Uniform { lo, hi } => Interval::new(*lo, *hi),
             UnivariatePdf::Normal { .. } => Interval::new(f64::NEG_INFINITY, f64::INFINITY),
             UnivariatePdf::TruncatedNormal { lo, hi, .. } => Interval::new(*lo, *hi),
-            UnivariatePdf::Exponential { origin, .. } => {
-                Interval::new(*origin, f64::INFINITY)
-            }
-            UnivariatePdf::TruncatedExponential { origin, hi, .. } => {
-                Interval::new(*origin, *hi)
-            }
+            UnivariatePdf::Exponential { origin, .. } => Interval::new(*origin, f64::INFINITY),
+            UnivariatePdf::TruncatedExponential { origin, hi, .. } => Interval::new(*origin, *hi),
             UnivariatePdf::Discrete { xs, .. } => Interval::new(
                 *xs.first().expect("non-empty"),
                 *xs.last().expect("non-empty"),
@@ -461,7 +456,10 @@ impl UnivariatePdf {
                     .intersect(&region)
                     .expect("region disjoint from uniform support");
                 assert!(iv.width() > 0.0, "degenerate truncated uniform");
-                UnivariatePdf::Uniform { lo: iv.lo, hi: iv.hi }
+                UnivariatePdf::Uniform {
+                    lo: iv.lo,
+                    hi: iv.hi,
+                }
             }
             UnivariatePdf::Normal { mean, sd } => UnivariatePdf::TruncatedNormal {
                 mean: *mean,
@@ -473,10 +471,18 @@ impl UnivariatePdf {
                 let iv = Interval::new(*lo, *hi)
                     .intersect(&region)
                     .expect("region disjoint from truncated normal support");
-                UnivariatePdf::TruncatedNormal { mean: *mean, sd: *sd, lo: iv.lo, hi: iv.hi }
+                UnivariatePdf::TruncatedNormal {
+                    mean: *mean,
+                    sd: *sd,
+                    lo: iv.lo,
+                    hi: iv.hi,
+                }
             }
             UnivariatePdf::Exponential { origin, rate } => {
-                assert!(region.hi > *origin, "region disjoint from exponential support");
+                assert!(
+                    region.hi > *origin,
+                    "region disjoint from exponential support"
+                );
                 UnivariatePdf::TruncatedExponential {
                     origin: origin.max(region.lo),
                     rate: *rate,
@@ -487,7 +493,11 @@ impl UnivariatePdf {
                 let iv = Interval::new(*origin, *hi)
                     .intersect(&region)
                     .expect("region disjoint from truncated exponential support");
-                UnivariatePdf::TruncatedExponential { origin: iv.lo, rate: *rate, hi: iv.hi }
+                UnivariatePdf::TruncatedExponential {
+                    origin: iv.lo,
+                    rate: *rate,
+                    hi: iv.hi,
+                }
             }
             UnivariatePdf::Discrete { xs, ws } => {
                 let atoms: Vec<(f64, f64)> = xs
@@ -517,23 +527,24 @@ impl UnivariatePdf {
     pub fn translate(&self, delta: f64) -> UnivariatePdf {
         match self {
             UnivariatePdf::PointMass { x } => UnivariatePdf::PointMass { x: x + delta },
-            UnivariatePdf::Uniform { lo, hi } => {
-                UnivariatePdf::Uniform { lo: lo + delta, hi: hi + delta }
-            }
-            UnivariatePdf::Normal { mean, sd } => {
-                UnivariatePdf::Normal { mean: mean + delta, sd: *sd }
-            }
-            UnivariatePdf::TruncatedNormal { mean, sd, lo, hi } => {
-                UnivariatePdf::TruncatedNormal {
-                    mean: mean + delta,
-                    sd: *sd,
-                    lo: lo + delta,
-                    hi: hi + delta,
-                }
-            }
-            UnivariatePdf::Exponential { origin, rate } => {
-                UnivariatePdf::Exponential { origin: origin + delta, rate: *rate }
-            }
+            UnivariatePdf::Uniform { lo, hi } => UnivariatePdf::Uniform {
+                lo: lo + delta,
+                hi: hi + delta,
+            },
+            UnivariatePdf::Normal { mean, sd } => UnivariatePdf::Normal {
+                mean: mean + delta,
+                sd: *sd,
+            },
+            UnivariatePdf::TruncatedNormal { mean, sd, lo, hi } => UnivariatePdf::TruncatedNormal {
+                mean: mean + delta,
+                sd: *sd,
+                lo: lo + delta,
+                hi: hi + delta,
+            },
+            UnivariatePdf::Exponential { origin, rate } => UnivariatePdf::Exponential {
+                origin: origin + delta,
+                rate: *rate,
+            },
             UnivariatePdf::TruncatedExponential { origin, rate, hi } => {
                 UnivariatePdf::TruncatedExponential {
                     origin: origin + delta,
@@ -657,7 +668,10 @@ mod tests {
             UnivariatePdf::exponential_with_mean(0.0, 1.0).truncate(Interval::new(-1.0, 3.0)),
         ];
         for p in pdfs {
-            let (lo, hi) = (p.quantile(1e-9).max(-50.0), p.quantile(1.0 - 1e-9).min(50.0));
+            let (lo, hi) = (
+                p.quantile(1e-9).max(-50.0),
+                p.quantile(1.0 - 1e-9).min(50.0),
+            );
             let n = 200_000;
             let dx = (hi - lo) / n as f64;
             let mass: f64 = (0..=n)
@@ -668,7 +682,11 @@ mod tests {
                 })
                 .sum::<f64>()
                 * dx;
-            assert!((mass - 1.0).abs() < 1e-3, "{:?} integrates to {mass}", p.family());
+            assert!(
+                (mass - 1.0).abs() < 1e-3,
+                "{:?} integrates to {mass}",
+                p.family()
+            );
         }
     }
 

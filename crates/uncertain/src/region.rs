@@ -20,7 +20,10 @@ impl Interval {
     /// Creates `[lo, hi]`. Panics in debug builds if `lo > hi` or either
     /// endpoint is NaN.
     pub fn new(lo: f64, hi: f64) -> Self {
-        debug_assert!(!lo.is_nan() && !hi.is_nan(), "interval endpoints must not be NaN");
+        debug_assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval endpoints must not be NaN"
+        );
         debug_assert!(lo <= hi, "interval requires lo <= hi, got [{lo}, {hi}]");
         Self { lo, hi }
     }
@@ -89,7 +92,9 @@ pub struct BoxRegion {
 impl BoxRegion {
     /// Builds a region from its per-dimension intervals.
     pub fn new(sides: impl Into<Box<[Interval]>>) -> Self {
-        Self { sides: sides.into() }
+        Self {
+            sides: sides.into(),
+        }
     }
 
     /// The degenerate region `{x}` of a deterministic point.

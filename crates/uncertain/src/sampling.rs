@@ -43,7 +43,11 @@ pub struct Metropolis {
 
 impl Default for Metropolis {
     fn default() -> Self {
-        Self { step: 1.0, burn_in: 200, thin: 5 }
+        Self {
+            step: 1.0,
+            burn_in: 200,
+            thin: 5,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ impl Metropolis {
     pub fn new(step: f64, burn_in: usize, thin: usize) -> Self {
         assert!(step > 0.0, "step must be positive");
         assert!(thin > 0, "thinning interval must be at least 1");
-        Self { step, burn_in, thin }
+        Self {
+            step,
+            burn_in,
+            thin,
+        }
     }
 
     /// Runs the chain against `density`, starting at `init`, returning `n`
@@ -102,7 +110,9 @@ impl Metropolis {
                 self.sample(move |x| pdf.density(x), init, n, rng)
             })
             .collect();
-        (0..n).map(|i| per_dim.iter().map(|col| col[i]).collect()).collect()
+        (0..n)
+            .map(|i| per_dim.iter().map(|col| col[i]).collect())
+            .collect()
     }
 }
 
@@ -125,8 +135,14 @@ impl SampleCache {
         rng: &mut R,
     ) -> Self {
         assert!(per_object > 0, "need at least one sample per object");
-        let samples = objects.iter().map(|o| o.sample_n(rng, per_object)).collect();
-        Self { samples, per_object }
+        let samples = objects
+            .iter()
+            .map(|o| o.sample_n(rng, per_object))
+            .collect();
+        Self {
+            samples,
+            per_object,
+        }
     }
 
     /// Number of cached samples per object (`S`).
@@ -182,16 +198,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let xs = mcmc.sample(|x| pdf.density(x), 0.0, 30_000, &mut rng);
         let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var: f64 =
-            xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.05, "MCMC mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "MCMC variance {var}");
     }
 
     #[test]
     fn metropolis_respects_truncated_support() {
-        let pdf = UnivariatePdf::normal(0.0, 1.0)
-            .truncate(crate::region::Interval::new(-0.5, 1.5));
+        let pdf = UnivariatePdf::normal(0.0, 1.0).truncate(crate::region::Interval::new(-0.5, 1.5));
         let mcmc = Metropolis::default();
         let mut rng = StdRng::seed_from_u64(6);
         for x in mcmc.sample(|x| pdf.density(x), 0.5, 2_000, &mut rng) {

@@ -19,7 +19,11 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
     assert_eq!(xs.len(), ys.len(), "covariance requires paired samples");
     let mx = mean(xs);
     let my = mean(ys);
-    xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64
 }
 
 /// Pearson correlation of two paired scalar samples (0 when either sample is

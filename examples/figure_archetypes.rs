@@ -40,7 +40,11 @@ fn main() {
     report("high-variance cluster", &s_loose);
     println!(
         "  -> J_UK differs only through the variance constants; J separates them: {}\n",
-        if s_tight.j() < s_loose.j() { "yes" } else { "NO (bug!)" }
+        if s_tight.j() < s_loose.j() {
+            "yes"
+        } else {
+            "NO (bug!)"
+        }
     );
 
     println!("Figure 2 — compactness is not just variance");
@@ -52,15 +56,31 @@ fn main() {
     report("close, larger var", &s_close);
     println!(
         "  -> pure variance criterion prefers the WRONG cluster: {}",
-        if s_far.ucentroid_variance() < s_close.ucentroid_variance() { "yes (as the paper warns)" } else { "no" }
+        if s_far.ucentroid_variance() < s_close.ucentroid_variance() {
+            "yes (as the paper warns)"
+        } else {
+            "no"
+        }
     );
     println!(
         "  -> J prefers the genuinely compact cluster: {}",
-        if s_close.j() < s_far.j() { "yes" } else { "NO (bug!)" }
+        if s_close.j() < s_far.j() {
+            "yes"
+        } else {
+            "NO (bug!)"
+        }
     );
 
     println!("\nProposition identities on the Figure-2 'close' cluster:");
     let j_uk = s_close.j_uk();
-    println!("  J_MM = J_UK / |C|  : {:.6} = {:.6}", s_close.j_mm(), j_uk / 3.0);
-    println!("  J-hat = 2 J_UK     : {:.6} = {:.6}", s_close.j_hat(), 2.0 * j_uk);
+    println!(
+        "  J_MM = J_UK / |C|  : {:.6} = {:.6}",
+        s_close.j_mm(),
+        j_uk / 3.0
+    );
+    println!(
+        "  J-hat = 2 J_UK     : {:.6} = {:.6}",
+        s_close.j_hat(),
+        2.0 * j_uk
+    );
 }

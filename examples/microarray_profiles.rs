@@ -21,7 +21,10 @@ use ucpc::eval::{f_measure, quality};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2012);
-    let sim = MicroarraySimulator { groups: 5, ..Default::default() };
+    let sim = MicroarraySimulator {
+        groups: 5,
+        ..Default::default()
+    };
     let data = sim.simulate_genes(LEUKAEMIA, 200, &mut rng);
 
     println!(
@@ -30,8 +33,8 @@ fn main() {
         data.objects.len(),
         data.objects[0].dims()
     );
-    let avg_var: f64 = data.objects.iter().map(|o| o.total_variance()).sum::<f64>()
-        / data.objects.len() as f64;
+    let avg_var: f64 =
+        data.objects.iter().map(|o| o.total_variance()).sum::<f64>() / data.objects.len() as f64;
     println!("mean per-gene total variance: {avg_var:.3} (log2 units squared)\n");
 
     let k = 5;
@@ -41,14 +44,19 @@ fn main() {
         ("MMV", Box::new(MmVar::default())),
     ];
 
-    println!("{:6} {:>8} {:>8} {:>8} {:>10}", "algo", "intra", "inter", "Q", "F(latent)");
+    println!(
+        "{:6} {:>8} {:>8} {:>8} {:>10}",
+        "algo", "intra", "inter", "Q", "F(latent)"
+    );
     for (name, alg) in &algorithms {
         // Average over a few seeded runs, as the paper averages over 50.
         let runs = 10;
         let (mut qi, mut qe, mut qq, mut f) = (0.0, 0.0, 0.0, 0.0);
         for run in 0..runs {
             let mut rng = StdRng::seed_from_u64(500 + run);
-            let c = alg.cluster(&data.objects, k, &mut rng).expect("valid input");
+            let c = alg
+                .cluster(&data.objects, k, &mut rng)
+                .expect("valid input");
             let q = quality(&data.objects, &c);
             qi += q.intra;
             qe += q.inter;

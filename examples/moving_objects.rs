@@ -44,7 +44,9 @@ fn main() {
 
     let k = districts.len();
     let mut rng = StdRng::seed_from_u64(7);
-    let result = Ucpc::default().run(&data, k, &mut rng).expect("valid input");
+    let result = Ucpc::default()
+        .run(&data, k, &mut rng)
+        .expect("valid input");
     println!(
         "clustered {} vehicles into {} fleets ({} iterations, objective {:.2})",
         data.len(),

@@ -29,7 +29,11 @@ fn main() {
         }
     }
 
-    println!("dataset: {} uncertain objects, {} dims", data.len(), data[0].dims());
+    println!(
+        "dataset: {} uncertain objects, {} dims",
+        data.len(),
+        data[0].dims()
+    );
     for (i, o) in data.iter().enumerate() {
         println!(
             "  o{i}: mu = ({:+.2}, {:+.2})  sigma^2 = {:.3}  region dim-0 = [{:+.2}, {:+.2}]",
@@ -43,7 +47,9 @@ fn main() {
 
     // UCPC: local search over relocations, closed-form objective (Theorem 3).
     let mut rng = StdRng::seed_from_u64(7);
-    let result = Ucpc::default().run(&data, 3, &mut rng).expect("valid input");
+    let result = Ucpc::default()
+        .run(&data, 3, &mut rng)
+        .expect("valid input");
     println!(
         "\nUCPC: objective = {:.4}, {} iterations, {} relocations, converged = {}",
         result.objective, result.iterations, result.relocations, result.converged

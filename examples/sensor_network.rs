@@ -63,8 +63,14 @@ fn main() {
     for trial in 0..trials {
         let mut r1 = StdRng::seed_from_u64(100 + trial);
         let mut r2 = StdRng::seed_from_u64(100 + trial);
-        let c1 = Ucpc::default().run(&noisy_readings, k, &mut r1).unwrap().clustering;
-        let c2 = Ucpc::default().run(&uncertain_readings, k, &mut r2).unwrap().clustering;
+        let c1 = Ucpc::default()
+            .run(&noisy_readings, k, &mut r1)
+            .unwrap()
+            .clustering;
+        let c2 = Ucpc::default()
+            .run(&uncertain_readings, k, &mut r2)
+            .unwrap()
+            .clustering;
         scores.0 += f_measure(&c1, &truth);
         scores.1 += f_measure(&c2, &truth);
     }
@@ -74,7 +80,10 @@ fn main() {
     println!("sensors: {} in {} zones", truth.len(), k);
     println!("F-measure, Case 1 (ignore uncertainty):  {f_case1:.3}");
     println!("F-measure, Case 2 (model uncertainty):   {f_case2:.3}");
-    println!("Theta (Case 2 - Case 1):                 {:+.3}", f_case2 - f_case1);
+    println!(
+        "Theta (Case 2 - Case 1):                 {:+.3}",
+        f_case2 - f_case1
+    );
     if f_case2 >= f_case1 {
         println!("\nModelling per-sensor noise helps zone recovery on this workload.");
     } else {

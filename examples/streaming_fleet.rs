@@ -76,7 +76,9 @@ fn main() {
         batch.objective,
         engine.objective()
     );
-    let gap = (engine.objective() - batch.objective).abs()
-        / batch.objective.max(f64::MIN_POSITIVE);
-    println!("relative objective gap: {:.1}% (both are local optima)", gap * 100.0);
+    let gap = (engine.objective() - batch.objective).abs() / batch.objective.max(f64::MIN_POSITIVE);
+    println!(
+        "relative objective gap: {:.1}% (both are local optima)",
+        gap * 100.0
+    );
 }

@@ -14,7 +14,10 @@ use ucpc::uncertain::distance::{expected_sq_distance, sq_euclidean};
 use ucpc::uncertain::UncertainObject;
 
 fn points_to_objects(points: &[Vec<f64>]) -> Vec<UncertainObject> {
-    points.iter().map(|p| UncertainObject::deterministic(p)).collect()
+    points
+        .iter()
+        .map(|p| UncertainObject::deterministic(p))
+        .collect()
 }
 
 proptest! {
@@ -64,11 +67,21 @@ fn ucpc_ukmeans_mmvar_all_find_the_same_obvious_partition() {
     let mut rng = StdRng::seed_from_u64(1);
     results.push(Ucpc::default().run(&objs, 2, &mut rng).unwrap().clustering);
     let mut rng = StdRng::seed_from_u64(1);
-    results.push(UkMeans::default().run(&objs, 2, &mut rng).unwrap().clustering);
+    results.push(
+        UkMeans::default()
+            .run(&objs, 2, &mut rng)
+            .unwrap()
+            .clustering,
+    );
     let mut rng = StdRng::seed_from_u64(1);
     results.push(MmVar::default().run(&objs, 2, &mut rng).unwrap().clustering);
     let mut rng = StdRng::seed_from_u64(1);
-    results.push(KMeans::default().run(&objs, 2, &mut rng).unwrap().clustering);
+    results.push(
+        KMeans::default()
+            .run(&objs, 2, &mut rng)
+            .unwrap()
+            .clustering,
+    );
 
     for c in &results {
         assert_eq!(c.label(0), c.label(1));

@@ -98,7 +98,9 @@ fn ucpc_beats_or_matches_ukmeans_on_heteroscedastic_data() {
         let mut r1 = StdRng::seed_from_u64(60 + s);
         let mut r2 = StdRng::seed_from_u64(60 + s);
         let c1 = Ucpc::default().cluster(&d2, IRIS.classes, &mut r1).unwrap();
-        let c2 = UkMeans::default().cluster(&d2, IRIS.classes, &mut r2).unwrap();
+        let c2 = UkMeans::default()
+            .cluster(&d2, IRIS.classes, &mut r2)
+            .unwrap();
         f_ucpc += f_measure(&c1, &d.labels);
         f_ukm += f_measure(&c2, &d.labels);
     }

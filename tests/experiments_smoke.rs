@@ -10,7 +10,10 @@ use ucpc::eval::{f_measure, quality};
 use ucpc_bench::harness::{run_timed, Algo, RunConfig};
 
 fn mini_cfg() -> RunConfig {
-    RunConfig { max_iters: 20, samples_per_object: 8 }
+    RunConfig {
+        max_iters: 20,
+        samples_per_object: 8,
+    }
 }
 
 #[test]
@@ -24,8 +27,12 @@ fn table2_protocol_miniature() {
     let d2 = a.uncertain_objects();
 
     for algo in Algo::ACCURACY {
-        let c1 = run_timed(algo, &d1, IRIS.classes, 3, &mini_cfg()).unwrap().clustering;
-        let c2 = run_timed(algo, &d2, IRIS.classes, 3, &mini_cfg()).unwrap().clustering;
+        let c1 = run_timed(algo, &d1, IRIS.classes, 3, &mini_cfg())
+            .unwrap()
+            .clustering;
+        let c2 = run_timed(algo, &d2, IRIS.classes, 3, &mini_cfg())
+            .unwrap()
+            .clustering;
         let theta = f_measure(&c2, &d.labels) - f_measure(&c1, &d.labels);
         assert!((-1.0..=1.0).contains(&theta), "{}", algo.name());
         let q = quality(&d2, &c2).q;
@@ -39,7 +46,9 @@ fn table3_protocol_miniature() {
     let data = MicroarraySimulator::default().simulate_genes(NEUROBLASTOMA, 60, &mut rng);
     for k in [2usize, 5] {
         for algo in Algo::ACCURACY {
-            let c = run_timed(algo, &data.objects, k, 4, &mini_cfg()).unwrap().clustering;
+            let c = run_timed(algo, &data.objects, k, 4, &mini_cfg())
+                .unwrap()
+                .clustering;
             let q = quality(&data.objects, &c);
             assert!(q.q.is_finite(), "{} at k={k}", algo.name());
         }
@@ -49,7 +58,12 @@ fn table3_protocol_miniature() {
 #[test]
 fn fig4_protocol_miniature() {
     let mut rng = StdRng::seed_from_u64(3);
-    let spec = DatasetSpec { name: "mini", objects: 60, attributes: 4, classes: 3 };
+    let spec = DatasetSpec {
+        name: "mini",
+        objects: 60,
+        attributes: 4,
+        classes: 3,
+    };
     let d = generate_fraction(spec, 1.0, &mut rng);
     let model = UncertaintyModel::paper_default(NoiseKind::Normal);
     let a = PdfAssignment::assign(&d.points, &d.dim_std(), &model, &mut rng);
@@ -69,7 +83,10 @@ fn fig4_protocol_miniature() {
 #[test]
 fn fig5_protocol_miniature() {
     // Tiny KDD analogue: all 23 classes covered at every fraction.
-    let spec = DatasetSpec { objects: 300, ..KDDCUP99 };
+    let spec = DatasetSpec {
+        objects: 300,
+        ..KDDCUP99
+    };
     for frac in [0.1, 0.5, 1.0] {
         let mut rng = StdRng::seed_from_u64(6);
         let d = generate_fraction(spec, frac, &mut rng);

@@ -1,0 +1,222 @@
+//! Property-style seeded-grid equivalence tests for the scalar-aggregate
+//! delta-`J` kernel: over a grid of (n, m, k) shapes and seeds, the kernel
+//! must agree with naive from-scratch recomputation after every applied
+//! relocation, every `delta_j_*` must match its naive `*_after_*` sweep, and
+//! UCPC's objective trace must stay monotone under the kernel.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ucpc::core::objective::ClusterStats;
+use ucpc::core::Ucpc;
+use ucpc::uncertain::{MomentArena, UncertainObject, UnivariatePdf};
+
+/// Mixed-family random dataset (means in ±8, spreads in [0.05, 2]).
+fn dataset(n: usize, m: usize, seed: u64) -> Vec<UncertainObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            UncertainObject::new(
+                (0..m)
+                    .map(|_| {
+                        let mean = rng.gen_range(-8.0..8.0);
+                        let spread = rng.gen_range(0.05..2.0);
+                        match rng.gen_range(0..3u8) {
+                            0 => UnivariatePdf::uniform_centered(mean, spread),
+                            1 => UnivariatePdf::normal(mean, spread),
+                            _ => UnivariatePdf::PointMass { x: mean },
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn random_labels(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels: Vec<usize> = (0..n)
+        .map(|i| if i < k { i } else { rng.gen_range(0..k) })
+        .collect();
+    // The first k objects guarantee non-empty clusters wherever they land.
+    labels.rotate_left(seed as usize % n.max(1));
+    labels
+}
+
+/// Total `J` rebuilt from scratch — the ground truth the kernel must track.
+fn rebuild_total_j(data: &[UncertainObject], labels: &[usize], k: usize) -> f64 {
+    (0..k)
+        .filter_map(|c| {
+            let members: Vec<&UncertainObject> = labels
+                .iter()
+                .zip(data)
+                .filter(|&(&l, _)| l == c)
+                .map(|(_, o)| o)
+                .collect();
+            if members.is_empty() {
+                None
+            } else {
+                Some(ClusterStats::from_members(members).j())
+            }
+        })
+        .sum()
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+const GRID: [(usize, usize, usize); 5] =
+    [(12, 1, 2), (30, 3, 3), (40, 8, 5), (25, 16, 4), (60, 5, 6)];
+
+#[test]
+fn kernel_agrees_with_from_scratch_j_after_every_relocation() {
+    for (gi, &(n, m, k)) in GRID.iter().enumerate() {
+        for seed in 0..3u64 {
+            let seed = seed + 100 * gi as u64;
+            let data = dataset(n, m, seed);
+            let arena = MomentArena::from_objects(&data);
+            let mut labels = random_labels(n, k, seed + 7);
+            let mut stats = vec![ClusterStats::empty(m); k];
+            for (i, &l) in labels.iter().enumerate() {
+                stats[l].add_view(&arena.view(i));
+            }
+
+            // One full greedy relocation pass, checking after EVERY applied
+            // relocation that the incrementally maintained scalar-aggregate
+            // objective equals a from-scratch naive recomputation.
+            for i in 0..n {
+                let src = labels[i];
+                if stats[src].size() == 1 {
+                    continue;
+                }
+                let v = arena.view(i);
+                let removal_gain = stats[src].delta_j_remove(&v);
+                let mut best: Option<(usize, f64)> = None;
+                for (dst, stat) in stats.iter().enumerate() {
+                    if dst == src {
+                        continue;
+                    }
+                    let delta = removal_gain + stat.delta_j_add(&v);
+                    if best.is_none_or(|(_, bd)| delta < bd) {
+                        best = Some((dst, delta));
+                    }
+                }
+                let Some((dst, delta)) = best else { continue };
+                if delta >= -1e-9 {
+                    continue;
+                }
+                let before: f64 = stats.iter().map(ClusterStats::j).sum();
+                stats[src].remove_view(&v);
+                stats[dst].add_view(&v);
+                labels[i] = dst;
+                let after: f64 = stats.iter().map(ClusterStats::j).sum();
+                let rebuilt = rebuild_total_j(&data, &labels, k);
+                assert!(
+                    close(after, rebuilt, 1e-9),
+                    "n={n} m={m} k={k} seed={seed}: kernel J {after} vs rebuilt {rebuilt}"
+                );
+                assert!(
+                    close(after - before, delta, 1e-6),
+                    "n={n} m={m} k={k} seed={seed}: applied delta {} vs predicted {delta}",
+                    after - before
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn delta_kernel_matches_naive_sweeps_pointwise() {
+    for (gi, &(n, m, k)) in GRID.iter().enumerate() {
+        let seed = 1000 + gi as u64;
+        let data = dataset(n, m, seed);
+        let arena = MomentArena::from_objects(&data);
+        let labels = random_labels(n, k, seed + 3);
+        let mut stats = vec![ClusterStats::empty(m); k];
+        for (i, &l) in labels.iter().enumerate() {
+            stats[l].add_view(&arena.view(i));
+        }
+
+        for i in 0..n {
+            let v = arena.view(i);
+            let o = data[i].moments();
+            let src = labels[i];
+            for (c, s) in stats.iter().enumerate() {
+                // The kernel's scalar objectives vs the per-dimension sweeps.
+                assert!(close(s.j(), s.j_naive(), 1e-9), "J scalar vs naive");
+                assert!(
+                    close(s.j_uk(), s.j_uk_naive(), 1e-9),
+                    "J_UK scalar vs naive"
+                );
+                // Add direction is valid against any cluster.
+                assert!(
+                    close(s.delta_j_add(&v), s.j_after_add(o) - s.j_naive(), 1e-9),
+                    "delta_j_add vs naive (n={n} m={m} k={k} i={i} c={c})"
+                );
+                assert!(
+                    close(
+                        s.delta_j_uk_add(&v),
+                        s.j_uk_after_add(o) - s.j_uk_naive(),
+                        1e-9
+                    ),
+                    "delta_j_uk_add vs naive"
+                );
+                assert!(
+                    close(s.delta_j_mm_add(&v), s.j_mm_after_add(o) - s.j_mm(), 1e-9),
+                    "delta_j_mm_add vs naive"
+                );
+                // Remove direction only against the member's own cluster.
+                if c == src {
+                    assert!(
+                        close(
+                            s.delta_j_remove(&v),
+                            s.j_after_remove(o) - s.j_naive(),
+                            1e-9
+                        ),
+                        "delta_j_remove vs naive"
+                    );
+                    assert!(
+                        close(
+                            s.delta_j_uk_remove(&v),
+                            s.j_uk_after_remove(o) - s.j_uk_naive(),
+                            1e-9
+                        ),
+                        "delta_j_uk_remove vs naive"
+                    );
+                    assert!(
+                        close(
+                            s.delta_j_mm_remove(&v),
+                            s.j_mm_after_remove(o) - s.j_mm(),
+                            1e-9
+                        ),
+                        "delta_j_mm_remove vs naive"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn objective_trace_stays_monotone_and_final_j_matches_rebuild() {
+    for (gi, &(n, m, k)) in GRID.iter().enumerate() {
+        for seed in 0..2u64 {
+            let seed = seed + 10 * gi as u64;
+            let data = dataset(n, m, 2000 + seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Ucpc::default().run(&data, k, &mut rng).unwrap();
+            for w in r.objective_trace.windows(2) {
+                assert!(
+                    w[1] <= w[0] + 1e-6 * (1.0 + w[0].abs()),
+                    "n={n} m={m} k={k} seed={seed}: trace rose {w:?}"
+                );
+            }
+            let rebuilt = rebuild_total_j(&data, r.clustering.labels(), k);
+            assert!(
+                close(r.objective, rebuilt, 1e-9),
+                "n={n} m={m} k={k} seed={seed}: final {} vs rebuilt {rebuilt}",
+                r.objective
+            );
+        }
+    }
+}

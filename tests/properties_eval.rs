@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use ucpc::core::framework::Clustering;
 use ucpc::eval::{
-    adjusted_rand_index, dunn_index, f_measure, normalized_mutual_information, purity,
-    quality, silhouette,
+    adjusted_rand_index, dunn_index, f_measure, normalized_mutual_information, purity, quality,
+    silhouette,
 };
 use ucpc::uncertain::{UncertainObject, UnivariatePdf};
 

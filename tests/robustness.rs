@@ -80,7 +80,9 @@ fn k_equals_one_and_k_equals_n() {
     run_all(&data, 1);
     // k = n: partitional algorithms must produce n non-empty clusters.
     let mut rng = StdRng::seed_from_u64(4);
-    let c = Ucpc::default().cluster(&data, data.len(), &mut rng).unwrap();
+    let c = Ucpc::default()
+        .cluster(&data, data.len(), &mut rng)
+        .unwrap();
     assert_eq!(c.non_empty(), data.len());
 }
 

@@ -162,13 +162,20 @@ proptest! {
 /// equal J_UK with different cluster variances.
 #[test]
 fn proposition1_counterexample() {
-    let a = [UncertainObject::new(vec![UnivariatePdf::normal(0.0, 1.0)]),
-        UncertainObject::new(vec![UnivariatePdf::normal(2.0, 1.0)])];
-    let b = [UncertainObject::new(vec![UnivariatePdf::normal(1.0, 3.0_f64.sqrt())]),
-        UncertainObject::new(vec![UnivariatePdf::normal(1.0, 1.0)])];
+    let a = [
+        UncertainObject::new(vec![UnivariatePdf::normal(0.0, 1.0)]),
+        UncertainObject::new(vec![UnivariatePdf::normal(2.0, 1.0)]),
+    ];
+    let b = [
+        UncertainObject::new(vec![UnivariatePdf::normal(1.0, 3.0_f64.sqrt())]),
+        UncertainObject::new(vec![UnivariatePdf::normal(1.0, 1.0)]),
+    ];
     let sa = ClusterStats::from_members(a.iter());
     let sb = ClusterStats::from_members(b.iter());
-    assert!((sa.j_uk() - sb.j_uk()).abs() < 1e-12, "equal J_UK by construction");
+    assert!(
+        (sa.j_uk() - sb.j_uk()).abs() < 1e-12,
+        "equal J_UK by construction"
+    );
     let va: f64 = a.iter().map(|o| o.total_variance()).sum();
     let vb: f64 = b.iter().map(|o| o.total_variance()).sum();
     assert!((va - vb).abs() > 1.0, "different cluster variances");

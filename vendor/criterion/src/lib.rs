@@ -1,0 +1,259 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build environment cannot fetch crates, so this implements the subset
+//! of the criterion API the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `bench_function` / `bench_with_input` / `sample_size`, `BenchmarkId`, and
+//! `black_box` — as a genuine wall-clock harness: warm-up, batched sampling,
+//! and a median-of-samples report in ns/iter. It is deliberately simple but
+//! honest: numbers come from `std::time::Instant`, not estimates.
+//!
+//! Passing `--test` or `--quick` on the command line (as `cargo test` does
+//! for bench targets) switches to a single-iteration smoke run so benches
+//! stay cheap outside `cargo bench`.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A compound id `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The timing routine handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    samples: usize,
+    /// Median ns/iter of the last `iter` call, if any.
+    measured_ns: Option<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    fn new(quick: bool, samples: usize) -> Self {
+        Self {
+            quick,
+            samples,
+            measured_ns: None,
+            total_iters: 0,
+        }
+    }
+
+    /// Times `routine`, storing a median ns/iter estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            let t = Instant::now();
+            black_box(routine());
+            self.measured_ns = Some(t.elapsed().as_nanos() as f64);
+            self.total_iters = 1;
+            return;
+        }
+
+        // Warm-up: run until ~40ms of wall time or 5 iterations, whichever
+        // comes first, and estimate the per-iteration cost from it.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 5 && warm_start.elapsed() < Duration::from_millis(40) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Batch size targeting ~15ms per sample, then `samples` timed batches.
+        let batch = ((0.015 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        let mut total_iters = warm_iters;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_iters += batch;
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter_ns.sort_by(f64::total_cmp);
+        self.measured_ns = Some(per_iter_ns[per_iter_ns.len() / 2]);
+        self.total_iters = total_iters;
+    }
+}
+
+fn report(path: &str, bencher: &Bencher) {
+    match bencher.measured_ns {
+        Some(ns) => {
+            let human = if ns >= 1e9 {
+                format!("{:.4} s", ns / 1e9)
+            } else if ns >= 1e6 {
+                format!("{:.4} ms", ns / 1e6)
+            } else if ns >= 1e3 {
+                format!("{:.4} µs", ns / 1e3)
+            } else {
+                format!("{ns:.1} ns")
+            };
+            println!(
+                "{path:<60} time: {human}/iter  ({} iters)",
+                bencher.total_iters
+            );
+        }
+        None => println!("{path:<60} (no measurement: bencher.iter never called)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Builds a driver, honouring `--test` / `--quick` CLI flags.
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Self { quick }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 11,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.quick, 11);
+        f(&mut b);
+        report(&id.id, &b);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.quick, self.samples);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.quick, self.samples);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; ours are immediate).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

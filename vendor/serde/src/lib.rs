@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace only ever *decorates* types with `#[derive(Serialize,
+//! Deserialize)]`; nothing serializes at runtime (there is no `serde_json`
+//! or similar in the tree). With no network access to fetch the real crate,
+//! these derives are provided as no-ops so the annotations compile. If real
+//! serialization is ever needed, replace this vendor crate with upstream
+//! serde and everything downstream keeps working unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
