@@ -1,13 +1,20 @@
-//! Emits the machine-readable relocation-kernel baseline,
-//! `BENCH_relocation.json`: median wall time of one evaluation-only UCPC
-//! relocation pass on the naive three-sweep path vs the scalar-aggregate
-//! delta-`J` kernel, over the shared n × m × k grid.
+//! Emits the machine-readable relocation baseline, `BENCH_relocation.json`:
+//!
+//! * median wall time of one evaluation-only UCPC relocation pass on the
+//!   naive three-sweep path vs the scalar-aggregate delta-`J` kernel, over
+//!   the shared n × m × k grid, and
+//! * median wall time of the *full* relocation phase (all passes to
+//!   convergence) with candidate pruning off vs on, on the clustered blob
+//!   workload, with skip/scan counters — the pruned run is asserted
+//!   label-identical to the unpruned one on every repetition.
 //!
 //! Usage: `cargo run --release -p ucpc-bench --bin bench_relocation
 //! [output.json]` (default output path: `BENCH_relocation.json`).
 
 use std::time::Instant;
-use ucpc_bench::relocation::{kernel_pass, naive_pass, workload, Workload, GRID};
+use ucpc_bench::relocation::{
+    kernel_pass, naive_pass, pruning_comparison, workload, Workload, GRID,
+};
 
 /// Median nanoseconds per call of `f` over `reps` timed repetitions (after
 /// one warm-up call).
@@ -61,13 +68,75 @@ fn main() {
         ));
     }
 
+    // End-to-end relocation-phase comparison: pruning off vs on, clustered
+    // data, label equality asserted inside `pruning_comparison`.
+    let pruning_reps = 5;
+    let mut pruning_rows = Vec::new();
+    println!(
+        "\n{:<22} {:>14} {:>14} {:>9} {:>10}",
+        "pruning (end-to-end)", "off ns/run", "bounds ns/run", "speedup", "skip rate"
+    );
+    for shape in GRID {
+        let row = pruning_comparison(shape, 7, pruning_reps);
+        let c = row.counters;
+        println!(
+            "n={:<6} m={:<3} k={:<4} {:>14} {:>14} {:>8.2}x {:>9.1}%",
+            shape.n,
+            shape.m,
+            shape.k,
+            row.unpruned_ns,
+            row.pruned_ns,
+            row.speedup,
+            100.0 * c.skip_rate()
+        );
+        pruning_rows.push(format!(
+            concat!(
+                "    {{\"n\": {}, \"m\": {}, \"k\": {}, ",
+                "\"unpruned_ns_per_run\": {}, \"pruned_ns_per_run\": {}, ",
+                "\"speedup\": {:.3}, \"iterations\": {}, ",
+                "\"skips\": {}, \"confirms\": {}, \"full_scans\": {}, ",
+                "\"skip_rate\": {:.4}}}"
+            ),
+            shape.n,
+            shape.m,
+            shape.k,
+            row.unpruned_ns,
+            row.pruned_ns,
+            row.speedup,
+            row.iterations,
+            c.skips,
+            c.confirms,
+            c.full_scans,
+            c.skip_rate()
+        ));
+    }
+
     let acceptance = GRID
         .iter()
         .position(|s| s.n == 10_000 && s.m == 32 && s.k == 20)
         .expect("acceptance shape present in GRID");
     let json = format!(
-        "{{\n  \"benchmark\": \"ucpc_relocation_pass\",\n  \"description\": \"one evaluation-only UCPC relocation pass: naive three-sweep Corollary-1 path vs flat-arena scalar-aggregate delta-J kernel\",\n  \"units\": \"nanoseconds per pass (median of {reps} repetitions, release profile)\",\n  \"acceptance_shape\": {{\"n\": 10000, \"m\": 32, \"k\": 20, \"required_speedup\": 2.0}},\n  \"acceptance_row_index\": {acceptance},\n  \"grid\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"ucpc_relocation_pass\",\n",
+            "  \"description\": \"one evaluation-only UCPC relocation pass: naive three-sweep ",
+            "Corollary-1 path vs flat-arena scalar-aggregate delta-J kernel; plus the full ",
+            "relocation phase with drift-bound candidate pruning off vs on (clustered blob ",
+            "workload, pruned labels asserted identical to unpruned)\",\n",
+            "  \"units\": \"nanoseconds (median of {reps} kernel / {preps} end-to-end ",
+            "repetitions, release profile)\",\n",
+            "  \"acceptance_shape\": {{\"n\": 10000, \"m\": 32, \"k\": 20, ",
+            "\"required_speedup\": 2.0, \"required_pruning_speedup\": 1.5}},\n",
+            "  \"acceptance_row_index\": {acceptance},\n",
+            "  \"grid\": [\n{rows}\n  ],\n",
+            "  \"pruning_grid\": [\n{prows}\n  ]\n",
+            "}}\n",
+        ),
+        reps = reps,
+        preps = pruning_reps,
+        acceptance = acceptance,
+        rows = rows.join(",\n"),
+        prows = pruning_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write benchmark baseline");
     println!("wrote {out_path}");

@@ -16,6 +16,10 @@
 
 use crate::framework::ClusterError;
 use crate::objective::{total_objective, ClusterStats};
+use crate::pruning::{
+    apply_tracked_relocation, best_candidate, best_candidate_with_second, fp_scale, DriftTotals,
+    PruneCache, PruneCounters, PruneDecision, PruningConfig,
+};
 use ucpc_uncertain::{Moments, UncertainObject};
 
 /// A live UCPC partition supporting O(k·m) insertions, O(m) removals and
@@ -46,11 +50,28 @@ pub struct IncrementalUcpc {
     objects: Vec<Option<Moments>>,
     labels: Vec<Option<usize>>,
     live: usize,
+    /// Candidate pruning for [`Self::stabilize`] passes.
+    pruning: PruningConfig,
+    /// Prune-cache epoch. Every insert/remove bumps it, invalidating all
+    /// cached scan outcomes: an edit changes a cluster's statistics without
+    /// going through the drift-tracked relocation path, so no cached bound
+    /// may survive it (the cache/stat-consistency contract).
+    epoch: u64,
+    totals: DriftTotals,
+    cache: PruneCache,
+    counters: PruneCounters,
 }
 
 /// A handle to an inserted object (stable across removals).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ObjectId(usize);
+
+impl ObjectId {
+    /// The dense insertion-order slot of this handle (never reused).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 impl IncrementalUcpc {
     /// Creates an empty incremental clustering over `m` dimensions with `k`
@@ -66,7 +87,31 @@ impl IncrementalUcpc {
             objects: Vec::new(),
             labels: Vec::new(),
             live: 0,
+            pruning: PruningConfig::default(),
+            epoch: 0,
+            totals: DriftTotals::default(),
+            cache: PruneCache::new(0, k),
+            counters: PruneCounters::default(),
         })
+    }
+
+    /// Enables or disables candidate pruning for subsequent
+    /// [`Self::stabilize`] calls; outstanding cached bounds are discarded.
+    pub fn set_pruning(&mut self, pruning: PruningConfig) {
+        self.pruning = pruning;
+        self.epoch += 1;
+    }
+
+    /// The per-cluster sufficient statistics of the live partition (the
+    /// aggregates the consistency tests cross-check against a from-scratch
+    /// rebuild).
+    pub fn cluster_stats(&self) -> &[ClusterStats] {
+        &self.stats
+    }
+
+    /// Candidate-pruning counters accumulated over all stabilization passes.
+    pub fn pruning_counters(&self) -> PruneCounters {
+        self.counters
     }
 
     /// Number of live objects.
@@ -124,6 +169,9 @@ impl IncrementalUcpc {
         self.objects.push(Some(moments));
         self.labels.push(Some(best));
         self.live += 1;
+        // The insertion mutated a cluster outside the drift-tracked
+        // relocation path: invalidate every cached scan outcome.
+        self.epoch += 1;
         Ok(ObjectId(self.objects.len() - 1))
     }
 
@@ -139,15 +187,28 @@ impl IncrementalUcpc {
         let moments = self.objects[id.0].take().expect("label implies object");
         self.stats[cluster].remove(&moments);
         self.live -= 1;
+        // Removal, like insertion, bypasses drift tracking: without this
+        // epoch bump a stale cached bound could silently skip a scan whose
+        // outcome the departed member changed (the cache/stat-consistency
+        // regression in `tests/incremental_consistency.rs`).
+        self.epoch += 1;
         true
     }
 
     /// Runs up to `passes` relocation passes of Algorithm 1 over the live
-    /// objects; returns the number of relocations applied.
+    /// objects; returns the number of relocations applied. With pruning
+    /// enabled the passes take the exact tier-1/tier-2 shortcuts of
+    /// [`crate::pruning`]; the relocation sequence is identical either way.
     pub fn stabilize(&mut self, passes: usize) -> usize {
+        const TOLERANCE: f64 = 1e-9;
         let mut relocations = 0usize;
+        let pruned = self.pruning.is_enabled();
+        if pruned {
+            self.cache.grow(self.objects.len());
+        }
         for _ in 0..passes {
             let mut moved = false;
+            let scale = if pruned { fp_scale(&self.stats) } else { 0.0 };
             for i in 0..self.objects.len() {
                 let Some(src) = self.labels[i] else { continue };
                 let moments = self.objects[i].as_ref().expect("live object");
@@ -155,26 +216,93 @@ impl IncrementalUcpc {
                     continue;
                 }
                 let view = moments.view();
-                let removal_gain = self.stats[src].delta_j_remove(&view);
-                let mut best: Option<(usize, f64)> = None;
-                for dst in 0..self.k {
-                    if dst == src {
-                        continue;
+
+                let decision = if pruned {
+                    self.cache.view().decide(
+                        i,
+                        self.epoch,
+                        &self.stats,
+                        self.totals,
+                        src,
+                        &view,
+                        TOLERANCE,
+                        scale,
+                    )
+                } else {
+                    PruneDecision::FullScan
+                };
+
+                match decision {
+                    PruneDecision::Skip => {
+                        self.counters.skips += 1;
                     }
-                    let delta = removal_gain + self.stats[dst].delta_j_add(&view);
-                    if best.is_none_or(|(_, bd)| delta < bd) {
-                        best = Some((dst, delta));
+                    PruneDecision::ConfirmBest(dst) => {
+                        self.counters.confirms += 1;
+                        let delta = self.stats[src].delta_j_remove(&view)
+                            + self.stats[dst].delta_j_add(&view);
+                        if delta < -TOLERANCE {
+                            let moments = moments.clone();
+                            let view = moments.view();
+                            if apply_tracked_relocation(
+                                &mut self.stats,
+                                src,
+                                dst,
+                                &view,
+                                &mut self.totals,
+                            ) {
+                                self.epoch += 1;
+                            }
+                            self.cache.invalidate(i);
+                            self.labels[i] = Some(dst);
+                            relocations += 1;
+                            moved = true;
+                        }
                     }
-                }
-                if let Some((dst, delta)) = best {
-                    if delta < -1e-9 {
-                        let moments = moments.clone();
-                        let view = moments.view();
-                        self.stats[src].remove_view(&view);
-                        self.stats[dst].add_view(&view);
-                        self.labels[i] = Some(dst);
-                        relocations += 1;
-                        moved = true;
+                    PruneDecision::FullScan => {
+                        if pruned {
+                            self.counters.full_scans += 1;
+                            if let Some((dst, delta, second)) =
+                                best_candidate_with_second(&self.stats, src, &view)
+                            {
+                                if delta < -TOLERANCE {
+                                    let moments = moments.clone();
+                                    let view = moments.view();
+                                    if apply_tracked_relocation(
+                                        &mut self.stats,
+                                        src,
+                                        dst,
+                                        &view,
+                                        &mut self.totals,
+                                    ) {
+                                        self.epoch += 1;
+                                    }
+                                    self.cache.invalidate(i);
+                                    self.labels[i] = Some(dst);
+                                    relocations += 1;
+                                    moved = true;
+                                } else {
+                                    self.cache.view().store(
+                                        i,
+                                        self.epoch,
+                                        &self.stats,
+                                        self.totals,
+                                        dst,
+                                        delta,
+                                        second,
+                                    );
+                                }
+                            }
+                        } else if let Some((dst, delta)) = best_candidate(&self.stats, src, &view) {
+                            if delta < -TOLERANCE {
+                                let moments = moments.clone();
+                                let view = moments.view();
+                                self.stats[src].remove_view(&view);
+                                self.stats[dst].add_view(&view);
+                                self.labels[i] = Some(dst);
+                                relocations += 1;
+                                moved = true;
+                            }
+                        }
                     }
                 }
             }

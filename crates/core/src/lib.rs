@@ -34,6 +34,7 @@ pub mod incremental;
 pub mod init;
 pub mod objective;
 pub mod parallel;
+pub mod pruning;
 pub mod restarts;
 pub mod ucentroid;
 pub mod ucpc;
@@ -41,5 +42,6 @@ pub mod ucpc;
 pub use framework::{ClusterError, Clustering, UncertainClusterer};
 pub use init::Initializer;
 pub use objective::ClusterStats;
+pub use pruning::{PruneCounters, PruningConfig};
 pub use ucentroid::UCentroid;
 pub use ucpc::{Ucpc, UcpcResult};

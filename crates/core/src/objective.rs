@@ -46,7 +46,7 @@ use ucpc_uncertain::{Moments, UncertainObject};
 
 /// Per-cluster sufficient statistics with O(m) add/remove, O(1) objective
 /// evaluation, and the single-dot-product relocation kernel.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ClusterStats {
     psi: Vec<f64>,
     phi: Vec<f64>,
@@ -59,6 +59,72 @@ pub struct ClusterStats {
     /// `S₂ = Σ_j s_j²`, maintained incrementally via the kernel identity
     /// `Σ_j (s_j ± mu_j)² = S₂ ± 2⟨s, mu⟩ + Σ_j mu_j²`.
     s_sq_tot: f64,
+    /// Monotone drift accumulators for the pruning bounds (see
+    /// [`crate::pruning`]); grown only by [`Self::add_view_tracked`] /
+    /// [`Self::remove_view_tracked`], so the plain relocation path pays
+    /// nothing for them.
+    drift: ClusterDrift,
+}
+
+/// Bookkeeping is invisible to equality: two statistics objects describing
+/// the same cluster compare equal regardless of how many tracked relocations
+/// each has witnessed.
+impl PartialEq for ClusterStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.psi == other.psi
+            && self.phi == other.phi
+            && self.mean_sum == other.mean_sum
+            && self.size == other.size
+            && self.psi_tot == other.psi_tot
+            && self.phi_tot == other.phi_tot
+            && self.s_sq_tot == other.s_sq_tot
+    }
+}
+
+/// Per-cluster accumulated drift-bound coefficients: for each of the two
+/// delta-`J` directions (add a candidate / remove a member), the running sums
+/// of the constant, size-coupled and mean-coupled coefficients derived in
+/// [`crate::pruning`]. All six sums are monotone non-decreasing within one
+/// search, which lets per-object snapshots of them act as watermarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClusterDrift {
+    /// Add-direction constant term `Σ |T(C') − T(C)|`.
+    pub add_const: f64,
+    /// Add-direction coefficient of `q(o) = sigma²(o) + ‖mu(o)‖²`.
+    pub add_size: f64,
+    /// Add-direction coefficient of `2‖mu(o)‖`.
+    pub add_mean: f64,
+    /// Remove-direction constant term `Σ |U(C') − U(C)|`.
+    pub rem_const: f64,
+    /// Remove-direction coefficient of `q(o)`.
+    pub rem_size: f64,
+    /// Remove-direction coefficient of `2‖mu(o)‖`.
+    pub rem_mean: f64,
+}
+
+/// `T(C) = (Ψ_tot − S₂) / (|C| (|C|+1))`, the cluster-only constant of the
+/// add-direction delta (zero for an empty cluster).
+fn t_term(size: usize, a: f64) -> f64 {
+    if size == 0 {
+        0.0
+    } else {
+        a / (size as f64 * (size + 1) as f64)
+    }
+}
+
+/// `U(C) = (Ψ_tot − S₂) / (|C| (|C|−1))`, the cluster-only constant of the
+/// remove-direction delta. Callers guarantee `size >= 2`.
+fn u_term(size: usize, a: f64) -> f64 {
+    a / (size as f64 * (size - 1) as f64)
+}
+
+/// `‖mu(o)·scale − s‖`, the un-normalized mean-sum displacement of a
+/// tracked transition, expanded through the already-available scalars:
+/// `scale²·Σmu² − 2·scale·⟨s, mu⟩ + ‖s‖²` (clamped against cancellation).
+fn displacement(scale: f64, sum_mu_sq: f64, cross: f64, s_sq: f64) -> f64 {
+    (scale * scale * sum_mu_sq - 2.0 * scale * cross + s_sq)
+        .max(0.0)
+        .sqrt()
 }
 
 impl ClusterStats {
@@ -72,6 +138,7 @@ impl ClusterStats {
             psi_tot: 0.0,
             phi_tot: 0.0,
             s_sq_tot: 0.0,
+            drift: ClusterDrift::default(),
         }
     }
 
@@ -141,6 +208,13 @@ impl ClusterStats {
     /// per-dimension vectors and the `⟨s, mu⟩` cross term, then the scalar
     /// aggregates move by the view's precomputed scalars.
     pub fn add_view(&mut self, v: &MomentView<'_>) {
+        self.add_view_impl(v);
+    }
+
+    /// [`Self::add_view`]'s body; returns the `⟨s_pre, mu(o)⟩` cross term
+    /// the update already computes, which the drift-tracked wrapper reuses
+    /// for the exact normalized-mean displacement.
+    fn add_view_impl(&mut self, v: &MomentView<'_>) -> f64 {
         debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
         let mut cross = 0.0;
         for j in 0..self.dims() {
@@ -153,10 +227,17 @@ impl ClusterStats {
         self.phi_tot += v.sum_mu2;
         self.s_sq_tot += 2.0 * cross + v.sum_mu_sq;
         self.size += 1;
+        cross
     }
 
     /// Removes one member through a kernel view (see [`Self::add_view`]).
     pub fn remove_view(&mut self, v: &MomentView<'_>) {
+        self.remove_view_impl(v);
+    }
+
+    /// [`Self::remove_view`]'s body; returns the `⟨s_post, mu(o)⟩` cross
+    /// term (so `⟨s_pre, mu(o)⟩ = cross + Σ mu_j²`).
+    fn remove_view_impl(&mut self, v: &MomentView<'_>) -> f64 {
         assert!(self.size > 0, "cannot remove from an empty cluster");
         debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
         let mut cross = 0.0;
@@ -179,6 +260,87 @@ impl ClusterStats {
             self.phi_tot = 0.0;
             self.s_sq_tot = 0.0;
         }
+        cross
+    }
+
+    /// Adds one object like [`Self::add_view`] while accumulating the drift
+    /// bounds of [`crate::pruning`]. Returns `true` when the transition is
+    /// "small" (a cluster size below 2 before or after), in which case the
+    /// remove-direction coefficients could not be soundly accumulated and
+    /// the caller must invalidate every outstanding prune cache (bump its
+    /// epoch).
+    pub fn add_view_tracked(&mut self, v: &MomentView<'_>) -> bool {
+        let n = self.size;
+        let a_pre = self.psi_tot - self.s_sq_tot;
+        let s_sq_pre = self.s_sq_tot;
+        // ⟨s_pre, mu(o)⟩, computed inside the update it piggybacks on.
+        let cross = self.add_view_impl(v);
+        let a_post = self.psi_tot - self.s_sq_tot;
+        let w = |scale: f64| displacement(scale, v.sum_mu_sq, cross, s_sq_pre);
+
+        // Add direction (denominators n+1 → n+2): the normalized mean moves
+        // by exactly ‖mu(o)·(n+1) − s‖ / ((n+1)(n+2)).
+        let inv_pre = 1.0 / (n + 1) as f64;
+        let inv_post = 1.0 / (n + 2) as f64;
+        self.drift.add_const += (t_term(n + 1, a_post) - t_term(n, a_pre)).abs();
+        self.drift.add_size += inv_pre - inv_post;
+        self.drift.add_mean += w((n + 1) as f64) * (inv_pre * inv_post);
+
+        // Remove direction (denominators n−1 → n): needs both sizes >= 2.
+        if n < 2 {
+            return true;
+        }
+        let rinv_pre = 1.0 / (n - 1) as f64;
+        let rinv_post = 1.0 / n as f64;
+        self.drift.rem_const += (u_term(n + 1, a_post) - u_term(n, a_pre)).abs();
+        self.drift.rem_size += rinv_pre - rinv_post;
+        self.drift.rem_mean += w((n - 1) as f64) * (rinv_pre * rinv_post);
+        false
+    }
+
+    /// Removes one member like [`Self::remove_view`] while accumulating the
+    /// drift bounds of [`crate::pruning`]; same `true` ⇒ epoch-bump contract
+    /// as [`Self::add_view_tracked`].
+    pub fn remove_view_tracked(&mut self, v: &MomentView<'_>) -> bool {
+        let n = self.size;
+        let a_pre = self.psi_tot - self.s_sq_tot;
+        let s_sq_pre = self.s_sq_tot;
+        // remove_view's cross is ⟨s_post, mu(o)⟩; shift back to s_pre.
+        let cross = self.remove_view_impl(v) + v.sum_mu_sq;
+        let a_post = self.psi_tot - self.s_sq_tot;
+        let w = |scale: f64| displacement(scale, v.sum_mu_sq, cross, s_sq_pre);
+
+        // Add direction (denominators n+1 → n): exact displacement
+        // ‖s − mu(o)·(n+1)‖ / (n(n+1)); valid down to emptying the cluster.
+        let inv_pre = 1.0 / (n + 1) as f64;
+        let inv_post = 1.0 / n as f64;
+        self.drift.add_const += (t_term(n - 1, a_post) - t_term(n, a_pre)).abs();
+        self.drift.add_size += inv_post - inv_pre;
+        self.drift.add_mean += w((n + 1) as f64) * (inv_pre * inv_post);
+
+        // Remove direction (denominators n−1 → n−2): needs both sizes >= 2.
+        if n < 3 {
+            return true;
+        }
+        let rinv_pre = 1.0 / (n - 1) as f64;
+        let rinv_post = 1.0 / (n - 2) as f64;
+        self.drift.rem_const += (u_term(n - 1, a_post) - u_term(n, a_pre)).abs();
+        self.drift.rem_size += rinv_post - rinv_pre;
+        self.drift.rem_mean += w((n - 1) as f64) * (rinv_pre * rinv_post);
+        false
+    }
+
+    /// The accumulated drift-bound coefficients (see [`crate::pruning`]).
+    pub fn drift(&self) -> ClusterDrift {
+        self.drift
+    }
+
+    /// A magnitude scale for the cluster's aggregates, used to size the
+    /// floating-point safety slack of the pruning bounds: cancellation noise
+    /// in a delta-`J` evaluation is proportional to the largest aggregate
+    /// the subtraction passes through.
+    pub fn magnitude(&self) -> f64 {
+        self.psi_tot.abs() + self.phi_tot.abs() + self.s_sq_tot.abs()
     }
 
     /// The UCPC objective `J(C)` of Theorem 3, in scalar-aggregate form:

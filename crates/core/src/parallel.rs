@@ -21,7 +21,12 @@
 use crate::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
 use crate::init::Initializer;
 use crate::objective::{total_objective, ClusterStats};
+use crate::pruning::{
+    apply_tracked_relocation, best_candidate, best_candidate_with_second, fp_scale, DriftTotals,
+    PruneCache, PruneCounters, PruneDecision, PruneShard, PruningConfig,
+};
 use rand::RngCore;
+use ucpc_uncertain::arena::MomentView;
 use ucpc_uncertain::{MomentArena, UncertainObject};
 
 /// Configuration of the parallel UCPC search.
@@ -53,6 +58,12 @@ pub struct ParallelUcpc {
     pub tolerance: f64,
     /// Worker threads for the propose phase (`0` = available parallelism).
     pub threads: usize,
+    /// Candidate pruning for the propose phase. Each worker evaluates the
+    /// drift bounds of [`crate::pruning`] against the same frozen statistics
+    /// snapshot it proposes against, over its own shard of the cache
+    /// columns; the proposal stream is provably identical to the unpruned
+    /// one, so the final labels are byte-identical.
+    pub pruning: PruningConfig,
 }
 
 impl Default for ParallelUcpc {
@@ -62,6 +73,7 @@ impl Default for ParallelUcpc {
             max_iters: 200,
             tolerance: 1e-9,
             threads: 0,
+            pruning: PruningConfig::default(),
         }
     }
 }
@@ -81,6 +93,9 @@ pub struct ParallelUcpcResult {
     pub rejected: usize,
     /// Whether a pass with no applicable proposal was reached.
     pub converged: bool,
+    /// Candidate-pruning counters summed over all propose phases (all zero
+    /// when pruning is off).
+    pub pruning: PruneCounters,
 }
 
 impl ParallelUcpc {
@@ -112,54 +127,64 @@ impl ParallelUcpc {
         let mut applied = 0usize;
         let mut rejected = 0usize;
         let mut converged = false;
+        let mut counters = PruneCounters::default();
+        let mut epoch = 0u64;
+        let mut totals = DriftTotals::default();
+        let mut cache = self
+            .pruning
+            .is_enabled()
+            .then(|| PruneCache::new(arena.len(), k));
 
         while iterations < self.max_iters {
             iterations += 1;
 
             // Phase 1: propose against a frozen snapshot, reading moments
-            // from the shared arena.
+            // from the shared arena. Each worker owns one shard of the prune
+            // cache and evaluates the drift bounds against the same frozen
+            // snapshot it scans (the accumulators frozen inside it are its
+            // per-shard drift snapshot), so proposals — pruned or not — are
+            // deterministic functions of the pass-start state.
             let snapshot = stats.clone();
             let labels_ro: &[usize] = &labels;
             let chunk = arena.len().div_ceil(threads).max(1);
+            let n_chunks = arena.len().div_ceil(chunk);
+            let scale = if cache.is_some() {
+                fp_scale(&snapshot)
+            } else {
+                0.0
+            };
 
-            let proposals: Vec<Option<(usize, usize)>> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                let mut start = 0usize;
-                while start < arena.len() {
-                    let end = (start + chunk).min(arena.len());
-                    let snapshot = &snapshot;
-                    let arena = &arena;
-                    let tol = self.tolerance;
-                    handles.push(scope.spawn(move || {
-                        (start..end)
-                            .map(|i| {
-                                let src = labels_ro[i];
-                                if snapshot[src].size() <= 1 {
-                                    return None;
-                                }
-                                let v = arena.view(i);
-                                let removal_gain = snapshot[src].delta_j_remove(&v);
-                                let mut best: Option<(usize, f64)> = None;
-                                for (dst, stat) in snapshot.iter().enumerate() {
-                                    if dst == src {
-                                        continue;
-                                    }
-                                    let delta = removal_gain + stat.delta_j_add(&v);
-                                    if best.is_none_or(|(_, bd)| delta < bd) {
-                                        best = Some((dst, delta));
-                                    }
-                                }
-                                best.filter(|&(_, d)| d < -tol).map(|(dst, _)| (i, dst))
-                            })
-                            .collect::<Vec<_>>()
-                    }));
-                    start = end;
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("propose worker panicked"))
-                    .collect()
-            });
+            let proposals: Vec<Option<(usize, usize)>> = {
+                let shards: Vec<Option<PruneShard<'_>>> = match cache.as_mut() {
+                    Some(c) => c.shards(chunk).into_iter().map(Some).collect(),
+                    None => (0..n_chunks).map(|_| None).collect(),
+                };
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (ci, shard) in shards.into_iter().enumerate() {
+                        let start = ci * chunk;
+                        let end = (start + chunk).min(arena.len());
+                        let snapshot = &snapshot;
+                        let arena = &arena;
+                        let tol = self.tolerance;
+                        handles.push(scope.spawn(move || {
+                            propose_range(
+                                start, end, shard, snapshot, arena, labels_ro, tol, epoch, totals,
+                                scale,
+                            )
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .flat_map(|h| {
+                            let (props, shard_counters) =
+                                h.join().expect("propose worker panicked");
+                            counters.merge(shard_counters);
+                            props
+                        })
+                        .collect()
+                })
+            };
 
             // Phase 2: sequential re-validation + application.
             let mut moved = false;
@@ -173,8 +198,15 @@ impl ParallelUcpc {
                 let v = arena.view(i);
                 let delta = stats[src].delta_j_remove(&v) + stats[dst].delta_j_add(&v);
                 if delta < -self.tolerance {
-                    stats[src].remove_view(&v);
-                    stats[dst].add_view(&v);
+                    if let Some(c) = cache.as_mut() {
+                        if apply_tracked_relocation(&mut stats, src, dst, &v, &mut totals) {
+                            epoch += 1;
+                        }
+                        c.invalidate(i);
+                    } else {
+                        stats[src].remove_view(&v);
+                        stats[dst].add_view(&v);
+                    }
                     labels[i] = dst;
                     applied += 1;
                     moved = true;
@@ -196,7 +228,89 @@ impl ParallelUcpc {
             applied,
             rejected,
             converged,
+            pruning: counters,
         })
+    }
+}
+
+/// One propose-phase worker: scans `start..end` against the frozen
+/// `snapshot`, taking the pruning shortcuts when a cache shard is supplied.
+/// Every proposal (and non-proposal) is identical to what the unpruned scan
+/// of the same range would emit — tier 1 only fires when the scan provably
+/// proposes nothing, tier 2 recomputes the confirmed argmin's delta with the
+/// exact kernel calls of the full scan.
+#[allow(clippy::too_many_arguments)]
+fn propose_range(
+    start: usize,
+    end: usize,
+    mut shard: Option<PruneShard<'_>>,
+    snapshot: &[ClusterStats],
+    arena: &MomentArena,
+    labels: &[usize],
+    tol: f64,
+    epoch: u64,
+    totals: DriftTotals,
+    scale: f64,
+) -> (Vec<Option<(usize, usize)>>, PruneCounters) {
+    let mut counters = PruneCounters::default();
+    let proposals = (start..end)
+        .map(|i| {
+            let src = labels[i];
+            if snapshot[src].size() <= 1 {
+                return None;
+            }
+            let v = arena.view(i);
+            let decision = match &shard {
+                Some(s) => s.decide(i, epoch, snapshot, totals, src, &v, tol, scale),
+                None => PruneDecision::FullScan,
+            };
+            match decision {
+                PruneDecision::Skip => {
+                    counters.skips += 1;
+                    None
+                }
+                PruneDecision::ConfirmBest(dst) => {
+                    counters.confirms += 1;
+                    let delta = snapshot[src].delta_j_remove(&v) + snapshot[dst].delta_j_add(&v);
+                    (delta < -tol).then_some((i, dst))
+                }
+                PruneDecision::FullScan => {
+                    if shard.is_some() {
+                        counters.full_scans += 1;
+                    }
+                    full_scan(i, src, &v, snapshot, tol, epoch, totals, shard.as_mut())
+                }
+            }
+        })
+        .collect();
+    (proposals, counters)
+}
+
+/// The reference `k−1` candidate scan of one object, with second-best
+/// tracking; caches a "no move" outcome when a shard is present.
+#[allow(clippy::too_many_arguments)]
+fn full_scan(
+    i: usize,
+    src: usize,
+    v: &MomentView<'_>,
+    snapshot: &[ClusterStats],
+    tol: f64,
+    epoch: u64,
+    totals: DriftTotals,
+    shard: Option<&mut PruneShard<'_>>,
+) -> Option<(usize, usize)> {
+    match shard {
+        Some(s) => match best_candidate_with_second(snapshot, src, v) {
+            Some((dst, delta, _)) if delta < -tol => Some((i, dst)),
+            Some((dst, delta, second)) => {
+                s.store(i, epoch, snapshot, totals, dst, delta, second);
+                None
+            }
+            None => None,
+        },
+        None => best_candidate(snapshot, src, v)
+            .filter(|&(_, delta)| delta < -tol)
+            .map(|(dst, _)| (i, dst)),
     }
 }
 

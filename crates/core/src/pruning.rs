@@ -1,0 +1,812 @@
+//! Exact candidate pruning for the UCPC relocation loop: per-object
+//! best/second-best delta-`J` caching plus per-cluster drift bounds.
+//!
+//! The relocation pass of Algorithm 1 evaluates, for every object `o`, the
+//! objective change of moving it to each of the `k−1` other clusters. After
+//! the first few passes most objects sit firmly inside their cluster and the
+//! scan re-derives the same "no move" answer over and over. This module
+//! skips those scans *exactly*: a pruned run applies the same relocations in
+//! the same order as an unpruned run and produces byte-identical labels —
+//! the bound machinery only ever proves that a scan's outcome cannot have
+//! changed, it never approximates it. The idea transplants the
+//! MinMax/cluster-shift bounding of the UK-means pruning literature (Ngai et
+//! al. \[16\]\[17\], implemented for the sampled baseline in
+//! `ucpc-baselines::pruning`) onto the closed-form delta-`J` kernel.
+//!
+//! # The drift bound
+//!
+//! Write a cluster's sufficient statistics as `n = |C|`, `s = Σ_{o∈C} mu(o)`,
+//! `Ψ = Σ sigma²(o)`, `Φ = Σ Σ_j (mu_2)_j(o)` and `A = Ψ − ‖s‖²`. The
+//! scalar-aggregate kernel (see [`ucpc_uncertain::arena`]) evaluates the two
+//! delta directions as
+//!
+//! ```text
+//! delta_add(C, o)    = −T(C) + (sigma²(o) − ‖mu(o)‖²)/(n+1) + phi(o)
+//!                      − 2⟨s, mu(o)⟩/(n+1),          T(C) = A/(n(n+1)),
+//! delta_remove(C, o) =  U(C) − (sigma²(o) + ‖mu(o)‖²)/(n−1) − phi(o)
+//!                      + 2⟨s, mu(o)⟩/(n−1),          U(C) = A/(n(n−1)),
+//! ```
+//!
+//! with `T(∅) = 0` and `delta_remove` special-cased to `−J(C)` for `n = 1`.
+//! When the cluster changes from `C` to `C'` (any sequence of member
+//! additions/removals), the triangle and Cauchy–Schwarz inequalities give
+//!
+//! ```text
+//! |delta_add(C',o) − delta_add(C,o)|
+//!     ≤ |T(C') − T(C)|                                  (constant)
+//!     + |1/(n'+1) − 1/(n+1)| · q(o)                     (size-coupled)
+//!     + 2‖s'/(n'+1) − s/(n+1)‖ · ‖mu(o)‖,               (mean-coupled)
+//! ```
+//!
+//! where `q(o) = sigma²(o) + ‖mu(o)‖² ≥ |sigma²(o) − ‖mu(o)‖²|`, and the
+//! analogous bound for `delta_remove` with `n±1` replaced by `n∓1`-style
+//! denominators (`1/(n−1)`, valid whenever both sizes are ≥ 2). For a single
+//! tracked transition `C → C ± x` the mean-coupled factor is not merely
+//! bounded but *exact*, and O(1): with `d, d'` the direction's denominators,
+//!
+//! ```text
+//! ‖s'/d' − s/d‖ = ‖(s ± mu(x)) d − s d'‖ / (d d')
+//!               = ‖mu(x)·a − s‖ / (d d'),        a = ±d = ∓(d' − d)·…,
+//! ```
+//!
+//! where the numerator collapses to `‖mu(x)·a − s‖` with `a = n+1` (add
+//! direction) or `a = n−1` (remove direction) for either transition, and
+//! expands through scalars that are already on hand:
+//! `‖mu(x)·a − s‖² = a²·Σmu(x)² − 2a⟨s, mu(x)⟩ + S₂`, the cross term being
+//! computed by the very `add_view`/`remove_view` pass that applies the
+//! relocation. The exactness matters: the naive triangle split
+//! `‖s‖·|1/d'−1/d| + ‖mu(x)‖/d'` loses the cancellation between `mu(x)` and
+//! `s` (both roughly aligned with the cluster mean) and is an order of
+//! magnitude looser on realistic data. Each [`ClusterStats`] accumulates
+//! these three coefficients per direction ([`ClusterDrift`]); every term is
+//! non-negative, so the accumulators are monotone and for any earlier
+//! snapshot the difference `acc(now) − acc(snapshot)` bounds the total
+//! drift of that cluster's delta over the whole intervening relocation
+//! history (triangle inequality over the chain of transitions).
+//!
+//! # Soundness of the two skip tests
+//!
+//! A full scan of object `o` (current cluster `src`) computes
+//! `d(c) = delta_remove(src, o) + delta_add(c, o)` for every candidate
+//! `c ≠ src`, takes the minimum `d* = d(c*)` (first index wins ties), and
+//! applies the move iff `d* < −tolerance`. After a full scan that applied no
+//! move, the cache stores `best = d(c*)`, `c*`, and
+//! `second = min_{c ∉ {src, c*}} d(c)`, together with a snapshot of every
+//! cluster's drift accumulators. Let `D_add(o)` be the add-direction drift
+//! bound maximised over candidates (per-coefficient maxima of
+//! `acc − snapshot`, combined with `q(o)` and `‖mu(o)‖`), and `D_rem(o)` the
+//! remove-direction bound of `src` alone. Then for the current statistics:
+//!
+//! Let `D_best(o)` be the add-direction drift bound of the cached best
+//! cluster `c*` alone, `D_oth(o)` the per-coefficient maxima over the
+//! remaining candidates, and `D_rem(o)` the remove-direction bound of `src`.
+//!
+//! * **Tier 1 (skip).** The current candidate deltas satisfy
+//!   `d(c*) ≥ best − D_best − D_rem` and, for every other candidate,
+//!   `d(c) ≥ second − D_oth − D_rem` (the cached `second` is the minimum
+//!   over exactly those clusters). If both right-hand sides are
+//!   `≥ −tolerance`, the full scan would find `d* ≥ −tolerance` and apply
+//!   nothing — the scan is skipped outright and the state is untouched,
+//!   exactly as the unpruned pass would leave it. Splitting `c*` from the
+//!   rest lets the (usually large) `second − best` margin absorb churn that
+//!   is concentrated away from the object's own neighborhood.
+//! * **Tier 2 (confirm argmin).** The remove term is common to every
+//!   candidate, so the argmin is decided by the add terms alone. If
+//!   `best + D_best < second − D_oth` (strictly), the cached `c*` is still
+//!   the unique argmin; the pass recomputes the *exact* delta for `c*` only
+//!   (two fused dot products instead of `k`) with the identical kernel
+//!   calls an unpruned scan would issue for `c*`, and applies the identical
+//!   decision — bit-for-bit, because the float operations are the same.
+//!
+//! A preliminary **tier 0** runs both tests with a single global
+//! [`DriftTotals`] — the accumulators summed over all clusters, snapshotted
+//! inline in the cache entry — which over-approximates every per-cluster
+//! difference at O(1) cost and resolves almost all decisions in quiet
+//! passes without touching the per-cluster snapshot row.
+//!
+//! Any relocation that takes a cluster through size `< 2` is flagged by the
+//! tracked updates ([`ClusterStats::add_view_tracked`]) because the
+//! remove-direction coefficients are not defined there; the driver bumps a
+//! global *epoch*, which invalidates every cache entry (entries record the
+//! epoch they were written in). Likewise `IncrementalUcpc` bumps the epoch
+//! on every insert/remove, and `BestOfRestarts` resets the cache between
+//! restarts.
+//!
+//! The accumulators and bounds are themselves computed in floating point, so
+//! every test inflates the drift by [`slack`] — a safety margin proportional
+//! to the magnitude of the cluster aggregates (the source of cancellation
+//! noise in a delta evaluation) and of the object's scalars. The margin is
+//! orders of magnitude above the ~`ε·magnitude` rounding noise of the kernel
+//! while staying orders of magnitude below any decision margin the data can
+//! sustain, and the exactness suite (`tests/pruning_exactness.rs`) plus the
+//! shadow-scan property test validate the end-to-end guarantee.
+
+use crate::objective::{ClusterDrift, ClusterStats};
+use ucpc_uncertain::arena::MomentView;
+
+/// Whether the relocation loops use the drift-bound candidate pruning.
+///
+/// The default honours the `UCPC_PRUNING` environment variable (`bounds` or
+/// `off`, unset ⇒ `Off`) so the whole test suite can be re-run against the
+/// pruned path without code changes — the CI pruning matrix relies on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruningConfig {
+    /// Reference behaviour: every object scans all `k−1` candidates.
+    Off,
+    /// Best/second-best caching with drift bounds; exactly equivalent to
+    /// [`PruningConfig::Off`] by the argument in the module docs.
+    Bounds,
+}
+
+impl PruningConfig {
+    /// Reads the `UCPC_PRUNING` environment knob (`"bounds"`/`"on"`/`"1"` ⇒
+    /// [`Self::Bounds`], `"off"`/`"0"` ⇒ [`Self::Off`], anything else ⇒
+    /// `None`).
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("UCPC_PRUNING").ok()?.to_lowercase().as_str() {
+            "bounds" | "on" | "1" => Some(Self::Bounds),
+            "off" | "0" => Some(Self::Off),
+            _ => None,
+        }
+    }
+
+    /// Whether pruning is active.
+    pub fn is_enabled(self) -> bool {
+        matches!(self, Self::Bounds)
+    }
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        Self::from_env().unwrap_or(Self::Off)
+    }
+}
+
+/// Skip/scan counters of one pruned run; all zeros when pruning is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneCounters {
+    /// Tier-1 outcomes: the whole candidate scan was proven redundant.
+    pub skips: usize,
+    /// Tier-2 outcomes: the cached argmin was confirmed and only its exact
+    /// delta was recomputed (two dot products instead of `k`).
+    pub confirms: usize,
+    /// Objects that ran the full `k−1` candidate scan.
+    pub full_scans: usize,
+}
+
+impl PruneCounters {
+    /// Total relocation decisions taken.
+    pub fn decisions(&self) -> usize {
+        self.skips + self.confirms + self.full_scans
+    }
+
+    /// Fraction of decisions that avoided the full candidate scan.
+    pub fn skip_rate(&self) -> f64 {
+        let d = self.decisions();
+        if d == 0 {
+            0.0
+        } else {
+            (self.skips + self.confirms) as f64 / d as f64
+        }
+    }
+
+    /// Accumulates another run's counters (used by restarts and benches).
+    pub fn merge(&mut self, other: PruneCounters) {
+        self.skips += other.skips;
+        self.confirms += other.confirms;
+        self.full_scans += other.full_scans;
+    }
+}
+
+/// What the bounds allow for one object's relocation decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneDecision {
+    /// No usable cache entry, or the bounds are too loose: run the full
+    /// candidate scan (and refresh the cache).
+    FullScan,
+    /// Tier 1: the cached best cannot have dropped below `−tolerance`; the
+    /// scan would apply nothing. Skip it.
+    Skip,
+    /// Tier 2: the cached argmin provably still wins; recompute its exact
+    /// delta only.
+    ConfirmBest(usize),
+}
+
+/// Number of drift coefficients snapshotted per cluster (two directions ×
+/// three coefficients).
+const SNAP_STRIDE: usize = 6;
+
+/// Driver-maintained global drift totals: the six coefficient accumulators
+/// summed over *all* clusters, updated on every tracked relocation. Each is
+/// an upper bound on the corresponding per-cluster accumulator (every
+/// increment is non-negative), so the O(1) tier-0 test can diff two copies
+/// of this struct instead of walking the per-cluster snapshot row; the O(k)
+/// per-cluster walk remains as a tighter fallback for semi-active passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DriftTotals {
+    add_const: f64,
+    add_size: f64,
+    add_mean: f64,
+    rem_const: f64,
+    rem_size: f64,
+    rem_mean: f64,
+}
+
+impl DriftTotals {
+    /// Folds one cluster's accumulator movement (`before` → `after`, as
+    /// returned by [`ClusterStats::drift`] around a tracked relocation) into
+    /// the totals.
+    pub fn absorb(&mut self, before: ClusterDrift, after: ClusterDrift) {
+        self.add_const += after.add_const - before.add_const;
+        self.add_size += after.add_size - before.add_size;
+        self.add_mean += after.add_mean - before.add_mean;
+        self.rem_const += after.rem_const - before.rem_const;
+        self.rem_size += after.rem_size - before.rem_size;
+        self.rem_mean += after.rem_mean - before.rem_mean;
+    }
+}
+
+/// One object's cached scan outcome, including its snapshot of the global
+/// [`DriftTotals`] (the O(1) watermark; the per-cluster watermark lives in
+/// the shard's snapshot matrix).
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    valid: bool,
+    epoch: u64,
+    best_dst: usize,
+    best: f64,
+    second: f64,
+    totals: DriftTotals,
+}
+
+impl CacheEntry {
+    fn invalid() -> Self {
+        Self {
+            valid: false,
+            epoch: 0,
+            best_dst: usize::MAX,
+            best: f64::INFINITY,
+            second: f64::INFINITY,
+            totals: DriftTotals::default(),
+        }
+    }
+}
+
+/// The per-object pruning state: best/second-best cache rows plus a flat
+/// `n × 6k` snapshot matrix of the per-cluster drift accumulators at cache
+/// time (columns alongside the [`ucpc_uncertain::MomentArena`]'s moment
+/// columns).
+#[derive(Debug, Clone)]
+pub struct PruneCache {
+    k: usize,
+    entries: Vec<CacheEntry>,
+    snaps: Vec<f64>,
+}
+
+impl PruneCache {
+    /// An all-invalid cache for `n` objects and `k` clusters.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self {
+            k,
+            entries: vec![CacheEntry::invalid(); n],
+            snaps: vec![0.0; n * k * SNAP_STRIDE],
+        }
+    }
+
+    /// Number of objects covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache covers no objects.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Invalidates every entry and re-shapes the cache for `n` objects and
+    /// `k` clusters without reallocating when the shape already fits — the
+    /// per-restart reset of `BestOfRestarts`.
+    pub fn reset(&mut self, n: usize, k: usize) {
+        self.k = k;
+        self.entries.clear();
+        self.entries.resize(n, CacheEntry::invalid());
+        self.snaps.clear();
+        self.snaps.resize(n * k * SNAP_STRIDE, 0.0);
+    }
+
+    /// Grows the cache to cover `n` objects (new entries invalid); keeps
+    /// existing entries (used by `IncrementalUcpc`, whose slots are
+    /// index-stable).
+    pub fn grow(&mut self, n: usize) {
+        if n > self.entries.len() {
+            self.entries.resize(n, CacheEntry::invalid());
+            self.snaps.resize(n * self.k * SNAP_STRIDE, 0.0);
+        }
+    }
+
+    /// Invalidates one object's entry (after it relocates).
+    pub fn invalidate(&mut self, i: usize) {
+        self.entries[i].valid = false;
+    }
+
+    /// A shard covering the whole cache, for single-threaded drivers.
+    pub fn view(&mut self) -> PruneShard<'_> {
+        let k = self.k;
+        PruneShard {
+            base: 0,
+            k,
+            entries: &mut self.entries,
+            snaps: &mut self.snaps,
+        }
+    }
+
+    /// Splits the cache into consecutive shards of `chunk` objects (last one
+    /// shorter), matching the shard layout of `ParallelUcpc`'s propose
+    /// phase so each worker owns its objects' cache rows.
+    pub fn shards(&mut self, chunk: usize) -> Vec<PruneShard<'_>> {
+        assert!(chunk > 0, "shard size must be positive");
+        let k = self.k;
+        let mut shards = Vec::new();
+        let mut base = 0usize;
+        let mut entries: &mut [CacheEntry] = &mut self.entries;
+        let mut snaps: &mut [f64] = &mut self.snaps;
+        while !entries.is_empty() {
+            let take = chunk.min(entries.len());
+            let (e, e_rest) = entries.split_at_mut(take);
+            let (s, s_rest) = snaps.split_at_mut(take * k * SNAP_STRIDE);
+            shards.push(PruneShard {
+                base,
+                k,
+                entries: e,
+                snaps: s,
+            });
+            base += take;
+            entries = e_rest;
+            snaps = s_rest;
+        }
+        shards
+    }
+}
+
+/// A mutable window over a contiguous range of objects' cache rows; the unit
+/// handed to each propose-phase worker (its *per-shard drift snapshot* is
+/// whatever frozen statistics slice the caller passes to [`Self::decide`] /
+/// [`Self::store`]).
+#[derive(Debug)]
+pub struct PruneShard<'a> {
+    base: usize,
+    k: usize,
+    entries: &'a mut [CacheEntry],
+    snaps: &'a mut [f64],
+}
+
+/// Floating-point safety margin added on top of the accumulated drift: a
+/// tiny multiple of the cluster-aggregate magnitude (`fp_scale`, the source
+/// of cancellation noise inside a delta evaluation) plus one of the object's
+/// own scalar magnitudes. See the module docs.
+pub fn slack(fp_scale: f64, q: f64, r: f64) -> f64 {
+    1e-12 * fp_scale + 1e-9 * (1.0 + q + r)
+}
+
+/// The per-pass aggregate-magnitude scale fed to [`slack`].
+pub fn fp_scale(stats: &[ClusterStats]) -> f64 {
+    stats
+        .iter()
+        .map(ClusterStats::magnitude)
+        .fold(0.0f64, f64::max)
+}
+
+/// The reference `k−1` candidate scan: removal gain from `src` plus
+/// `delta_j_add` against every other cluster, strict-less minimum (first
+/// index wins ties). Every relocation driver routes its unpruned scans
+/// through here so the tie-break semantics the pruning exactness guarantee
+/// depends on exist in exactly one place.
+pub fn best_candidate(
+    stats: &[ClusterStats],
+    src: usize,
+    v: &MomentView<'_>,
+) -> Option<(usize, f64)> {
+    let removal_gain = stats[src].delta_j_remove(v);
+    let mut best: Option<(usize, f64)> = None;
+    for (dst, stat) in stats.iter().enumerate() {
+        if dst == src {
+            continue;
+        }
+        let delta = removal_gain + stat.delta_j_add(v);
+        if best.is_none_or(|(_, bd)| delta < bd) {
+            best = Some((dst, delta));
+        }
+    }
+    best
+}
+
+/// [`best_candidate`] with runner-up tracking: additionally returns the
+/// minimum delta over the candidates other than the winner (`+∞` when k=2),
+/// which is what a pruned full scan caches as the second-best margin. The
+/// winner and its delta are bit-identical to [`best_candidate`]'s — the
+/// comparison sequence deciding `best` is the same.
+pub fn best_candidate_with_second(
+    stats: &[ClusterStats],
+    src: usize,
+    v: &MomentView<'_>,
+) -> Option<(usize, f64, f64)> {
+    let removal_gain = stats[src].delta_j_remove(v);
+    let mut best: Option<(usize, f64)> = None;
+    let mut second = f64::INFINITY;
+    for (dst, stat) in stats.iter().enumerate() {
+        if dst == src {
+            continue;
+        }
+        let delta = removal_gain + stat.delta_j_add(v);
+        match best {
+            Some((_, bd)) if delta >= bd => {
+                if delta < second {
+                    second = delta;
+                }
+            }
+            Some((_, bd)) => {
+                second = bd;
+                best = Some((dst, delta));
+            }
+            None => best = Some((dst, delta)),
+        }
+    }
+    best.map(|(dst, delta)| (dst, delta, second))
+}
+
+/// Applies one accepted relocation (remove `v` from `src`, add it to `dst`)
+/// through the drift-tracked statistic updates, folding both clusters'
+/// accumulator movement into the global `totals`. The statistic mutations
+/// are bit-identical to the untracked `remove_view`/`add_view` pair.
+/// Returns `true` when a small-size transition occurred and the caller must
+/// bump its cache epoch.
+pub fn apply_tracked_relocation(
+    stats: &mut [ClusterStats],
+    src: usize,
+    dst: usize,
+    v: &MomentView<'_>,
+    totals: &mut DriftTotals,
+) -> bool {
+    let before = stats[src].drift();
+    let small_src = stats[src].remove_view_tracked(v);
+    totals.absorb(before, stats[src].drift());
+    let before = stats[dst].drift();
+    let small_dst = stats[dst].add_view_tracked(v);
+    totals.absorb(before, stats[dst].drift());
+    small_src || small_dst
+}
+
+impl PruneShard<'_> {
+    fn idx(&self, i: usize) -> usize {
+        debug_assert!(
+            i >= self.base && i - self.base < self.entries.len(),
+            "object {i} outside shard [{}, {})",
+            self.base,
+            self.base + self.entries.len()
+        );
+        i - self.base
+    }
+
+    /// Evaluates the bound tests for object `i` (cluster `src`, kernel view
+    /// `v`) against the statistics in `stats`, the global drift totals and
+    /// cache epoch `epoch`. Purely read-only: callers act on the returned
+    /// decision.
+    ///
+    /// Tier 0 diffs the global totals against the entry's inline snapshot —
+    /// O(1), one cache line — and resolves the overwhelming majority of
+    /// decisions in quiet passes. Only when that over-approximation is too
+    /// loose does the O(k) per-cluster walk run (per-coefficient maxima over
+    /// candidates instead of sums over all clusters).
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide(
+        &self,
+        i: usize,
+        epoch: u64,
+        stats: &[ClusterStats],
+        totals: DriftTotals,
+        src: usize,
+        v: &MomentView<'_>,
+        tolerance: f64,
+        scale: f64,
+    ) -> PruneDecision {
+        let li = self.idx(i);
+        let e = self.entries[li];
+        if !e.valid || e.epoch != epoch || e.best_dst == src || e.best_dst >= stats.len() {
+            return PruneDecision::FullScan;
+        }
+        let q = v.sum_var + v.sum_mu_sq;
+        let r = v.norm_mu;
+        let guard = slack(scale, q, r);
+
+        // Tier 0: global-sum drift, O(1). The sums over all clusters bound
+        // both the candidate-maximum add drift and the src remove drift.
+        let g = e.totals;
+        let add0 = (totals.add_const - g.add_const).max(0.0)
+            + (totals.add_size - g.add_size).max(0.0) * q
+            + 2.0 * (totals.add_mean - g.add_mean).max(0.0) * r;
+        let rem0 = (totals.rem_const - g.rem_const).max(0.0)
+            + (totals.rem_size - g.rem_size).max(0.0) * q
+            + 2.0 * (totals.rem_mean - g.rem_mean).max(0.0) * r;
+        if e.best - (add0 + rem0 + guard) >= -tolerance {
+            return PruneDecision::Skip;
+        }
+
+        // Per-cluster refinement. The cached best's own add-direction drift
+        // (`d_best`) is kept apart from the per-coefficient maxima over the
+        // remaining candidates (`oth_*`): `e.second` is the cached minimum
+        // over exactly those clusters, so their drift is charged against the
+        // usually-larger second margin.
+        let row = &self.snaps[li * self.k * SNAP_STRIDE..(li + 1) * self.k * SNAP_STRIDE];
+        let mut oth_const = 0.0f64;
+        let mut oth_size = 0.0f64;
+        let mut oth_mean = 0.0f64;
+        for (c, stat) in stats.iter().enumerate() {
+            if c == src || c == e.best_dst {
+                continue;
+            }
+            let d = stat.drift();
+            let snap = &row[c * SNAP_STRIDE..(c + 1) * SNAP_STRIDE];
+            oth_const = oth_const.max(d.add_const - snap[0]);
+            oth_size = oth_size.max(d.add_size - snap[1]);
+            oth_mean = oth_mean.max(d.add_mean - snap[2]);
+        }
+        let d_src = stats[src].drift();
+        let snap_src = &row[src * SNAP_STRIDE..(src + 1) * SNAP_STRIDE];
+        let rem = (d_src.rem_const - snap_src[3]).max(0.0)
+            + (d_src.rem_size - snap_src[4]).max(0.0) * q
+            + 2.0 * (d_src.rem_mean - snap_src[5]).max(0.0) * r;
+        let d_bst = stats[e.best_dst].drift();
+        let snap_bst = &row[e.best_dst * SNAP_STRIDE..(e.best_dst + 1) * SNAP_STRIDE];
+        let best_drift = (d_bst.add_const - snap_bst[0]).max(0.0)
+            + (d_bst.add_size - snap_bst[1]).max(0.0) * q
+            + 2.0 * (d_bst.add_mean - snap_bst[2]).max(0.0) * r;
+        let oth_drift = oth_const.max(0.0) + oth_size.max(0.0) * q + 2.0 * oth_mean.max(0.0) * r;
+
+        // Tier 1: no candidate can have dropped below −tolerance.
+        if e.best - (best_drift + rem + guard) >= -tolerance
+            && e.second - (oth_drift + rem + guard) >= -tolerance
+        {
+            return PruneDecision::Skip;
+        }
+        // Tier 2: the cached argmin provably still wins (the remove term is
+        // common to all candidates, so only add-direction drift matters).
+        if e.best + best_drift + guard < e.second - oth_drift - guard {
+            return PruneDecision::ConfirmBest(e.best_dst);
+        }
+        PruneDecision::FullScan
+    }
+
+    /// Records the outcome of a full scan that applied no move: the best and
+    /// second-best candidate deltas plus snapshots of the global drift
+    /// totals (inline) and of every cluster's accumulators (the watermarks
+    /// future [`Self::decide`] calls diff against).
+    #[allow(clippy::too_many_arguments)]
+    pub fn store(
+        &mut self,
+        i: usize,
+        epoch: u64,
+        stats: &[ClusterStats],
+        totals: DriftTotals,
+        best_dst: usize,
+        best: f64,
+        second: f64,
+    ) {
+        let li = self.idx(i);
+        self.entries[li] = CacheEntry {
+            valid: true,
+            epoch,
+            best_dst,
+            best,
+            second,
+            totals,
+        };
+        let row = &mut self.snaps[li * self.k * SNAP_STRIDE..(li + 1) * self.k * SNAP_STRIDE];
+        for (c, stat) in stats.iter().enumerate() {
+            let ClusterDrift {
+                add_const,
+                add_size,
+                add_mean,
+                rem_const,
+                rem_size,
+                rem_mean,
+            } = stat.drift();
+            let snap = &mut row[c * SNAP_STRIDE..(c + 1) * SNAP_STRIDE];
+            snap[0] = add_const;
+            snap[1] = add_size;
+            snap[2] = add_mean;
+            snap[3] = rem_const;
+            snap[4] = rem_size;
+            snap[5] = rem_mean;
+        }
+    }
+
+    /// Invalidates one object's entry (after it relocates).
+    pub fn invalidate(&mut self, i: usize) {
+        let li = self.idx(i);
+        self.entries[li].valid = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucpc_uncertain::{MomentArena, UncertainObject, UnivariatePdf};
+
+    fn objects(n: usize) -> Vec<UncertainObject> {
+        (0..n)
+            .map(|i| {
+                UncertainObject::new(vec![
+                    UnivariatePdf::normal(i as f64, 0.3),
+                    UnivariatePdf::normal(-(i as f64) * 0.5, 0.2),
+                ])
+            })
+            .collect()
+    }
+
+    fn stats_for(arena: &MomentArena, labels: &[usize], k: usize) -> Vec<ClusterStats> {
+        let mut stats = vec![ClusterStats::empty(arena.dims()); k];
+        for (i, &l) in labels.iter().enumerate() {
+            stats[l].add_view(&arena.view(i));
+        }
+        stats
+    }
+
+    #[test]
+    fn env_knob_parses() {
+        assert!(PruningConfig::Bounds.is_enabled());
+        assert!(!PruningConfig::Off.is_enabled());
+    }
+
+    #[test]
+    fn fresh_cache_forces_full_scans() {
+        let data = objects(6);
+        let arena = MomentArena::from_objects(&data);
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let stats = stats_for(&arena, &labels, 2);
+        let mut cache = PruneCache::new(6, 2);
+        let shard = cache.view();
+        let v = arena.view(0);
+        assert_eq!(
+            shard.decide(
+                0,
+                0,
+                &stats,
+                DriftTotals::default(),
+                0,
+                &v,
+                1e-9,
+                fp_scale(&stats)
+            ),
+            PruneDecision::FullScan
+        );
+    }
+
+    #[test]
+    fn unchanged_statistics_allow_skip_and_epoch_bump_invalidates() {
+        let data = objects(6);
+        let arena = MomentArena::from_objects(&data);
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let stats = stats_for(&arena, &labels, 2);
+        let scale = fp_scale(&stats);
+        let totals = DriftTotals::default();
+        let mut cache = PruneCache::new(6, 2);
+        let mut shard = cache.view();
+        let v = arena.view(0);
+        // A converged object: its best candidate delta is comfortably
+        // positive, so with zero drift tier 0 must fire.
+        shard.store(0, 0, &stats, totals, 1, 5.0, f64::INFINITY);
+        assert_eq!(
+            shard.decide(0, 0, &stats, totals, 0, &v, 1e-9, scale),
+            PruneDecision::Skip
+        );
+        // Same entry at a later epoch: stale, full scan.
+        assert_eq!(
+            shard.decide(0, 1, &stats, totals, 0, &v, 1e-9, scale),
+            PruneDecision::FullScan
+        );
+    }
+
+    #[test]
+    fn negative_best_with_margin_confirms_argmin() {
+        let data = objects(9);
+        let arena = MomentArena::from_objects(&data);
+        let labels = vec![0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let stats = stats_for(&arena, &labels, 3);
+        let scale = fp_scale(&stats);
+        let totals = DriftTotals::default();
+        let mut cache = PruneCache::new(9, 3);
+        let mut shard = cache.view();
+        let v = arena.view(0);
+        // Cached best is improving (−2) and far from second (+7): tier 2.
+        shard.store(0, 0, &stats, totals, 2, -2.0, 7.0);
+        assert_eq!(
+            shard.decide(0, 0, &stats, totals, 0, &v, 1e-9, scale),
+            PruneDecision::ConfirmBest(2)
+        );
+        shard.invalidate(0);
+        assert_eq!(
+            shard.decide(0, 0, &stats, totals, 0, &v, 1e-9, scale),
+            PruneDecision::FullScan
+        );
+    }
+
+    #[test]
+    fn accumulated_drift_widens_the_bound_until_rescan() {
+        let data = objects(8);
+        let arena = MomentArena::from_objects(&data);
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let mut stats = stats_for(&arena, &labels, 2);
+        let mut totals = DriftTotals::default();
+        let mut cache = PruneCache::new(8, 2);
+        let mut shard = cache.view();
+        let v = arena.view(0);
+        // Barely-positive margin: sound to skip only while nothing moves.
+        shard.store(0, 0, &stats, totals, 1, 0.05, f64::INFINITY);
+        let scale = fp_scale(&stats);
+        assert_eq!(
+            shard.decide(0, 0, &stats, totals, 0, &v, 1e-9, scale),
+            PruneDecision::Skip
+        );
+        // Relocate object 7 from cluster 1 to cluster 0 (tracked): both
+        // clusters drift and the tiny margin no longer proves a skip. With
+        // k = 2 the argmin is trivially stable (there is only one
+        // candidate), so the decision degrades to tier 2, which recomputes
+        // the exact delta — never to an unsound skip.
+        let v7 = arena.view(7);
+        let small = apply_tracked_relocation(&mut stats, 1, 0, &v7, &mut totals);
+        assert!(!small, "sizes stay >= 2");
+        assert_eq!(
+            shard.decide(0, 0, &stats, totals, 0, &v, 1e-9, fp_scale(&stats)),
+            PruneDecision::ConfirmBest(1)
+        );
+    }
+
+    #[test]
+    fn per_cluster_refinement_is_tighter_than_global_totals() {
+        // Three clusters; the observed object's candidates are 1 and 2.
+        // Drift concentrated in cluster 1 inflates the global sums, but the
+        // per-cluster maxima only see cluster 1's share — both must agree
+        // the entry is unusable only when cluster 1's own drift says so.
+        let data = objects(12);
+        let arena = MomentArena::from_objects(&data);
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2];
+        let mut stats = stats_for(&arena, &labels, 3);
+        let mut totals = DriftTotals::default();
+        let mut cache = PruneCache::new(12, 3);
+        let mut shard = cache.view();
+        let v = arena.view(0);
+        shard.store(0, 0, &stats, totals, 2, 0.4, f64::INFINITY);
+        // Churn objects between clusters 1 and 2 (the candidate set):
+        // eventually even the per-cluster bound must give up and rescan.
+        let mut gave_up = false;
+        for step in 0..50 {
+            let (src, dst) = if step % 2 == 0 { (1, 2) } else { (2, 1) };
+            let vx = arena.view(4 + (step % 4));
+            let small = apply_tracked_relocation(&mut stats, src, dst, &vx, &mut totals);
+            assert!(!small);
+            match shard.decide(0, 0, &stats, totals, 0, &v, 1e-9, fp_scale(&stats)) {
+                PruneDecision::Skip => {}
+                _ => {
+                    gave_up = true;
+                    break;
+                }
+            }
+        }
+        assert!(gave_up, "accumulated candidate drift must force a rescan");
+    }
+
+    #[test]
+    fn shards_partition_the_cache() {
+        let mut cache = PruneCache::new(10, 2);
+        {
+            let shards = cache.shards(4);
+            assert_eq!(shards.len(), 3);
+            assert_eq!(shards[0].entries.len(), 4);
+            assert_eq!(shards[2].entries.len(), 2);
+            assert_eq!(shards[1].base, 4);
+        }
+        cache.reset(3, 5);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.shards(8).len(), 1);
+    }
+}

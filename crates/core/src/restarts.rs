@@ -9,6 +9,7 @@
 //! does for any objective-reporting algorithm.
 
 use crate::framework::{validate_input, ClusterError, Clustering};
+use crate::pruning::{PruneCache, PruneCounters};
 use crate::ucpc::{Ucpc, UcpcResult};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -61,6 +62,9 @@ pub struct RestartResult {
     pub objectives: Vec<f64>,
     /// Index of the winning restart.
     pub winner: usize,
+    /// Candidate-pruning counters summed over all restarts (all zero when
+    /// the wrapped algorithm runs unpruned).
+    pub pruning: PruneCounters,
 }
 
 impl BestOfRestarts {
@@ -75,14 +79,22 @@ impl BestOfRestarts {
         validate_input(data, k)?;
         // One arena shared by every restart: the SoA moment matrices are
         // read-only during the search, so only the initial partition differs.
+        // The prune cache is likewise allocated once; `run_on_arena_with_cache`
+        // invalidates it at the start of every restart (the per-restart
+        // best/second-best state would otherwise leak between searches).
         let arena = MomentArena::from_objects(data);
+        let mut cache = PruneCache::new(arena.len(), k);
         let mut best: Option<(usize, UcpcResult)> = None;
         let mut objectives = Vec::with_capacity(self.restarts);
+        let mut pruning = PruneCounters::default();
         for r in 0..self.restarts {
             let mut run_rng = StdRng::seed_from_u64(rng.next_u64());
             let labels = self.algorithm.init.initial_partition(data, k, &mut run_rng);
-            let result = self.algorithm.run_on_arena(&arena, k, labels)?;
+            let result = self
+                .algorithm
+                .run_on_arena_with_cache(&arena, k, labels, &mut cache)?;
             objectives.push(result.objective);
+            pruning.merge(result.pruning);
             let better = best
                 .as_ref()
                 .is_none_or(|(_, b)| result.objective < b.objective);
@@ -95,6 +107,7 @@ impl BestOfRestarts {
             best,
             objectives,
             winner,
+            pruning,
         })
     }
 

@@ -12,13 +12,19 @@
 //! moments live in a flat [`MomentArena`] and each candidate evaluation is a
 //! single fused dot product plus closed-form scalars (see
 //! [`ucpc_uncertain::arena`] for the derivation), instead of the naive three
-//! O(m) sweeps per candidate.
+//! O(m) sweeps per candidate. On top of the kernel, the loop can prune
+//! whole candidate scans with the best/second-best cache and drift bounds of
+//! [`crate::pruning`] — exactly, producing byte-identical assignments.
 
 use crate::framework::{
     validate_input, validate_labels, ClusterError, Clustering, UncertainClusterer,
 };
 use crate::init::Initializer;
 use crate::objective::{total_objective, ClusterStats};
+use crate::pruning::{
+    apply_tracked_relocation, best_candidate, best_candidate_with_second, fp_scale, DriftTotals,
+    PruneCache, PruneCounters, PruneDecision, PruningConfig,
+};
 use rand::RngCore;
 use ucpc_uncertain::{MomentArena, UncertainObject};
 
@@ -40,6 +46,11 @@ pub struct Ucpc {
     /// formulation permits this; keeping all `k` clusters populated is the
     /// default because the evaluation protocol fixes `k`.
     pub allow_empty_clusters: bool,
+    /// Candidate pruning. [`PruningConfig::Bounds`] skips provably redundant
+    /// candidate scans and is exactly equivalent to [`PruningConfig::Off`]
+    /// (same relocations, byte-identical labels); `Off` remains the
+    /// reference path. The default honours the `UCPC_PRUNING` env knob.
+    pub pruning: PruningConfig,
 }
 
 impl Default for Ucpc {
@@ -49,6 +60,7 @@ impl Default for Ucpc {
             max_iters: 200,
             tolerance: 1e-9,
             allow_empty_clusters: false,
+            pruning: PruningConfig::default(),
         }
     }
 }
@@ -70,6 +82,8 @@ pub struct UcpcResult {
     /// Whether the run stopped because no object was relocated (vs. hitting
     /// `max_iters`).
     pub converged: bool,
+    /// Candidate-pruning counters (all zero when pruning is off).
+    pub pruning: PruneCounters,
 }
 
 impl Ucpc {
@@ -107,7 +121,45 @@ impl Ucpc {
         &self,
         arena: &MomentArena,
         k: usize,
+        labels: Vec<usize>,
+    ) -> Result<UcpcResult, ClusterError> {
+        if self.pruning.is_enabled() {
+            let mut cache = PruneCache::new(arena.len(), k);
+            self.search(arena, k, labels, Some(&mut cache))
+        } else {
+            self.search(arena, k, labels, None)
+        }
+    }
+
+    /// Like [`Self::run_on_arena`] but reusing a caller-owned prune cache
+    /// (reset on entry), so multi-restart drivers avoid re-allocating the
+    /// cache columns on every restart. Ignored when pruning is off.
+    pub fn run_on_arena_with_cache(
+        &self,
+        arena: &MomentArena,
+        k: usize,
+        labels: Vec<usize>,
+        cache: &mut PruneCache,
+    ) -> Result<UcpcResult, ClusterError> {
+        if self.pruning.is_enabled() {
+            cache.reset(arena.len(), k);
+            self.search(arena, k, labels, Some(cache))
+        } else {
+            self.search(arena, k, labels, None)
+        }
+    }
+
+    /// The relocation search shared by the pruned and unpruned entry points.
+    /// With `cache: None` this is exactly the reference Algorithm-1 loop;
+    /// with a cache it takes the tier-1/tier-2 shortcuts of
+    /// [`crate::pruning`], which are proven there to leave the relocation
+    /// sequence unchanged.
+    fn search(
+        &self,
+        arena: &MomentArena,
+        k: usize,
         mut labels: Vec<usize>,
+        cache: Option<&mut PruneCache>,
     ) -> Result<UcpcResult, ClusterError> {
         if arena.is_empty() {
             return Err(ClusterError::EmptyDataset);
@@ -128,43 +180,100 @@ impl Ucpc {
         let mut relocations = 0usize;
         let mut converged = false;
         let mut iterations = 0usize;
+        let mut counters = PruneCounters::default();
+        let mut epoch = 0u64;
+        let mut totals = DriftTotals::default();
+        let mut shard = cache.map(|c| c.view());
 
         // Lines 4–16: relocation passes on the delta-J kernel.
         while iterations < self.max_iters {
             iterations += 1;
             let mut moved_this_pass = false;
+            let scale = if shard.is_some() {
+                fp_scale(&stats)
+            } else {
+                0.0
+            };
 
-            for (i, label) in labels.iter_mut().enumerate() {
-                let src = *label;
+            // Indexed: the body reassigns `labels[i]` while `stats` and the
+            // cache shard are also borrowed, which an iterator cannot express.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..labels.len() {
+                let src = labels[i];
                 if stats[src].size() == 1 && !self.allow_empty_clusters {
                     continue;
                 }
-                // Line 8: best relocation target. The objective change of
-                // moving o from `src` to `dst` is
-                //   delta = [J(src − o) − J(src)] + [J(dst + o) − J(dst)],
-                // each bracket one fused dot product by the kernel form of
-                // Corollary 1.
                 let v = arena.view(i);
-                let removal_gain = stats[src].delta_j_remove(&v);
-                let mut best: Option<(usize, f64)> = None; // (dst, delta)
-                for (dst, stat) in stats.iter().enumerate() {
-                    if dst == src {
-                        continue;
-                    }
-                    let delta = removal_gain + stat.delta_j_add(&v);
-                    if best.is_none_or(|(_, bd)| delta < bd) {
-                        best = Some((dst, delta));
-                    }
-                }
 
-                if let Some((dst, delta)) = best {
-                    if delta < -self.tolerance {
-                        // Lines 10–13: apply the move and update statistics.
-                        stats[src].remove_view(&v);
-                        stats[dst].add_view(&v);
-                        *label = dst;
-                        relocations += 1;
-                        moved_this_pass = true;
+                let decision = match &shard {
+                    Some(s) => s.decide(i, epoch, &stats, totals, src, &v, self.tolerance, scale),
+                    None => PruneDecision::FullScan,
+                };
+
+                match decision {
+                    PruneDecision::Skip => {
+                        // Tier 1: the scan provably applies nothing.
+                        counters.skips += 1;
+                    }
+                    PruneDecision::ConfirmBest(dst) => {
+                        // Tier 2: same argmin; recompute its exact delta with
+                        // the identical kernel calls the full scan would use.
+                        counters.confirms += 1;
+                        let delta = stats[src].delta_j_remove(&v) + stats[dst].delta_j_add(&v);
+                        if delta < -self.tolerance {
+                            if apply_tracked_relocation(&mut stats, src, dst, &v, &mut totals) {
+                                epoch += 1;
+                            }
+                            let s = shard.as_mut().expect("tier 2 implies a cache");
+                            s.invalidate(i);
+                            labels[i] = dst;
+                            relocations += 1;
+                            moved_this_pass = true;
+                        }
+                    }
+                    PruneDecision::FullScan => {
+                        // Line 8: best relocation target. The objective
+                        // change of moving o from `src` to `dst` is
+                        //   delta = [J(src − o) − J(src)]
+                        //         + [J(dst + o) − J(dst)],
+                        // each bracket one fused dot product by the kernel
+                        // form of Corollary 1 (shared scan helpers in
+                        // `crate::pruning`; the pruned arm also tracks the
+                        // runner-up so the outcome can be cached).
+                        if let Some(s) = shard.as_mut() {
+                            counters.full_scans += 1;
+                            if let Some((dst, delta, second)) =
+                                best_candidate_with_second(&stats, src, &v)
+                            {
+                                if delta < -self.tolerance {
+                                    // Lines 10–13: apply the move and update
+                                    // statistics.
+                                    if apply_tracked_relocation(
+                                        &mut stats,
+                                        src,
+                                        dst,
+                                        &v,
+                                        &mut totals,
+                                    ) {
+                                        epoch += 1;
+                                    }
+                                    s.invalidate(i);
+                                    labels[i] = dst;
+                                    relocations += 1;
+                                    moved_this_pass = true;
+                                } else {
+                                    s.store(i, epoch, &stats, totals, dst, delta, second);
+                                }
+                            }
+                        } else if let Some((dst, delta)) = best_candidate(&stats, src, &v) {
+                            if delta < -self.tolerance {
+                                stats[src].remove_view(&v);
+                                stats[dst].add_view(&v);
+                                labels[i] = dst;
+                                relocations += 1;
+                                moved_this_pass = true;
+                            }
+                        }
                     }
                 }
             }
@@ -195,6 +304,7 @@ impl Ucpc {
             iterations,
             relocations,
             converged,
+            pruning: counters,
         })
     }
 }

@@ -77,6 +77,10 @@ pub struct MomentView<'a> {
     pub sum_mu2: f64,
     /// `Σ_j sigma²_j(o)` — Eq. (6); the object's contribution to `Ψ_tot`.
     pub sum_var: f64,
+    /// `‖mu(o)‖ = sqrt(Σ_j mu_j(o)²)` — the Cauchy–Schwarz factor the
+    /// candidate-pruning drift bounds multiply against (see
+    /// `ucpc_core::pruning`).
+    pub norm_mu: f64,
 }
 
 impl MomentView<'_> {
@@ -98,6 +102,7 @@ pub struct MomentArena {
     sum_mu_sq: Vec<f64>,
     sum_mu2: Vec<f64>,
     sum_var: Vec<f64>,
+    norm_mu: Vec<f64>,
 }
 
 impl MomentArena {
@@ -119,6 +124,7 @@ impl MomentArena {
             sum_mu_sq: Vec::new(),
             sum_mu2: Vec::new(),
             sum_var: Vec::new(),
+            norm_mu: Vec::new(),
         };
         for mo in moments {
             arena.push(mo);
@@ -146,6 +152,7 @@ impl MomentArena {
         self.sum_mu_sq.push(mo.sum_mu_sq());
         self.sum_mu2.push(mo.sum_mu2());
         self.sum_var.push(mo.total_variance());
+        self.norm_mu.push(mo.norm_mu());
         self.n += 1;
     }
 
@@ -194,6 +201,12 @@ impl MomentArena {
         self.sum_var[i]
     }
 
+    /// `‖mu(o_i)‖` — the precomputed mean-vector norm consumed by the
+    /// pruning drift bounds.
+    pub fn norm_mu(&self, i: usize) -> f64 {
+        self.norm_mu[i]
+    }
+
     /// The kernel view of object `i`: its three rows plus the scalars.
     pub fn view(&self, i: usize) -> MomentView<'_> {
         let row = i * self.m..(i + 1) * self.m;
@@ -204,6 +217,7 @@ impl MomentArena {
             sum_mu_sq: self.sum_mu_sq[i],
             sum_mu2: self.sum_mu2[i],
             sum_var: self.sum_var[i],
+            norm_mu: self.norm_mu[i],
         }
     }
 }
@@ -280,6 +294,7 @@ mod tests {
             assert!((arena.sum_mu_sq(i) - mu_sq).abs() < 1e-12);
             assert!((arena.sum_mu2(i) - mu2).abs() < 1e-12);
             assert!((arena.sum_var(i) - var).abs() < 1e-12);
+            assert!((arena.norm_mu(i) - mu_sq.sqrt()).abs() < 1e-12);
             let v = arena.view(i);
             assert_eq!(v.dims(), 3);
             assert_eq!(v.mu, arena.mu_row(i));

@@ -21,6 +21,7 @@ pub struct Moments {
     total_var: f64,
     sum_mu_sq: f64,
     sum_mu2: f64,
+    norm_mu: f64,
 }
 
 impl Moments {
@@ -37,7 +38,7 @@ impl Moments {
             .map(|(&m, &m2)| (m2 - m * m).max(0.0))
             .collect();
         let total_var = var.iter().sum();
-        let sum_mu_sq = mu.iter().map(|&m| m * m).sum();
+        let sum_mu_sq: f64 = mu.iter().map(|&m| m * m).sum();
         let sum_mu2 = mu2.iter().sum();
         Self {
             mu: mu.into(),
@@ -46,6 +47,7 @@ impl Moments {
             total_var,
             sum_mu_sq,
             sum_mu2,
+            norm_mu: sum_mu_sq.sqrt(),
         }
     }
 
@@ -110,6 +112,11 @@ impl Moments {
         self.sum_mu2
     }
 
+    /// `‖mu‖ = sqrt(Σ_j mu_j²)` — precomputed for the pruning drift bounds.
+    pub fn norm_mu(&self) -> f64 {
+        self.norm_mu
+    }
+
     /// Kernel view over these moments (same shape as
     /// [`crate::arena::MomentArena::view`], for callers that hold moments
     /// outside an arena, e.g. streaming insertion).
@@ -121,6 +128,7 @@ impl Moments {
             sum_mu_sq: self.sum_mu_sq,
             sum_mu2: self.sum_mu2,
             sum_var: self.total_var,
+            norm_mu: self.norm_mu,
         }
     }
 }

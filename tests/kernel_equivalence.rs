@@ -197,6 +197,106 @@ fn delta_kernel_matches_naive_sweeps_pointwise() {
     }
 }
 
+/// Total `J_UK` and `J_MM` rebuilt from scratch — ground truth for the UK
+/// and MM kernel variants.
+fn rebuild_total_uk_mm(data: &[UncertainObject], labels: &[usize], k: usize) -> (f64, f64) {
+    (0..k)
+        .filter_map(|c| {
+            let members: Vec<&UncertainObject> = labels
+                .iter()
+                .zip(data)
+                .filter(|&(&l, _)| l == c)
+                .map(|(_, o)| o)
+                .collect();
+            if members.is_empty() {
+                None
+            } else {
+                let s = ClusterStats::from_members(members);
+                Some((s.j_uk(), s.j_mm()))
+            }
+        })
+        .fold((0.0, 0.0), |(uk, mm), (u, m)| (uk + u, mm + m))
+}
+
+#[test]
+fn uk_and_mm_kernels_agree_with_from_scratch_over_relocation_walks() {
+    // The UK (`delta_j_uk_*`) and MM (`delta_j_mm_*`) kernel variants driven
+    // through whole greedy relocation walks on the seeded grid — previously
+    // only the base delta-J path got this treatment (the pointwise test
+    // below exercises UK/MM against a single static labelling).
+    for (gi, &(n, m, k)) in GRID.iter().enumerate() {
+        for seed in 0..2u64 {
+            let seed = seed + 3000 + 100 * gi as u64;
+            let data = dataset(n, m, seed);
+            let arena = MomentArena::from_objects(&data);
+            let mut labels = random_labels(n, k, seed + 5);
+            let mut stats = vec![ClusterStats::empty(m); k];
+            for (i, &l) in labels.iter().enumerate() {
+                stats[l].add_view(&arena.view(i));
+            }
+
+            // A UK-means-style greedy pass: relocate wherever the UK kernel
+            // says the UK objective drops, verifying both the UK and MM
+            // aggregates against from-scratch rebuilds after every applied
+            // relocation.
+            for i in 0..n {
+                let src = labels[i];
+                if stats[src].size() == 1 {
+                    continue;
+                }
+                let v = arena.view(i);
+                let uk_before: f64 = stats.iter().map(ClusterStats::j_uk).sum();
+                let removal_gain = stats[src].delta_j_uk_remove(&v);
+                let mut best: Option<(usize, f64)> = None;
+                for (dst, stat) in stats.iter().enumerate() {
+                    if dst == src {
+                        continue;
+                    }
+                    let delta = removal_gain + stat.delta_j_uk_add(&v);
+                    if best.is_none_or(|(_, bd)| delta < bd) {
+                        best = Some((dst, delta));
+                    }
+                }
+                let Some((dst, delta)) = best else { continue };
+                if delta >= -1e-9 {
+                    continue;
+                }
+                // MM deltas predicted before the move, validated after it.
+                let mm_before: f64 = stats.iter().map(ClusterStats::j_mm).sum();
+                let mm_delta = stats[src].delta_j_mm_remove(&v) + stats[dst].delta_j_mm_add(&v);
+
+                stats[src].remove_view(&v);
+                stats[dst].add_view(&v);
+                labels[i] = dst;
+
+                let uk_after: f64 = stats.iter().map(ClusterStats::j_uk).sum();
+                let mm_after: f64 = stats.iter().map(ClusterStats::j_mm).sum();
+                let (uk_rebuilt, mm_rebuilt) = rebuild_total_uk_mm(&data, &labels, k);
+                assert!(
+                    close(uk_after, uk_rebuilt, 1e-9),
+                    "n={n} m={m} k={k} seed={seed}: UK kernel {uk_after} vs \
+                     rebuilt {uk_rebuilt}"
+                );
+                assert!(
+                    close(mm_after, mm_rebuilt, 1e-9),
+                    "n={n} m={m} k={k} seed={seed}: MM kernel {mm_after} vs \
+                     rebuilt {mm_rebuilt}"
+                );
+                assert!(
+                    close(uk_after - uk_before, delta, 1e-6),
+                    "predicted UK delta {delta} vs applied {}",
+                    uk_after - uk_before
+                );
+                assert!(
+                    close(mm_after - mm_before, mm_delta, 1e-6),
+                    "predicted MM delta {mm_delta} vs applied {}",
+                    mm_after - mm_before
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn objective_trace_stays_monotone_and_final_j_matches_rebuild() {
     for (gi, &(n, m, k)) in GRID.iter().enumerate() {

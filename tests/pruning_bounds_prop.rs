@@ -1,0 +1,170 @@
+//! Property test of the drift-bound *invariant itself*, not just run-level
+//! outcomes: over random relocation sequences — including adversarial,
+//! non-greedy moves the search would never take — whenever the bound
+//! machinery says "skip" (or "the cached argmin still wins"), a shadow full
+//! scan must agree. A lucky end-to-end equality cannot mask an unsound
+//! bound here: every single decision is cross-checked against ground truth.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ucpc::core::objective::ClusterStats;
+use ucpc::core::pruning::{
+    apply_tracked_relocation, fp_scale, DriftTotals, PruneCache, PruneDecision,
+};
+use ucpc::uncertain::{MomentArena, UncertainObject, UnivariatePdf};
+
+const TOLERANCE: f64 = 1e-9;
+
+fn dataset(n: usize, m: usize, rng: &mut StdRng) -> Vec<UncertainObject> {
+    (0..n)
+        .map(|_| {
+            UncertainObject::new(
+                (0..m)
+                    .map(|_| {
+                        let mean = rng.gen_range(-10.0..10.0);
+                        match rng.gen_range(0..3u8) {
+                            0 => UnivariatePdf::normal(mean, rng.gen_range(0.05..1.5)),
+                            1 => UnivariatePdf::uniform_centered(mean, rng.gen_range(0.1..2.0)),
+                            _ => UnivariatePdf::PointMass { x: mean },
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The reference scan: removal gain plus every candidate delta, with the
+/// same best/second/argmin semantics as the relocation loops.
+fn shadow_scan(
+    stats: &[ClusterStats],
+    arena: &MomentArena,
+    i: usize,
+    src: usize,
+) -> Option<(usize, f64, f64)> {
+    let v = arena.view(i);
+    let removal_gain = stats[src].delta_j_remove(&v);
+    let mut best: Option<(usize, f64)> = None;
+    let mut second = f64::INFINITY;
+    for (dst, stat) in stats.iter().enumerate() {
+        if dst == src {
+            continue;
+        }
+        let delta = removal_gain + stat.delta_j_add(&v);
+        match best {
+            Some((_, bd)) if delta >= bd => {
+                if delta < second {
+                    second = delta;
+                }
+            }
+            Some((_, bd)) => {
+                second = bd;
+                best = Some((dst, delta));
+            }
+            None => best = Some((dst, delta)),
+        }
+    }
+    best.map(|(dst, delta)| (dst, delta, second))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random relocation churn; after every step, every cached object's
+    /// decision is validated against a shadow scan.
+    #[test]
+    fn skip_and_confirm_decisions_survive_shadow_scans(
+        seed in 0u64..1_000_000,
+        n in 12usize..40,
+        m in 1usize..6,
+        k in 2usize..6,
+        steps in 10usize..60,
+    ) {
+        prop_assume!(k < n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = dataset(n, m, &mut rng);
+        let arena = MomentArena::from_objects(&data);
+        let mut labels: Vec<usize> =
+            (0..n).map(|i| if i < k { i } else { rng.gen_range(0..k) }).collect();
+        let mut stats = vec![ClusterStats::empty(m); k];
+        for (i, &l) in labels.iter().enumerate() {
+            stats[l].add_view(&arena.view(i));
+        }
+
+        let mut cache = PruneCache::new(n, k);
+        let mut totals = DriftTotals::default();
+        let mut epoch = 0u64;
+
+        for _step in 0..steps {
+            // Cache a handful of random objects from genuine scans.
+            for _ in 0..3 {
+                let i = rng.gen_range(0..n);
+                let src = labels[i];
+                if stats[src].size() <= 1 {
+                    continue;
+                }
+                if let Some((dst, best, second)) = shadow_scan(&stats, &arena, i, src) {
+                    cache
+                        .view()
+                        .store(i, epoch, &stats, totals, dst, best, second);
+                }
+            }
+
+            // One adversarial relocation: a random object to a random other
+            // cluster, regardless of whether it improves the objective.
+            let i = rng.gen_range(0..n);
+            let src = labels[i];
+            if stats[src].size() > 1 && k >= 2 {
+                let mut dst = rng.gen_range(0..k);
+                if dst == src {
+                    dst = (dst + 1) % k;
+                }
+                let v = arena.view(i);
+                if apply_tracked_relocation(&mut stats, src, dst, &v, &mut totals) {
+                    epoch += 1;
+                }
+                cache.invalidate(i);
+                labels[i] = dst;
+            }
+
+            // Validate every object's decision against ground truth.
+            let scale = fp_scale(&stats);
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..n {
+                let src = labels[j];
+                if stats[src].size() <= 1 {
+                    continue;
+                }
+                let v = arena.view(j);
+                let decision =
+                    cache
+                        .view()
+                        .decide(j, epoch, &stats, totals, src, &v, TOLERANCE, scale);
+                let truth = shadow_scan(&stats, &arena, j, src);
+                match decision {
+                    PruneDecision::FullScan => {}
+                    PruneDecision::Skip => {
+                        let (_, best, _) = truth.expect("k >= 2 yields candidates");
+                        prop_assert!(
+                            best >= -TOLERANCE,
+                            "unsound skip: shadow best {best} would relocate \
+                             (object {j}, seed {seed})"
+                        );
+                    }
+                    PruneDecision::ConfirmBest(dst) => {
+                        let (true_dst, best, second) = truth.expect("candidates exist");
+                        prop_assert_eq!(
+                            dst, true_dst,
+                            "unsound argmin confirmation (object {}, seed {})", j, seed
+                        );
+                        prop_assert!(
+                            best < second || second == f64::INFINITY,
+                            "confirmed argmin is not strictly winning"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Exactness gate for drift-bound candidate pruning: over a seeded grid of
+//! (n, m, k) shapes — including m=1, k=1, k=n, duplicate objects and
+//! empty-cluster churn — a pruned run must produce *byte-identical*
+//! assignments and bit-identical (tolerated to 1e-10 relative) objectives
+//! for `Ucpc`, `ParallelUcpc`, `IncrementalUcpc` and `BestOfRestarts`.
+//! Pruning is configured explicitly on both arms so the suite is immune to
+//! the `UCPC_PRUNING` environment knob the CI matrix flips.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ucpc::core::incremental::IncrementalUcpc;
+use ucpc::core::parallel::ParallelUcpc;
+use ucpc::core::restarts::BestOfRestarts;
+use ucpc::core::{PruningConfig, Ucpc};
+use ucpc::uncertain::{UncertainObject, UnivariatePdf};
+
+/// Mixed-family random dataset; with `duplicates`, every third object is a
+/// clone of the first (ties must break identically in both arms).
+fn dataset(n: usize, m: usize, seed: u64, duplicates: bool) -> Vec<UncertainObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data: Vec<UncertainObject> = (0..n)
+        .map(|_| {
+            UncertainObject::new(
+                (0..m)
+                    .map(|_| {
+                        let mean = rng.gen_range(-8.0..8.0);
+                        let spread = rng.gen_range(0.05..2.0);
+                        match rng.gen_range(0..3u8) {
+                            0 => UnivariatePdf::uniform_centered(mean, spread),
+                            1 => UnivariatePdf::normal(mean, spread),
+                            _ => UnivariatePdf::PointMass { x: mean },
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    if duplicates {
+        let first = data[0].clone();
+        for i in (0..n).step_by(3) {
+            data[i] = first.clone();
+        }
+    }
+    data
+}
+
+fn random_labels(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| if i < k { i } else { rng.gen_range(0..k) })
+        .collect()
+}
+
+fn objectives_match(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-10 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// (n, m, k) shapes: ordinary, m=1, k=1, k=n.
+const GRID: [(usize, usize, usize); 7] = [
+    (12, 1, 2),
+    (30, 3, 3),
+    (40, 8, 5),
+    (25, 16, 4),
+    (60, 5, 6),
+    (10, 2, 1),
+    (12, 4, 12),
+];
+
+#[test]
+fn ucpc_pruned_matches_unpruned_on_the_seeded_grid() {
+    for (gi, &(n, m, k)) in GRID.iter().enumerate() {
+        for seed in 0..3u64 {
+            for duplicates in [false, true] {
+                for allow_empty in [false, true] {
+                    let seed = seed + 100 * gi as u64;
+                    let data = dataset(n, m, seed, duplicates);
+                    let labels = random_labels(n, k, seed + 7);
+                    let run = |pruning| {
+                        Ucpc {
+                            pruning,
+                            allow_empty_clusters: allow_empty,
+                            ..Ucpc::default()
+                        }
+                        .run_with_labels(&data, k, labels.clone())
+                        .unwrap()
+                    };
+                    let off = run(PruningConfig::Off);
+                    let on = run(PruningConfig::Bounds);
+                    assert_eq!(
+                        off.clustering.labels(),
+                        on.clustering.labels(),
+                        "labels diverged: n={n} m={m} k={k} seed={seed} \
+                         dup={duplicates} empty={allow_empty}"
+                    );
+                    assert_eq!(off.iterations, on.iterations);
+                    assert_eq!(off.relocations, on.relocations);
+                    assert!(
+                        objectives_match(off.objective, on.objective),
+                        "objective diverged: {} vs {}",
+                        off.objective,
+                        on.objective
+                    );
+                    assert_eq!(off.objective_trace.len(), on.objective_trace.len());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ucpc_pruning_actually_fires_on_clustered_data() {
+    // Guard against the suite passing vacuously: on separable data the
+    // bounds must skip a meaningful share of scans.
+    let data = dataset(120, 4, 99, false);
+    let labels = random_labels(120, 4, 3);
+    let on = Ucpc {
+        pruning: PruningConfig::Bounds,
+        ..Ucpc::default()
+    }
+    .run_with_labels(&data, 4, labels)
+    .unwrap();
+    assert!(
+        on.pruning.skips + on.pruning.confirms > 0,
+        "bounds never fired: {:?}",
+        on.pruning
+    );
+    assert_eq!(
+        on.pruning.decisions(),
+        on.pruning.skips + on.pruning.confirms + on.pruning.full_scans
+    );
+}
+
+#[test]
+fn parallel_ucpc_pruned_matches_unpruned() {
+    for (gi, &(n, m, k)) in GRID.iter().enumerate() {
+        for seed in 0..2u64 {
+            let seed = seed + 10 * gi as u64;
+            let data = dataset(n, m, seed, gi % 2 == 0);
+            let run = |pruning| {
+                let mut rng = StdRng::seed_from_u64(seed + 1);
+                ParallelUcpc {
+                    threads: 3,
+                    pruning,
+                    ..ParallelUcpc::default()
+                }
+                .run(&data, k, &mut rng)
+                .unwrap()
+            };
+            let off = run(PruningConfig::Off);
+            let on = run(PruningConfig::Bounds);
+            assert_eq!(
+                off.clustering.labels(),
+                on.clustering.labels(),
+                "parallel labels diverged: n={n} m={m} k={k} seed={seed}"
+            );
+            assert_eq!(off.iterations, on.iterations);
+            assert_eq!(off.applied, on.applied);
+            assert_eq!(off.rejected, on.rejected);
+            assert!(objectives_match(off.objective, on.objective));
+        }
+    }
+}
+
+#[test]
+fn incremental_ucpc_pruned_matches_unpruned_under_interleaved_edits() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = 3;
+        let mut off = IncrementalUcpc::new(2, k).unwrap();
+        let mut on = IncrementalUcpc::new(2, k).unwrap();
+        off.set_pruning(PruningConfig::Off);
+        on.set_pruning(PruningConfig::Bounds);
+
+        let mut ids = Vec::new();
+        for step in 0..120 {
+            match rng.gen_range(0..10u8) {
+                // Mostly inserts.
+                0..=5 => {
+                    let c = rng.gen_range(-9.0..9.0);
+                    let o = UncertainObject::new(vec![
+                        UnivariatePdf::normal(c, 0.2),
+                        UnivariatePdf::normal(-c, 0.3),
+                    ]);
+                    let a = off.insert(&o).unwrap();
+                    let b = on.insert(&o).unwrap();
+                    assert_eq!(a, b, "handles must track");
+                    ids.push(a);
+                }
+                // Occasional removals (possibly of already-removed ids).
+                6..=7 => {
+                    if !ids.is_empty() {
+                        let id = ids[rng.gen_range(0..ids.len())];
+                        assert_eq!(off.remove(id), on.remove(id));
+                    }
+                }
+                // Stabilization bursts.
+                _ => {
+                    let passes = rng.gen_range(1..4usize);
+                    assert_eq!(
+                        off.stabilize(passes),
+                        on.stabilize(passes),
+                        "relocation counts diverged at step {step} (seed {seed})"
+                    );
+                }
+            }
+            assert_eq!(off.live_labels(), on.live_labels(), "step {step}");
+            assert!(objectives_match(off.objective(), on.objective()));
+        }
+        // Final settle must agree too.
+        assert_eq!(off.stabilize(20), on.stabilize(20));
+        assert_eq!(off.live_labels(), on.live_labels());
+    }
+}
+
+#[test]
+fn best_of_restarts_pruned_matches_unpruned() {
+    for seed in 0..3u64 {
+        let data = dataset(48, 3, 500 + seed, seed == 1);
+        let run = |pruning| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            BestOfRestarts {
+                algorithm: Ucpc {
+                    pruning,
+                    ..Ucpc::default()
+                },
+                restarts: 6,
+            }
+            .run(&data, 4, &mut rng)
+            .unwrap()
+        };
+        let off = run(PruningConfig::Off);
+        let on = run(PruningConfig::Bounds);
+        assert_eq!(off.winner, on.winner);
+        assert_eq!(
+            off.best.clustering.labels(),
+            on.best.clustering.labels(),
+            "restart winner labels diverged (seed {seed})"
+        );
+        assert_eq!(off.objectives.len(), on.objectives.len());
+        for (a, b) in off.objectives.iter().zip(&on.objectives) {
+            assert!(objectives_match(*a, *b), "restart objective {a} vs {b}");
+        }
+        // The reused cache is reset per restart, so later restarts still
+        // prune from scratch rather than inheriting stale bounds.
+        assert!(on.pruning.decisions() > 0);
+        assert_eq!(off.pruning.decisions(), 0);
+    }
+}
