@@ -1,14 +1,18 @@
 //! Criterion micro-benchmark of the UCPC relocation pass: the naive
 //! three-sweep Corollary-1 evaluation vs the flat-arena scalar-aggregate
-//! delta-`J` kernel, over an n × m × k grid that includes the acceptance
-//! point (n=10000, m=32, k=20). Run `cargo bench --bench relocation_kernel`;
-//! the `bench_relocation` binary emits the same measurements as
-//! `BENCH_relocation.json`.
+//! delta-`J` kernel, plus the kernel under the forced `scalar` backend vs
+//! the machine's detected SIMD backend, over an n × m × k grid that
+//! includes the acceptance point (n=10000, m=32, k=20). Run
+//! `cargo bench --bench relocation_kernel`; the `bench_relocation` binary
+//! emits the same measurements as `BENCH_relocation.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ucpc_bench::relocation::{kernel_pass, naive_pass, workload, GRID};
+use ucpc_uncertain::simd::{active_backend, force_backend, Backend};
 
 fn bench_relocation_pass(c: &mut Criterion) {
+    let restore = active_backend();
+    let detected = Backend::detect();
     let mut group = c.benchmark_group("relocation_pass");
     group.sample_size(11);
     for shape in GRID {
@@ -17,11 +21,26 @@ fn bench_relocation_pass(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", &label), &w, |b, w| {
             b.iter(|| black_box(naive_pass(w)))
         });
-        group.bench_with_input(BenchmarkId::new("kernel", &label), &w, |b, w| {
+        // The kernel under the scalar fallback and under the detected SIMD
+        // backend; results are bit-identical, only the timing differs.
+        force_backend(Backend::Scalar).expect("scalar backend always available");
+        group.bench_with_input(BenchmarkId::new("kernel_scalar", &label), &w, |b, w| {
             b.iter(|| black_box(kernel_pass(w)))
         });
+        // Only register the SIMD row when there is a distinct SIMD backend;
+        // otherwise the ID would duplicate "kernel_scalar".
+        if detected != Backend::Scalar {
+            force_backend(detected).expect("detected backend must be available");
+            group.bench_with_input(
+                BenchmarkId::new(format!("kernel_{}", detected.name()), &label),
+                &w,
+                |b, w| b.iter(|| black_box(kernel_pass(w))),
+            );
+        }
     }
     group.finish();
+    // Back to the env-resolved backend so later benches honour UCPC_SIMD.
+    force_backend(restore).expect("previously active backend must be available");
 }
 
 criterion_group!(benches, bench_relocation_pass);

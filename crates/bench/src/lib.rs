@@ -8,10 +8,33 @@
 //! * `fig5_scalability` — scalability sweep on the KDD Cup '99 analogue
 //!   (Figure 5);
 //!
-//! plus the Criterion micro-benchmarks under `benches/`.
+//! plus the Criterion micro-benchmarks under `benches/` and the
+//! `bench_relocation` binary that emits the committed
+//! `BENCH_relocation.json` baseline.
 //!
 //! Results print in the paper's row/column layout and are also written as
 //! CSV under `target/experiments/`.
+//!
+//! ## The relocation baseline
+//!
+//! [`relocation`] is the shared workload behind the kernel-level numbers:
+//! one evaluation-only UCPC relocation pass over a seeded n × m × k grid
+//! ([`relocation::GRID`]), measured three ways —
+//!
+//! * [`relocation::naive_pass`] — the original three-sweep Corollary-1
+//!   evaluation (per-dimension loops over `Moments`);
+//! * [`relocation::kernel_pass`] — the production scan:
+//!   `ucpc_core::pruning::best_candidate` over a flat
+//!   [`ucpc_uncertain::MomentArena`], one fused (dot3-batched,
+//!   runtime-dispatched) dot product per candidate;
+//! * [`relocation::simd_comparison`] — the same kernel pass with the
+//!   scalar backend forced vs the machine's detected SIMD backend
+//!   (`ucpc_uncertain::simd`), asserting byte-identical labels from the
+//!   full relocation phase under both;
+//!
+//! plus [`relocation::pruning_comparison`], the end-to-end relocation
+//! phase with drift-bound candidate pruning off vs on. Every comparison
+//! doubles as an exactness check: any label divergence panics the bench.
 
 #![warn(missing_docs)]
 

@@ -13,8 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use ucpc_core::objective::ClusterStats;
-use ucpc_core::pruning::{PruneCounters, PruningConfig};
+use ucpc_core::pruning::{best_candidate, PruneCounters, PruningConfig};
 use ucpc_core::Ucpc;
+use ucpc_uncertain::simd::{self, Backend};
 use ucpc_uncertain::{MomentArena, UncertainObject, UnivariatePdf};
 
 /// One grid point of the benchmark: `n` objects, `m` dimensions, `k` clusters.
@@ -126,7 +127,10 @@ pub fn naive_pass(w: &Workload) -> f64 {
 }
 
 /// The same evaluation-only pass on the scalar-aggregate delta-`J` kernel:
-/// one fused dot product per candidate over the arena's contiguous rows.
+/// one fused dot product per candidate over the arena's contiguous rows,
+/// routed through [`best_candidate`] — the exact (dot3-batched, runtime-
+/// dispatched) scan the relocation drivers run, so this measures the
+/// production code path under whichever SIMD backend is active.
 pub fn kernel_pass(w: &Workload) -> f64 {
     let mut acc = 0.0;
     for i in 0..w.arena.len() {
@@ -135,18 +139,9 @@ pub fn kernel_pass(w: &Workload) -> f64 {
             continue;
         }
         let v = w.arena.view(i);
-        let removal_gain = w.stats[src].delta_j_remove(&v);
-        let mut best = f64::INFINITY;
-        for (dst, stat) in w.stats.iter().enumerate() {
-            if dst == src {
-                continue;
-            }
-            let delta = removal_gain + stat.delta_j_add(&v);
-            if delta < best {
-                best = delta;
-            }
+        if let Some((_, delta)) = best_candidate(&w.stats, src, &v) {
+            acc += delta;
         }
-        acc += best;
     }
     acc
 }
@@ -253,6 +248,95 @@ pub fn pruning_comparison(shape: Shape, seed: u64, reps: usize) -> PruningRow {
     }
 }
 
+/// Median nanoseconds per call of `f` over `reps` timed repetitions (after
+/// one warm-up call). The accumulated objective stays observable so the
+/// passes cannot be optimized away.
+pub fn median_ns(w: &Workload, reps: usize, f: fn(&Workload) -> f64) -> u128 {
+    let mut sink = 0.0;
+    sink += f(w); // warm-up
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            sink += f(w);
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    assert!(
+        sink.is_finite(),
+        "benchmark payload produced a non-finite objective"
+    );
+    samples[samples.len() / 2]
+}
+
+/// One grid row of the scalar-vs-SIMD kernel comparison.
+#[derive(Debug, Clone)]
+pub struct SimdRow {
+    /// The shape measured.
+    pub shape: Shape,
+    /// Median wall time of one kernel pass under `UCPC_SIMD=scalar`.
+    pub scalar_ns: u128,
+    /// Median wall time of the same pass under the detected SIMD backend.
+    pub simd_ns: u128,
+    /// `scalar_ns / simd_ns`.
+    pub speedup: f64,
+    /// `UCPC_SIMD` name of the SIMD backend measured (`"scalar"` when the
+    /// machine has no vector backend and the row is a self-comparison).
+    pub backend: &'static str,
+    /// Whether the SIMD backend actually engages on this shape. `false`
+    /// when `m` is below [`ucpc_uncertain::simd::DISPATCH_THRESHOLD`] (both
+    /// legs then run the identical inlined short-row path and the measured
+    /// "speedup" is timing noise) or when the machine has no vector
+    /// backend.
+    pub engaged: bool,
+}
+
+/// Times one evaluation-only kernel pass with the scalar backend forced and
+/// with the machine's best SIMD backend, and — because the backends promise
+/// bit-identical results, not just close ones — runs the *full* UCPC
+/// relocation phase under both and asserts byte-identical labels. The
+/// process is restored to whatever backend was active on entry (the
+/// env-resolved one on first use), so surrounding measurements keep
+/// honouring `UCPC_SIMD`.
+pub fn simd_comparison(shape: Shape, seed: u64, reps: usize) -> SimdRow {
+    let w = workload(shape, seed);
+    let restore = simd::active_backend();
+    let best = Backend::detect();
+
+    simd::force_backend(Backend::Scalar).expect("scalar backend always available");
+    let scalar_ns = median_ns(&w, reps, kernel_pass);
+    simd::force_backend(best).expect("detected backend must be available");
+    let simd_ns = median_ns(&w, reps, kernel_pass);
+
+    // End-to-end exactness: identical labels from the full relocation phase
+    // under the scalar backend and under the SIMD backend.
+    let (arena, labels) = blob_workload(shape, seed);
+    simd::force_backend(Backend::Scalar).expect("scalar backend always available");
+    let scalar_run = Ucpc::default()
+        .run_on_arena(&arena, shape.k, labels.clone())
+        .expect("scalar-backend run");
+    simd::force_backend(best).expect("detected backend must be available");
+    let simd_run = Ucpc::default()
+        .run_on_arena(&arena, shape.k, labels)
+        .expect("SIMD-backend run");
+    assert_eq!(
+        scalar_run.clustering.labels(),
+        simd_run.clustering.labels(),
+        "SIMD backend diverged from the scalar reference"
+    );
+    assert_eq!(scalar_run.iterations, simd_run.iterations);
+    simd::force_backend(restore).expect("previously active backend must be available");
+
+    SimdRow {
+        shape,
+        scalar_ns,
+        simd_ns,
+        speedup: scalar_ns as f64 / simd_ns as f64,
+        backend: best.name(),
+        engaged: best != Backend::Scalar && shape.m >= simd::DISPATCH_THRESHOLD,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +356,22 @@ mod tests {
     fn workload_clusters_are_nonempty() {
         let w = workload(Shape { n: 50, m: 3, k: 7 }, 1);
         assert!(w.stats.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn simd_comparison_is_exact_across_backends() {
+        // Small shape: the point here is the byte-identical-labels assertion
+        // inside `simd_comparison`, not the timing.
+        let row = simd_comparison(
+            Shape {
+                n: 300,
+                m: 32,
+                k: 7,
+            },
+            3,
+            2,
+        );
+        assert!(row.scalar_ns > 0 && row.simd_ns > 0);
     }
 
     #[test]

@@ -8,6 +8,36 @@
 //! (partitions, initializers, the [`framework::UncertainClusterer`] trait)
 //! shared with every baseline in `ucpc-baselines`.
 //!
+//! ## Architecture: three layers under the relocation loop
+//!
+//! The hot path of every driver in this crate ([`ucpc::Ucpc`],
+//! [`parallel::ParallelUcpc`], [`incremental::IncrementalUcpc`],
+//! [`restarts::BestOfRestarts`]) is Algorithm 1's candidate-relocation
+//! scan, built from three layers:
+//!
+//! * **Moment arena** — object moments live in a flat
+//!   [`ucpc_uncertain::MomentArena`] (contiguous rows + precomputed scalar
+//!   columns); the arena module docs derive how Corollary 1 collapses each
+//!   candidate evaluation to one fused dot product, which
+//!   [`ucpc_uncertain::simd`] dispatches to an AVX2/NEON kernel at run time
+//!   (env knob `UCPC_SIMD`).
+//! * **Delta-`J` kernel** — [`objective::ClusterStats`] maintains
+//!   per-cluster sufficient statistics and scalar aggregates so that
+//!   [`objective::ClusterStats::delta_j_add`] /
+//!   [`objective::ClusterStats::delta_j_remove`] price a relocation in
+//!   O(m), and [`pruning::best_candidate`] batches candidate clusters in
+//!   threes through the fused `dot3` pass.
+//! * **Pruning tiers** — [`pruning`] caches each object's best/second-best
+//!   deltas and bounds how much any cluster's delta can have drifted since
+//!   (tier 0 globally in O(1), tier 1 per cluster in O(k), tier 2
+//!   confirming a still-winning argmin with two dot products), skipping
+//!   provably redundant scans *exactly*: pruned runs produce byte-identical
+//!   labels (env knob `UCPC_PRUNING`, [`pruning::PruningConfig`]).
+//!
+//! Everything above those layers is orchestration: initialization
+//! ([`init::Initializer`]), restarts, the incremental driver's epoch
+//! bookkeeping, and the shared [`framework`] types.
+//!
 //! ```
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;

@@ -216,11 +216,14 @@ impl ClusterStats {
     /// for the exact normalized-mean displacement.
     fn add_view_impl(&mut self, v: &MomentView<'_>) -> f64 {
         debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
-        let mut cross = 0.0;
+        // The ⟨s, mu(o)⟩ cross term goes through the dispatched SIMD kernel
+        // — the same code path (and therefore the same bits) as the
+        // scan-side `delta_j_*` evaluations and the drift-displacement
+        // updates that reuse the returned value.
+        let cross = dot(&self.mean_sum, v.mu);
         for j in 0..self.dims() {
             self.psi[j] += v.var[j];
             self.phi[j] += v.mu2[j];
-            cross += self.mean_sum[j] * v.mu[j];
             self.mean_sum[j] += v.mu[j];
         }
         self.psi_tot += v.sum_var;
@@ -240,13 +243,14 @@ impl ClusterStats {
     fn remove_view_impl(&mut self, v: &MomentView<'_>) -> f64 {
         assert!(self.size > 0, "cannot remove from an empty cluster");
         debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
-        let mut cross = 0.0;
         for j in 0..self.dims() {
             self.psi[j] -= v.var[j];
             self.phi[j] -= v.mu2[j];
             self.mean_sum[j] -= v.mu[j];
-            cross += self.mean_sum[j] * v.mu[j];
         }
+        // ⟨s_post, mu(o)⟩ through the dispatched SIMD kernel, against the
+        // already-updated mean sums.
+        let cross = dot(&self.mean_sum, v.mu);
         self.psi_tot -= v.sum_var;
         self.phi_tot -= v.sum_mu2;
         // s' = s − mu, and Σ (s'_j)² = S₂ − 2⟨s', mu⟩ − Σ mu_j² with the
@@ -407,11 +411,47 @@ impl ClusterStats {
 
     /// Objective change `J(C ∪ {o}) − J(C)` evaluated by the
     /// scalar-aggregate kernel: one fused dot product `⟨s, mu(o)⟩` plus O(1)
-    /// scalar algebra (see [`ucpc_uncertain::arena`] for the derivation).
+    /// scalar algebra (see [`ucpc_uncertain::arena`] for the derivation; the
+    /// dot product is dispatched to a SIMD backend by
+    /// [`ucpc_uncertain::simd`]).
+    ///
+    /// ```
+    /// use ucpc_core::ClusterStats;
+    /// use ucpc_uncertain::{MomentArena, Moments};
+    ///
+    /// let arena = MomentArena::from_moments([
+    ///     &Moments::from_mu_mu2(vec![0.0, 1.0], vec![0.5, 2.0]),
+    ///     &Moments::from_mu_mu2(vec![1.0, 0.0], vec![1.5, 0.25]),
+    ///     &Moments::from_mu_mu2(vec![5.0, 4.0], vec![26.0, 17.0]),
+    /// ]);
+    /// let mut c = ClusterStats::empty(2);
+    /// c.add_view(&arena.view(0));
+    /// c.add_view(&arena.view(1));
+    ///
+    /// // Corollary 1 in dot-product form: the objective change of adding
+    /// // o_2 costs one fused ⟨s, mu(o_2)⟩ — no sweep over the cluster.
+    /// let predicted = c.j() + c.delta_j_add(&arena.view(2));
+    ///
+    /// // It must equal J of the cluster rebuilt with o_2 from scratch.
+    /// let mut full = c.clone();
+    /// full.add_view(&arena.view(2));
+    /// assert!((predicted - full.j()).abs() < 1e-12);
+    /// ```
     #[inline]
     pub fn delta_j_add(&self, v: &MomentView<'_>) -> f64 {
         debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");
-        let cross = dot(&self.mean_sum, v.mu);
+        self.delta_j_add_with_cross(v, dot(&self.mean_sum, v.mu))
+    }
+
+    /// [`Self::delta_j_add`] with the `⟨s, mu(o)⟩` cross term supplied by
+    /// the caller — the hook that lets a candidate scan batch several
+    /// clusters' cross terms into one fused [`ucpc_uncertain::simd::dot3`]
+    /// pass over the object's `mu` row. `cross` must be the dot product of
+    /// [`Self::mean_sum`] with `v.mu` computed by the dispatched kernel;
+    /// because `dot3`'s components are bit-identical to single `dot` calls,
+    /// batched and unbatched scans produce identical deltas.
+    #[inline]
+    pub fn delta_j_add_with_cross(&self, v: &MomentView<'_>, cross: f64) -> f64 {
         let new_inv = 1.0 / (self.size + 1) as f64;
         let psi = self.psi_tot + v.sum_var;
         let s_sq = self.s_sq_tot + 2.0 * cross + v.sum_mu_sq;
@@ -422,6 +462,35 @@ impl ClusterStats {
     /// Objective change `J(C ∖ {o}) − J(C)` evaluated by the
     /// scalar-aggregate kernel. `o` must be a member; `−J(C)` when removing
     /// the last member.
+    ///
+    /// ```
+    /// use ucpc_core::ClusterStats;
+    /// use ucpc_uncertain::{MomentArena, Moments};
+    ///
+    /// let arena = MomentArena::from_moments([
+    ///     &Moments::from_mu_mu2(vec![0.0], vec![1.0]),
+    ///     &Moments::from_mu_mu2(vec![2.0], vec![4.5]),
+    ///     &Moments::from_mu_mu2(vec![-1.0], vec![1.25]),
+    /// ]);
+    /// let mut c = ClusterStats::empty(1);
+    /// for i in 0..3 {
+    ///     c.add_view(&arena.view(i));
+    /// }
+    ///
+    /// // One dot product predicts J(C ∖ {o_1}) − J(C) (Corollary 1) ...
+    /// let predicted = c.j() + c.delta_j_remove(&arena.view(1));
+    ///
+    /// // ... matching the cluster rebuilt without o_1.
+    /// let mut rest = ClusterStats::empty(1);
+    /// rest.add_view(&arena.view(0));
+    /// rest.add_view(&arena.view(2));
+    /// assert!((predicted - rest.j()).abs() < 1e-12);
+    ///
+    /// // Removing the last member of a singleton is −J by definition.
+    /// let mut single = ClusterStats::empty(1);
+    /// single.add_view(&arena.view(0));
+    /// assert_eq!(single.delta_j_remove(&arena.view(0)), -single.j());
+    /// ```
     #[inline]
     pub fn delta_j_remove(&self, v: &MomentView<'_>) -> f64 {
         debug_assert_eq!(v.dims(), self.dims(), "dimension mismatch");

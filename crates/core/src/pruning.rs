@@ -401,55 +401,116 @@ pub fn fp_scale(stats: &[ClusterStats]) -> f64 {
 /// index wins ties). Every relocation driver routes its unpruned scans
 /// through here so the tie-break semantics the pruning exactness guarantee
 /// depends on exist in exactly one place.
+///
+/// Candidates are batched in threes through the fused
+/// [`ucpc_uncertain::simd::dot3`] kernel, which loads the object's `mu` row
+/// once per block instead of once per candidate; `dot3`'s components are
+/// bit-identical to single `dot` calls and the deltas are consumed in
+/// ascending cluster order, so batching changes wall-clock time and
+/// nothing else.
 pub fn best_candidate(
     stats: &[ClusterStats],
     src: usize,
     v: &MomentView<'_>,
 ) -> Option<(usize, f64)> {
-    let removal_gain = stats[src].delta_j_remove(v);
-    let mut best: Option<(usize, f64)> = None;
-    for (dst, stat) in stats.iter().enumerate() {
-        if dst == src {
-            continue;
-        }
-        let delta = removal_gain + stat.delta_j_add(v);
-        if best.is_none_or(|(_, bd)| delta < bd) {
-            best = Some((dst, delta));
-        }
-    }
-    best
+    scan::<false>(stats, src, v).map(|(dst, delta, _)| (dst, delta))
 }
 
 /// [`best_candidate`] with runner-up tracking: additionally returns the
 /// minimum delta over the candidates other than the winner (`+∞` when k=2),
 /// which is what a pruned full scan caches as the second-best margin. The
-/// winner and its delta are bit-identical to [`best_candidate`]'s — the
-/// comparison sequence deciding `best` is the same.
+/// winner and its delta are bit-identical to [`best_candidate`]'s — both
+/// are monomorphizations of one scan, so the comparison sequence deciding
+/// `best` exists once.
 pub fn best_candidate_with_second(
     stats: &[ClusterStats],
     src: usize,
     v: &MomentView<'_>,
 ) -> Option<(usize, f64, f64)> {
-    let removal_gain = stats[src].delta_j_remove(v);
-    let mut best: Option<(usize, f64)> = None;
-    let mut second = f64::INFINITY;
-    for (dst, stat) in stats.iter().enumerate() {
-        if dst == src {
-            continue;
-        }
-        let delta = removal_gain + stat.delta_j_add(v);
-        match best {
+    scan::<true>(stats, src, v)
+}
+
+/// The shared scan body. `SECOND` compiles the runner-up tracking in or
+/// out; the candidate deltas and the best-selection comparisons are the
+/// same instructions either way. `second` is `+∞` when not tracked.
+#[inline]
+fn scan<const SECOND: bool>(
+    stats: &[ClusterStats],
+    src: usize,
+    v: &MomentView<'_>,
+) -> Option<(usize, f64, f64)> {
+    /// Folds one candidate delta into the best/second state with the
+    /// strict-less, first-index-wins-ties semantics the exactness guarantee
+    /// pins. Candidates must be offered in ascending cluster order.
+    #[inline(always)]
+    fn consider<const SECOND: bool>(
+        best: &mut Option<(usize, f64)>,
+        second: &mut f64,
+        dst: usize,
+        delta: f64,
+    ) {
+        match *best {
             Some((_, bd)) if delta >= bd => {
-                if delta < second {
-                    second = delta;
+                if SECOND && delta < *second {
+                    *second = delta;
                 }
             }
             Some((_, bd)) => {
-                second = bd;
-                best = Some((dst, delta));
+                if SECOND {
+                    *second = bd;
+                }
+                *best = Some((dst, delta));
             }
-            None => best = Some((dst, delta)),
+            None => *best = Some((dst, delta)),
         }
+    }
+
+    let removal_gain = stats[src].delta_j_remove(v);
+    let mut best: Option<(usize, f64)> = None;
+    let mut second = f64::INFINITY;
+    if v.mu.len() < ucpc_uncertain::simd::DISPATCH_THRESHOLD {
+        // Short rows never reach a SIMD backend, so there are no loads to
+        // amortize — the batching bookkeeping would be pure overhead. The
+        // per-candidate kernel calls are the same, so the deltas are
+        // bit-identical to the batched path's.
+        for (dst, stat) in stats.iter().enumerate() {
+            if dst == src {
+                continue;
+            }
+            let delta = removal_gain + stat.delta_j_add(v);
+            consider::<SECOND>(&mut best, &mut second, dst, delta);
+        }
+        return best.map(|(dst, delta)| (dst, delta, second));
+    }
+    // Batch candidates in threes: one fused dot3 pass computes the three
+    // ⟨s_C, mu(o)⟩ cross terms while loading the object's mu row once.
+    let mut pending = [0usize; 3];
+    let mut filled = 0usize;
+    for dst in 0..stats.len() {
+        if dst == src {
+            continue;
+        }
+        pending[filled] = dst;
+        filled += 1;
+        if filled == 3 {
+            let crosses = ucpc_uncertain::simd::dot3(
+                v.mu,
+                stats[pending[0]].mean_sum(),
+                stats[pending[1]].mean_sum(),
+                stats[pending[2]].mean_sum(),
+            );
+            for (&c, &cross) in pending.iter().zip(&crosses) {
+                let delta = removal_gain + stats[c].delta_j_add_with_cross(v, cross);
+                consider::<SECOND>(&mut best, &mut second, c, delta);
+            }
+            filled = 0;
+        }
+    }
+    // Remainder (< 3 candidates) through the plain dispatched dot — by the
+    // bit-identity contract this matches what a dot3 block would produce.
+    for &dst in &pending[..filled] {
+        let delta = removal_gain + stats[dst].delta_j_add(v);
+        consider::<SECOND>(&mut best, &mut second, dst, delta);
     }
     best.map(|(dst, delta)| (dst, delta, second))
 }

@@ -40,8 +40,9 @@
 //! `⟨s, mu(o)⟩` is a precomputed per-object scalar, so the full objective
 //! change of a candidate relocation collapses to **one fused dot product**
 //! between the cluster's flat mean-sum vector `s` and the object's contiguous
-//! `mu` row — a single auto-vectorizable O(m) pass — instead of the naive
-//! three O(m) sweeps (`J(C−o)`, `J(C+o)` per candidate cluster, against ~6
+//! `mu` row — a single O(m) pass, dispatched at run time to an explicit
+//! AVX2/NEON kernel by [`crate::simd`] — instead of the naive three O(m)
+//! sweeps (`J(C−o)`, `J(C+o)` per candidate cluster, against ~6
 //! array reads and 7 flops per dimension each). The same algebra applied to
 //! Lemma 1 (`J_UK = Φ_tot − S₂/|C|`) and Proposition 2 (`J_MM = J_UK/|C|`)
 //! yields the UK-means and MMVar kernels.
@@ -222,32 +223,44 @@ impl MomentArena {
     }
 }
 
-/// Four-accumulator fused dot product `⟨a, b⟩` — the kernel's single O(m)
-/// pass. The manual unroll gives LLVM independent accumulation chains it can
-/// keep in SIMD registers (plain reductions cannot be auto-vectorized because
-/// float addition is not associative).
+/// Fused dot product `⟨a, b⟩` — the kernel's single O(m) pass, dispatched
+/// at run time to the best SIMD backend the machine supports (see
+/// [`crate::simd`] for the backend set, the `UCPC_SIMD` knob, and the
+/// bit-identity contract between backends).
+///
+/// This is the dot product of the Corollary-1 update: with `s` a cluster's
+/// per-dimension mean sums, the objective change of adding an object `o`
+/// needs exactly `⟨s, mu(o)⟩` beyond precomputed scalars (module docs above
+/// derive this). End to end:
+///
+/// ```
+/// use ucpc_uncertain::arena::{dot, MomentArena};
+/// use ucpc_uncertain::Moments;
+///
+/// let arena = MomentArena::from_moments([
+///     &Moments::of_point(&[1.0, 2.0]),
+///     &Moments::of_point(&[3.0, -1.0]),
+/// ]);
+///
+/// // Cluster C = {o_0}: mean-sum vector s = mu(o_0); candidate o = o_1.
+/// let s = arena.mu_row(0).to_vec();
+/// let o = arena.view(1);
+///
+/// // Corollary 1 in scalar-aggregate form: S₂' = S₂ + 2⟨s, mu(o)⟩ + Σ mu(o)²
+/// let s_sq: f64 = s.iter().map(|x| x * x).sum();
+/// let s_sq_new = s_sq + 2.0 * dot(&s, o.mu) + o.sum_mu_sq;
+///
+/// // ... which must equal Σ_j (s_j + mu_j(o))² computed from scratch.
+/// let rebuilt: f64 = s
+///     .iter()
+///     .zip(o.mu)
+///     .map(|(sj, mj)| (sj + mj) * (sj + mj))
+///     .sum();
+/// assert!((s_sq_new - rebuilt).abs() < 1e-12);
+/// ```
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    // A hard check, not a debug_assert: silently truncating on mismatched
-    // lengths would turn a caller's dimension bug into wrong relocation
-    // deltas in release builds. One predictable branch on the hot path.
-    assert_eq!(a.len(), b.len(), "dot product requires equal-length slices");
-    let n = a.len();
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0.0f64; 4];
-    let mut chunks_a = a.chunks_exact(4);
-    let mut chunks_b = b.chunks_exact(4);
-    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
-        acc[0] += ca[0] * cb[0];
-        acc[1] += ca[1] * cb[1];
-        acc[2] += ca[2] * cb[2];
-        acc[3] += ca[3] * cb[3];
-    }
-    let mut tail = 0.0;
-    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        tail += x * y;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    crate::simd::dot(a, b)
 }
 
 #[cfg(test)]
@@ -320,7 +333,7 @@ mod tests {
 
     #[test]
     fn dot_matches_naive_for_all_lengths() {
-        for n in 0..20usize {
+        for n in 0..64usize {
             let a: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 3.0).collect();
             let b: Vec<f64> = (0..n).map(|i| 1.0 - (i as f64) * 0.25).collect();
             let naive: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();

@@ -8,6 +8,24 @@
 //! and the Monte Carlo / MCMC sampling machinery used by the sample-based
 //! baselines and by the uncertainty-generation pipeline of Section 5.1.
 //!
+//! ## Architecture: from pdfs to the hot loop
+//!
+//! The crate is layered so that clustering loops never touch a pdf:
+//!
+//! 1. [`pdf::UnivariatePdf`] / [`object::UncertainObject`] describe the
+//!    uncertainty model and integrate it into exact per-dimension moments;
+//! 2. [`moments::Moments`] caches those moments per object (Line 1 of
+//!    Algorithm 1) together with the scalar aggregates the delta-`J` kernel
+//!    consumes;
+//! 3. [`arena::MomentArena`] lays the moments of a whole dataset out as
+//!    flat row-major matrices plus per-object scalar columns, deriving the
+//!    dot-product form of the Corollary-1 update (see the [`arena`] module
+//!    docs), so every candidate relocation in `ucpc-core` costs one fused
+//!    O(m) dot product;
+//! 4. [`simd`] dispatches that dot product at run time to an explicit
+//!    AVX2+FMA or NEON kernel (env knob `UCPC_SIMD`), with every backend
+//!    bit-identical to the scalar fallback by construction.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -38,6 +56,7 @@ pub mod object;
 pub mod pdf;
 pub mod region;
 pub mod sampling;
+pub mod simd;
 pub mod stats;
 
 pub use arena::{MomentArena, MomentView};

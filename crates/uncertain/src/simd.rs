@@ -1,0 +1,845 @@
+//! Runtime-dispatched SIMD backends for the fused dot product — the single
+//! O(m) pass at the bottom of every delta-`J` candidate evaluation.
+//!
+//! # What lives here
+//!
+//! * [`dot`] — the dispatched `⟨a, b⟩` kernel consumed by
+//!   `ucpc_core::objective::ClusterStats::delta_j_add` and friends through
+//!   its [`crate::arena::dot`] re-export;
+//! * [`dot3`] — a fused variant computing three dot products of one shared
+//!   row against three mean-sum vectors in a single pass
+//!   (`⟨x, a⟩, ⟨x, b⟩, ⟨x, c⟩`), so a candidate scan batching clusters in
+//!   threes loads the object's `mu` row once instead of three times;
+//! * [`Backend`] — the explicit backend set (scalar, AVX2+FMA, NEON) with
+//!   runtime detection, the `UCPC_SIMD` environment knob, and
+//!   [`force_backend`] for benches and tests;
+//! * [`dot_unfused`] — the pre-SIMD four-accumulator loop of PR 1, kept as
+//!   the property-tested accuracy reference (it is *not* a dispatch target;
+//!   see "Numerical contract" below for why).
+//!
+//! # Dispatch
+//!
+//! The backend is resolved once, on first kernel use, and cached in an
+//! atomic: `x86_64` machines with AVX2 and FMA get [`Backend::Avx2`]
+//! (checked via `is_x86_feature_detected!`), `aarch64` machines get
+//! [`Backend::Neon`], everything else falls back to [`Backend::Scalar`].
+//! The `UCPC_SIMD` environment variable (`scalar` | `avx2` | `neon` |
+//! `auto`, default `auto`) overrides detection — mirroring the
+//! `UCPC_PRUNING` knob — and an unavailable or unrecognized choice warns on
+//! stderr and falls back to auto-detection rather than aborting.
+//!
+//! # Numerical contract: every backend is bit-identical
+//!
+//! All three backends implement one canonical evaluation order:
+//!
+//! * main blocks of 16 elements feed 16 independent fused-multiply-add
+//!   accumulator lanes (lane `l` accumulates elements `16·i + l`);
+//! * a second stage of 4-element blocks feeds 4 FMA lanes;
+//! * the remaining `< 4` elements accumulate serially with FMA;
+//! * the lanes are reduced by one fixed association,
+//!   `r_j = (l_j + l_{j+4}) + (l_{j+8} + l_{j+12})` then
+//!   `(r_0 + r_2) + (r_1 + r_3)`, and the partial results combine as
+//!   `(main16 + main4) + tail`, with a stage *omitted* (not added as zero)
+//!   when its block count is zero — every backend takes the same branch for
+//!   a given length, so short inputs skip the 16-lane machinery without
+//!   breaking cross-backend identity.
+//!
+//! Because IEEE-754 fused multiply-add is exactly rounded — whether it comes
+//! from `_mm256_fmadd_pd`, `vfmaq_f64`, a scalar `fmadd` instruction, or
+//! libm's software `fma` — a fixed lane structure and reduction order make
+//! every backend produce **bit-identical** results on every input, with no
+//! fast-math anywhere. Switching `UCPC_SIMD=scalar|avx2|neon|auto` therefore
+//! changes wall-clock time and nothing else: clustering labels are
+//! byte-identical across backends, which is what lets the whole tier-1 test
+//! suite (including the pruning-exactness guarantees of
+//! `ucpc_core::pruning`) run unchanged under any backend. [`dot3`]'s
+//! per-dot lane structure is identical to [`dot`]'s, so a scan that batches
+//! candidates in threes is bit-identical to one that evaluates them one at
+//! a time.
+//!
+//! Rows shorter than [`DISPATCH_THRESHOLD`] bypass dispatch entirely: a
+//! non-inlinable backend call costs more than the (L1-resident) work it
+//! would do, so every entry point — [`dot`], [`dot3`], [`dot_with`],
+//! [`dot3_with`] — routes short rows through the inlined unfused loop
+//! *before* consulting the backend. The branch is uniform across entry
+//! points and backend choices, so short rows are backend-independent and
+//! the cross-backend identity holds over the full length range.
+//!
+//! The one loop that does *not* share the FMA contract is [`dot_unfused`]:
+//! the pre-SIMD reference multiplies and adds in separate (twice-rounded)
+//! operations, so it agrees with the FMA backends only to rounding
+//! error. Tests pin the dispatched backends to `dot_unfused` within a
+//! ULP-scaled tolerance and to each other exactly.
+//!
+//! # Performance notes
+//!
+//! The AVX2 path retires four 256-bit FMAs per main-block iteration and is
+//! limited by the two loads it issues per FMA; [`dot3`] lifts that to three
+//! FMAs per four loads by sharing the `x` row. [`Backend::Scalar`] is a
+//! genuine one-element-at-a-time loop: its `f64::mul_add` compiles to a
+//! scalar `fmadd` instruction where the build target has FMA and otherwise
+//! calls libm's correctly-rounded `fma` (glibc dispatches that to hardware
+//! FMA at run time; soft-float targets pay for the emulation). It exists as
+//! the correctness fallback and the benchmark comparator, not as a fast
+//! path — on pre-FMA x86 hardware the auto-vectorizable [`dot_unfused`]
+//! loop can be faster, but keeping the fallback bit-identical to the SIMD
+//! paths is worth more here than the last word in museum-hardware speed.
+//! Build with `RUSTFLAGS="-C target-cpu=native"` to let the surrounding
+//! scalar code (tails, per-object algebra) use the same ISA extensions the
+//! dispatched kernel detects.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A dispatchable dot-product backend.
+///
+/// Variants exist on every architecture so that configuration, reporting and
+/// error messages are portable; [`Backend::is_available`] says whether the
+/// current machine can actually run one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One-element-at-a-time FMA loop; available everywhere and
+    /// bit-identical to the SIMD paths (see the module docs).
+    Scalar,
+    /// 256-bit AVX2 + FMA path (`_mm256_fmadd_pd`, 4 × 4-lane
+    /// accumulators); requires `x86_64` with both features detected at run
+    /// time.
+    Avx2,
+    /// 128-bit NEON path (`vfmaq_f64`, 8 × 2-lane accumulators); requires
+    /// `aarch64`.
+    Neon,
+}
+
+impl Backend {
+    /// Whether this backend can run on the current machine.
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => false,
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[cfg(not(target_arch = "aarch64"))]
+            Backend::Neon => false,
+        }
+    }
+
+    /// The best backend the current machine supports (what `UCPC_SIMD=auto`
+    /// resolves to).
+    pub fn detect() -> Self {
+        if Backend::Avx2.is_available() {
+            Backend::Avx2
+        } else if Backend::Neon.is_available() {
+            Backend::Neon
+        } else {
+            Backend::Scalar
+        }
+    }
+
+    /// Every backend the current machine supports, scalar first.
+    pub fn available() -> Vec<Self> {
+        [Backend::Scalar, Backend::Avx2, Backend::Neon]
+            .into_iter()
+            .filter(|b| b.is_available())
+            .collect()
+    }
+
+    /// The `UCPC_SIMD` value naming this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    fn from_u8(b: u8) -> Self {
+        match b {
+            AVX2 => Backend::Avx2,
+            NEON => Backend::Neon,
+            _ => Backend::Scalar,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Backend::Scalar => SCALAR,
+            Backend::Avx2 => AVX2,
+            Backend::Neon => NEON,
+        }
+    }
+}
+
+const UNINIT: u8 = 0;
+const SCALAR: u8 = 1;
+const AVX2: u8 = 2;
+const NEON: u8 = 3;
+
+/// The cached dispatch decision; `UNINIT` until first kernel use.
+static ACTIVE: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// The backend the dispatched [`dot`]/[`dot3`] calls will use (resolving it
+/// now if this is the first kernel touch).
+#[inline]
+pub fn active_backend() -> Backend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        UNINIT => init_backend(),
+        b => Backend::from_u8(b),
+    }
+}
+
+/// First-use resolution: honour `UCPC_SIMD`, fall back to detection. A race
+/// between threads at most repeats the (idempotent) resolution.
+#[cold]
+fn init_backend() -> Backend {
+    let chosen = match std::env::var("UCPC_SIMD").ok().map(|v| v.to_lowercase()) {
+        None => Backend::detect(),
+        Some(v) => match v.as_str() {
+            "auto" | "" => Backend::detect(),
+            "scalar" => Backend::Scalar,
+            "avx2" => Backend::Avx2,
+            "neon" => Backend::Neon,
+            other => {
+                eprintln!(
+                    "UCPC_SIMD={other:?} is not one of scalar|avx2|neon|auto; \
+                     using auto detection"
+                );
+                Backend::detect()
+            }
+        },
+    };
+    let chosen = if chosen.is_available() {
+        chosen
+    } else {
+        let fallback = Backend::detect();
+        eprintln!(
+            "UCPC_SIMD requested the {} backend, which this machine cannot \
+             run; falling back to {}",
+            chosen.name(),
+            fallback.name()
+        );
+        fallback
+    };
+    ACTIVE.store(chosen.as_u8(), Ordering::Relaxed);
+    chosen
+}
+
+/// Overrides the dispatched backend for the rest of the process (or until
+/// the next call). Benches use this to time `scalar` against the detected
+/// SIMD path inside one process; tests use it to pin a backend regardless
+/// of the environment. Fails if the machine cannot run `backend`.
+///
+/// Because every backend is bit-identical (module docs), flipping the
+/// backend mid-run — even from another thread — changes performance only,
+/// never results.
+pub fn force_backend(backend: Backend) -> Result<(), &'static str> {
+    if !backend.is_available() {
+        return Err("requested SIMD backend is not available on this machine");
+    }
+    ACTIVE.store(backend.as_u8(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Rows shorter than this never reach a backend: the call overhead of a
+/// runtime-dispatched (and therefore non-inlinable) kernel exceeds the work
+/// on an L1-resident short row, and the inlined [`dot_unfused`] loop
+/// auto-vectorizes well at these sizes. Kept uniform across every entry
+/// point so the choice of backend can never change a short row's bits.
+pub const DISPATCH_THRESHOLD: usize = 16;
+
+/// Fused dot product `⟨a, b⟩` through the dispatched backend — the kernel's
+/// single O(m) pass.
+///
+/// ```
+/// use ucpc_uncertain::simd::{dot, dot_unfused};
+///
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let b = [0.5, -1.0, 2.0, 0.25, -2.0];
+/// let exact = 0.5 - 2.0 + 6.0 + 1.0 - 10.0;
+/// assert_eq!(dot(&a, &b), exact);
+/// // The PR 1 unfused loop is kept as the accuracy reference.
+/// assert!((dot(&a, &b) - dot_unfused(&a, &b)).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    // A hard check, not a debug_assert: silently truncating on mismatched
+    // lengths would turn a caller's dimension bug into wrong relocation
+    // deltas in release builds. One predictable branch on the hot path.
+    assert_eq!(a.len(), b.len(), "dot product requires equal-length slices");
+    if a.len() < DISPATCH_THRESHOLD {
+        return unfused_core(a, b);
+    }
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { avx2::dot(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { neon::dot(a, b) },
+        _ => scalar::dot(a, b),
+    }
+}
+
+/// Three fused dot products sharing one pass over `x`:
+/// `[⟨x, a⟩, ⟨x, b⟩, ⟨x, c⟩]`.
+///
+/// The candidate scan of the relocation loop evaluates `⟨s_C, mu(o)⟩` for
+/// every candidate cluster `C` against the *same* contiguous `mu(o)` row of
+/// the [`crate::arena::MomentArena`]; batching candidates in threes loads
+/// that row once per block instead of once per candidate. Each component
+/// uses exactly [`dot`]'s lane structure, so `dot3(x, a, b, c)` is
+/// bit-identical to `[dot(x, a), dot(x, b), dot(x, c)]` — scans may batch
+/// or not without changing a single bit of output.
+#[inline]
+pub fn dot3(x: &[f64], a: &[f64], b: &[f64], c: &[f64]) -> [f64; 3] {
+    assert!(
+        a.len() == x.len() && b.len() == x.len() && c.len() == x.len(),
+        "dot3 requires equal-length slices"
+    );
+    if x.len() < DISPATCH_THRESHOLD {
+        return [unfused_core(x, a), unfused_core(x, b), unfused_core(x, c)];
+    }
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { avx2::dot3(x, a, b, c) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { neon::dot3(x, a, b, c) },
+        _ => scalar::dot3(x, a, b, c),
+    }
+}
+
+/// [`dot`] through one explicit backend (which must be available) — the
+/// hook behind the dispatch-matrix tests and per-backend benches.
+pub fn dot_with(backend: Backend, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal-length slices");
+    assert!(backend.is_available(), "backend not available on this CPU");
+    if a.len() < DISPATCH_THRESHOLD {
+        return unfused_core(a, b);
+    }
+    match backend {
+        Backend::Scalar => scalar::dot(a, b),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { avx2::dot(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { neon::dot(a, b) },
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("availability checked above"),
+    }
+}
+
+/// [`dot3`] through one explicit backend (which must be available).
+pub fn dot3_with(backend: Backend, x: &[f64], a: &[f64], b: &[f64], c: &[f64]) -> [f64; 3] {
+    assert!(
+        a.len() == x.len() && b.len() == x.len() && c.len() == x.len(),
+        "dot3 requires equal-length slices"
+    );
+    assert!(backend.is_available(), "backend not available on this CPU");
+    if x.len() < DISPATCH_THRESHOLD {
+        return [unfused_core(x, a), unfused_core(x, b), unfused_core(x, c)];
+    }
+    match backend {
+        Backend::Scalar => scalar::dot3(x, a, b, c),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { avx2::dot3(x, a, b, c) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { neon::dot3(x, a, b, c) },
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("availability checked above"),
+    }
+}
+
+/// The PR 1 four-accumulator unfused loop, kept verbatim as the
+/// property-tested accuracy reference. It rounds multiply and add
+/// separately, so it agrees with the FMA backends only to rounding error —
+/// tests compare against it with a ULP-scaled tolerance, and against the
+/// backends with exact equality.
+#[inline]
+pub fn dot_unfused(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal-length slices");
+    unfused_core(a, b)
+}
+
+/// [`dot_unfused`]'s body, shared with the short-row fast path of the
+/// dispatched entry points (callers have checked lengths).
+#[inline]
+fn unfused_core(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Reduces 16 lanes with the canonical association shared by every backend:
+/// `r_j = (l_j + l_{j+4}) + (l_{j+8} + l_{j+12})`, then
+/// `(r_0 + r_2) + (r_1 + r_3)`.
+#[inline(always)]
+fn reduce16(l: &[f64; 16]) -> f64 {
+    let r0 = (l[0] + l[4]) + (l[8] + l[12]);
+    let r1 = (l[1] + l[5]) + (l[9] + l[13]);
+    let r2 = (l[2] + l[6]) + (l[10] + l[14]);
+    let r3 = (l[3] + l[7]) + (l[11] + l[15]);
+    (r0 + r2) + (r1 + r3)
+}
+
+/// Reduces 4 lanes with the canonical association: `(t_0 + t_2) + (t_1 + t_3)`.
+#[inline(always)]
+fn reduce4(t: &[f64; 4]) -> f64 {
+    (t[0] + t[2]) + (t[1] + t[3])
+}
+
+/// Canonical combination of the three pipeline stages. Stages whose block
+/// count is zero are omitted rather than added as `0.0` (the two differ for
+/// `-0.0` results); every backend routes its partials through this one
+/// function so the branch structure — and therefore the bits — match.
+#[inline(always)]
+fn combine(main16: Option<f64>, main4: Option<f64>, tail: f64) -> f64 {
+    match (main16, main4) {
+        (Some(a), Some(b)) => (a + b) + tail,
+        (Some(a), None) => a + tail,
+        (None, Some(b)) => b + tail,
+        (None, None) => tail,
+    }
+}
+
+/// The scalar backend: the canonical lane structure evaluated one element
+/// at a time with exactly-rounded `f64::mul_add`.
+mod scalar {
+    use super::{combine, reduce16, reduce4};
+
+    #[inline]
+    pub(super) fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let (a, b) = (&a[..n], &b[..n]);
+        let blocks = n / 16;
+        let mut main16 = None;
+        if blocks > 0 {
+            let mut lanes = [0.0f64; 16];
+            for i in 0..blocks {
+                let base = i * 16;
+                for (l, lane) in lanes.iter_mut().enumerate() {
+                    *lane = a[base + l].mul_add(b[base + l], *lane);
+                }
+            }
+            main16 = Some(reduce16(&lanes));
+        }
+        let mut base = blocks * 16;
+        let mut main4 = None;
+        if base + 4 <= n {
+            let mut quads = [0.0f64; 4];
+            while base + 4 <= n {
+                for (l, quad) in quads.iter_mut().enumerate() {
+                    *quad = a[base + l].mul_add(b[base + l], *quad);
+                }
+                base += 4;
+            }
+            main4 = Some(reduce4(&quads));
+        }
+        let mut tail = 0.0f64;
+        for i in base..n {
+            tail = a[i].mul_add(b[i], tail);
+        }
+        combine(main16, main4, tail)
+    }
+
+    /// Delegates to three [`dot`] calls: scalar code has no loads to
+    /// amortize, and delegation makes the bit-identity to the one-at-a-time
+    /// scan structural rather than re-derived.
+    #[inline]
+    pub(super) fn dot3(x: &[f64], a: &[f64], b: &[f64], c: &[f64]) -> [f64; 3] {
+        [dot(x, a), dot(x, b), dot(x, c)]
+    }
+}
+
+/// AVX2 + FMA backend: 4 × 4-lane `_mm256_fmadd_pd` accumulators.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_castpd256_pd128, _mm256_extractf128_pd, _mm256_fmadd_pd,
+        _mm256_loadu_pd, _mm256_setzero_pd, _mm_add_pd, _mm_add_sd, _mm_cvtsd_f64, _mm_unpackhi_pd,
+    };
+
+    /// Canonical 4-lane reduction of one 256-bit accumulator holding lanes
+    /// `[r_0, r_1, r_2, r_3]`: `(r_0 + r_2) + (r_1 + r_3)`.
+    #[inline(always)]
+    unsafe fn reduce_ymm(r: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(r); // [r0, r1]
+        let hi = _mm256_extractf128_pd(r, 1); // [r2, r3]
+        let s = _mm_add_pd(lo, hi); // [r0+r2, r1+r3]
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }
+
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` CPU support; slices must
+    /// be equal length (checked by the dispatch wrappers).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let blocks = n / 16;
+        let mut main16 = None;
+        if blocks > 0 {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            let mut acc2 = _mm256_setzero_pd();
+            let mut acc3 = _mm256_setzero_pd();
+            for i in 0..blocks {
+                let base = i * 16;
+                acc0 = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(pa.add(base)),
+                    _mm256_loadu_pd(pb.add(base)),
+                    acc0,
+                );
+                acc1 = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(pa.add(base + 4)),
+                    _mm256_loadu_pd(pb.add(base + 4)),
+                    acc1,
+                );
+                acc2 = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(pa.add(base + 8)),
+                    _mm256_loadu_pd(pb.add(base + 8)),
+                    acc2,
+                );
+                acc3 = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(pa.add(base + 12)),
+                    _mm256_loadu_pd(pb.add(base + 12)),
+                    acc3,
+                );
+            }
+            // r_j = (l_j + l_{j+4}) + (l_{j+8} + l_{j+12}) — reduce16.
+            main16 = Some(reduce_ymm(_mm256_add_pd(
+                _mm256_add_pd(acc0, acc1),
+                _mm256_add_pd(acc2, acc3),
+            )));
+        }
+        let mut base = blocks * 16;
+        let mut main4 = None;
+        if base + 4 <= n {
+            let mut quads = _mm256_setzero_pd();
+            while base + 4 <= n {
+                quads = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(pa.add(base)),
+                    _mm256_loadu_pd(pb.add(base)),
+                    quads,
+                );
+                base += 4;
+            }
+            main4 = Some(reduce_ymm(quads));
+        }
+        let mut tail = 0.0f64;
+        for i in base..n {
+            // Compiles to a scalar vfmadd under the enabled features — the
+            // same exactly-rounded operation the scalar backend performs.
+            tail = a[i].mul_add(b[i], tail);
+        }
+        super::combine(main16, main4, tail)
+    }
+
+    /// Truly fused triple dot: the `x` row is loaded once per block and fed
+    /// to three FMA accumulator sets (12 of the 16 ymm registers), lifting
+    /// the loads-per-FMA ratio from 2 to 4/3.
+    ///
+    /// # Safety
+    /// As for [`dot`].
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot3(x: &[f64], a: &[f64], b: &[f64], c: &[f64]) -> [f64; 3] {
+        let n = x.len();
+        let px = x.as_ptr();
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let pc = c.as_ptr();
+        let blocks = n / 16;
+        let has16 = blocks > 0;
+        let mut acc = [[_mm256_setzero_pd(); 4]; 3];
+        for i in 0..blocks {
+            let base = i * 16;
+            // Indexing three accumulator sets with one loop variable is the
+            // point here (shared `xv` per quad); an iterator can't span them.
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..4 {
+                let xv = _mm256_loadu_pd(px.add(base + 4 * v));
+                acc[0][v] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(pa.add(base + 4 * v)), acc[0][v]);
+                acc[1][v] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(pb.add(base + 4 * v)), acc[1][v]);
+                acc[2][v] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(pc.add(base + 4 * v)), acc[2][v]);
+            }
+        }
+        let mut base = blocks * 16;
+        let has4 = base + 4 <= n;
+        let mut quads = [_mm256_setzero_pd(); 3];
+        while base + 4 <= n {
+            let xv = _mm256_loadu_pd(px.add(base));
+            quads[0] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(pa.add(base)), quads[0]);
+            quads[1] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(pb.add(base)), quads[1]);
+            quads[2] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(pc.add(base)), quads[2]);
+            base += 4;
+        }
+        let mut out = [0.0f64; 3];
+        for (d, o) in out.iter_mut().enumerate() {
+            let main16 = if has16 {
+                Some(reduce_ymm(_mm256_add_pd(
+                    _mm256_add_pd(acc[d][0], acc[d][1]),
+                    _mm256_add_pd(acc[d][2], acc[d][3]),
+                )))
+            } else {
+                None
+            };
+            let main4 = if has4 {
+                Some(reduce_ymm(quads[d]))
+            } else {
+                None
+            };
+            let other = match d {
+                0 => a,
+                1 => b,
+                _ => c,
+            };
+            let mut tail = 0.0f64;
+            for i in base..n {
+                tail = x[i].mul_add(other[i], tail);
+            }
+            *o = super::combine(main16, main4, tail);
+        }
+        out
+    }
+}
+
+/// NEON backend: 8 × 2-lane `vfmaq_f64` accumulators covering the same 16
+/// canonical lanes.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::{
+        float64x2_t, vaddq_f64, vdupq_n_f64, vfmaq_f64, vgetq_lane_f64, vld1q_f64,
+    };
+
+    /// # Safety
+    /// Caller must have verified NEON support; slices must be equal length
+    /// (checked by the dispatch wrappers).
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let blocks = n / 16;
+        let mut main16 = None;
+        if blocks > 0 {
+            // acc[v] holds canonical lanes [2v, 2v+1].
+            let mut acc: [float64x2_t; 8] = [vdupq_n_f64(0.0); 8];
+            for i in 0..blocks {
+                let base = i * 16;
+                for (v, lane) in acc.iter_mut().enumerate() {
+                    *lane = vfmaq_f64(
+                        *lane,
+                        vld1q_f64(pa.add(base + 2 * v)),
+                        vld1q_f64(pb.add(base + 2 * v)),
+                    );
+                }
+            }
+            // r_j = (l_j + l_{j+4}) + (l_{j+8} + l_{j+12}):
+            //   [r0, r1] = (acc0 + acc2) + (acc4 + acc6)
+            //   [r2, r3] = (acc1 + acc3) + (acc5 + acc7)
+            let ra = vaddq_f64(vaddq_f64(acc[0], acc[2]), vaddq_f64(acc[4], acc[6]));
+            let rb = vaddq_f64(vaddq_f64(acc[1], acc[3]), vaddq_f64(acc[5], acc[7]));
+            let s = vaddq_f64(ra, rb); // [r0+r2, r1+r3]
+            main16 = Some(vgetq_lane_f64(s, 0) + vgetq_lane_f64(s, 1));
+        }
+        let mut base = blocks * 16;
+        let mut main4 = None;
+        if base + 4 <= n {
+            let mut q0 = vdupq_n_f64(0.0); // canonical quad lanes [t0, t1]
+            let mut q1 = vdupq_n_f64(0.0); // canonical quad lanes [t2, t3]
+            while base + 4 <= n {
+                q0 = vfmaq_f64(q0, vld1q_f64(pa.add(base)), vld1q_f64(pb.add(base)));
+                q1 = vfmaq_f64(q1, vld1q_f64(pa.add(base + 2)), vld1q_f64(pb.add(base + 2)));
+                base += 4;
+            }
+            let sq = vaddq_f64(q0, q1); // [t0+t2, t1+t3]
+            main4 = Some(vgetq_lane_f64(sq, 0) + vgetq_lane_f64(sq, 1));
+        }
+        let mut tail = 0.0f64;
+        for i in base..n {
+            tail = a[i].mul_add(b[i], tail);
+        }
+        super::combine(main16, main4, tail)
+    }
+
+    /// Delegates to three [`dot`] calls: a fused triple would need 24 live
+    /// accumulator registers plus loads, past the 32-register NEON file, and
+    /// the shared `x` row stays L1-resident across the three passes anyway.
+    /// Delegation also makes bit-identity with the unbatched scan structural.
+    ///
+    /// # Safety
+    /// As for [`dot`].
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot3(x: &[f64], a: &[f64], b: &[f64], c: &[f64]) -> [f64; 3] {
+        [dot(x, a), dot(x, b), dot(x, c)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - 4.1).collect();
+        let b: Vec<f64> = (0..n).map(|i| 2.3 - (i as f64) * 0.11).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn scalar_matches_naive_for_all_lengths() {
+        for n in 0..70usize {
+            let (a, b) = vecs(n);
+            let naive: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            let got = scalar::dot(&a, &b);
+            assert!(
+                (got - naive).abs() < 1e-9 * (1.0 + naive.abs()),
+                "length {n}: {got} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_available_backend_is_bit_identical_to_scalar() {
+        for backend in Backend::available() {
+            for n in 0..70usize {
+                let (a, b) = vecs(n);
+                let reference = dot_with(Backend::Scalar, &a, &b);
+                let got = dot_with(backend, &a, &b);
+                assert_eq!(
+                    got.to_bits(),
+                    reference.to_bits(),
+                    "{} != scalar at length {n}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot3_is_bit_identical_to_three_dots_on_every_backend() {
+        for backend in Backend::available() {
+            for n in 0..70usize {
+                let (x, a) = vecs(n);
+                let b: Vec<f64> = x.iter().map(|v| v * 0.5 + 1.0).collect();
+                let c: Vec<f64> = x.iter().map(|v| 2.0 - v).collect();
+                let fused = dot3_with(backend, &x, &a, &b, &c);
+                let split = [
+                    dot_with(backend, &x, &a),
+                    dot_with(backend, &x, &b),
+                    dot_with(backend, &x, &c),
+                ];
+                for d in 0..3 {
+                    assert_eq!(
+                        fused[d].to_bits(),
+                        split[d].to_bits(),
+                        "{} dot3[{d}] at length {n}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_backend_handles_short_rows_directly() {
+        // Dispatch never sends sub-threshold rows to a backend, but the
+        // backend functions stay total: check them below the threshold too.
+        if !Backend::Avx2.is_available() {
+            return;
+        }
+        for n in 0..20usize {
+            let (a, b) = vecs(n);
+            let got = unsafe { avx2::dot(&a, &b) };
+            let reference = scalar::dot(&a, &b);
+            assert_eq!(got.to_bits(), reference.to_bits(), "length {n}");
+        }
+    }
+
+    #[test]
+    fn dispatched_dot_matches_forced_active_backend() {
+        let (a, b) = vecs(33);
+        let via_dispatch = dot(&a, &b);
+        let via_explicit = dot_with(active_backend(), &a, &b);
+        assert_eq!(via_dispatch.to_bits(), via_explicit.to_bits());
+    }
+
+    #[test]
+    fn force_backend_round_trips() {
+        let detected = Backend::detect();
+        force_backend(Backend::Scalar).unwrap();
+        assert_eq!(active_backend(), Backend::Scalar);
+        force_backend(detected).unwrap();
+        assert_eq!(active_backend(), detected);
+        #[cfg(target_arch = "x86_64")]
+        assert!(force_backend(Backend::Neon).is_err());
+        #[cfg(target_arch = "aarch64")]
+        assert!(force_backend(Backend::Avx2).is_err());
+    }
+
+    #[test]
+    fn nan_and_infinity_propagate_identically() {
+        for backend in Backend::available() {
+            for (position, len) in [(0usize, 5usize), (3, 20), (17, 33), (40, 64)] {
+                // A NaN anywhere must surface as NaN from every backend.
+                let (mut a, b) = vecs(len);
+                a[position.min(len - 1)] = f64::NAN;
+                assert!(
+                    dot_with(backend, &a, &b).is_nan(),
+                    "{} swallowed a NaN at {position}/{len}",
+                    backend.name()
+                );
+                // A single infinity (with a nonzero partner) must produce
+                // the same signed infinity everywhere.
+                let (mut a, b) = vecs(len);
+                a[position.min(len - 1)] = f64::INFINITY;
+                let reference = dot_with(Backend::Scalar, &a, &b);
+                let got = dot_with(backend, &a, &b);
+                assert_eq!(
+                    got.to_bits(),
+                    reference.to_bits(),
+                    "{} infinity at {position}/{len}: {got} vs {reference}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unfused_reference_agrees_within_rounding() {
+        for n in [0usize, 1, 3, 4, 15, 16, 31, 32, 33, 64] {
+            let (a, b) = vecs(n);
+            let fused = scalar::dot(&a, &b);
+            let unfused = dot_unfused(&a, &b);
+            let scale: f64 = a.iter().zip(&b).map(|(&x, &y)| (x * y).abs()).sum();
+            assert!(
+                (fused - unfused).abs() <= 1e-13 * (1.0 + scale),
+                "length {n}: fused {fused} vs unfused {unfused}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+        assert_eq!(dot3(&[], &[], &[], &[]), [0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}
