@@ -9,13 +9,22 @@
 //! * median wall time of the *full* relocation phase (all passes to
 //!   convergence) with candidate pruning off vs on, on the clustered blob
 //!   workload, with skip/scan counters — the pruned run is asserted
-//!   label-identical to the unpruned one on every repetition.
+//!   label-identical to the unpruned one on every repetition; and
+//! * the same full relocation phase under `ParallelUcpc` for threads ∈
+//!   {1, 2, 4, 8} × backends {even, steal} (pruning on) on the acceptance
+//!   blob shape and on a load-skewed shape, with labels asserted
+//!   byte-identical across every configuration.
+//!
+//! All clustered workloads are built through the arena-native
+//! `PdfAssignment::assign_into_arena` pipeline (no `UncertainObject`
+//! round-trip).
 //!
 //! Usage: `cargo run --release -p ucpc-bench --bin bench_relocation
 //! [output.json]` (default output path: `BENCH_relocation.json`).
 
 use ucpc_bench::relocation::{
-    kernel_pass, median_ns, naive_pass, pruning_comparison, simd_comparison, workload, GRID,
+    blob_workload, kernel_pass, median_ns, naive_pass, parallel_comparison, pruning_comparison,
+    simd_comparison, skewed_workload, workload, Shape, GRID,
 };
 
 fn main() {
@@ -129,6 +138,79 @@ fn main() {
         ));
     }
 
+    // Parallel scheduler grid: threads × {even, steal} on the acceptance
+    // blob shape and on the load-skewed shape, pruning on; label identity
+    // across every configuration is asserted inside `parallel_comparison`.
+    let acceptance_shape = Shape {
+        n: 10_000,
+        m: 32,
+        k: 20,
+    };
+    let threads_grid = [1usize, 2, 4, 8];
+    let parallel_reps = 3;
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut parallel_rows = Vec::new();
+    println!(
+        "\n{:<10} {:<8} {:>8} {:>14} {:>9} {:>8} {:>12}",
+        "parallel", "backend", "threads", "ns/run", "speedup", "steals", "revalidated"
+    );
+    for (workload_name, arena, labels) in [
+        ("blob", blob_workload(acceptance_shape, 7)),
+        ("skewed", skewed_workload(acceptance_shape, 7)),
+    ]
+    .map(|(name, (arena, labels))| (name, arena, labels))
+    {
+        let rows = parallel_comparison(
+            &arena,
+            &labels,
+            acceptance_shape,
+            parallel_reps,
+            &threads_grid,
+        );
+        let base: Vec<(&str, u128)> = rows
+            .iter()
+            .filter(|r| r.threads == 1)
+            .map(|r| (r.backend, r.ns_per_run))
+            .collect();
+        for row in rows {
+            let base_ns = base
+                .iter()
+                .find(|(b, _)| *b == row.backend)
+                .expect("1-thread row present")
+                .1;
+            let speedup = base_ns as f64 / row.ns_per_run as f64;
+            println!(
+                "{:<10} {:<8} {:>8} {:>14} {:>8.2}x {:>8} {:>12}",
+                workload_name,
+                row.backend,
+                row.threads,
+                row.ns_per_run,
+                speedup,
+                row.steals,
+                row.revalidated
+            );
+            parallel_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, ",
+                    "\"backend\": \"{}\", \"threads\": {}, \"ns_per_run\": {}, ",
+                    "\"speedup_vs_1t\": {:.3}, \"steals\": {}, \"revalidated\": {}}}"
+                ),
+                workload_name,
+                row.shape.n,
+                row.shape.m,
+                row.shape.k,
+                row.backend,
+                row.threads,
+                row.ns_per_run,
+                speedup,
+                row.steals,
+                row.revalidated
+            ));
+        }
+    }
+
     let acceptance = GRID
         .iter()
         .position(|s| s.n == 10_000 && s.m == 32 && s.k == 20)
@@ -140,31 +222,49 @@ fn main() {
             "  \"description\": \"one evaluation-only UCPC relocation pass: naive three-sweep ",
             "Corollary-1 path vs flat-arena scalar-aggregate delta-J kernel; the same kernel ",
             "pass under UCPC_SIMD=scalar vs the detected SIMD backend (labels asserted ",
-            "byte-identical across backends); plus the full relocation phase with drift-bound ",
+            "byte-identical across backends); the full relocation phase with drift-bound ",
             "candidate pruning off vs on (clustered blob workload, pruned labels asserted ",
-            "identical to unpruned)\",\n",
-            "  \"units\": \"nanoseconds (median of {reps} kernel / {preps} end-to-end ",
-            "repetitions, release profile)\",\n",
+            "identical to unpruned); and the full ParallelUcpc relocation phase over threads x ",
+            "{{even, steal}} backends on the acceptance blob shape and a load-skewed shape ",
+            "(labels asserted byte-identical across every configuration; workloads built via ",
+            "the zero-allocation assign_into_arena pipeline)\",\n",
+            "  \"units\": \"nanoseconds (median of {reps} kernel / {preps} end-to-end / ",
+            "{pareps} parallel repetitions, release profile)\",\n",
             "  \"acceptance_shape\": {{\"n\": 10000, \"m\": 32, \"k\": 20, ",
             // The pruning gate was 1.5 when PR 2 measured it against the
             // pre-SIMD kernel; the SIMD kernel made the skipped scans ~2x
             // cheaper, shrinking pruning's end-to-end win (see ROADMAP).
             "\"required_speedup\": 2.0, \"required_pruning_speedup\": 1.2, ",
-            "\"required_simd_speedup\": 1.5}},\n",
+            "\"required_simd_speedup\": 1.5, ",
+            // Parallel gates: steal@8t >= 3x over steal@1t on the blob
+            // acceptance shape, and steal >= 1.15x over even at 8 threads
+            // on the skewed shape. Both compare thread-level parallelism,
+            // so they are only evaluable on hosts with >= 8 cores —
+            // "parallel_gates_evaluable" below records whether the emitting
+            // host could exercise them (a single-core container cannot show
+            // any multi-thread speedup, only the determinism asserts).
+            "\"required_parallel_speedup\": 3.0, \"required_steal_advantage\": 1.15}},\n",
             "  \"acceptance_row_index\": {acceptance},\n",
             "  \"simd_backend\": \"{backend}\",\n",
+            "  \"host_parallelism\": {host},\n",
+            "  \"parallel_gates_evaluable\": {evaluable},\n",
             "  \"grid\": [\n{rows}\n  ],\n",
             "  \"simd_grid\": [\n{srows}\n  ],\n",
-            "  \"pruning_grid\": [\n{prows}\n  ]\n",
+            "  \"pruning_grid\": [\n{prows}\n  ],\n",
+            "  \"parallel_grid\": [\n{parows}\n  ]\n",
             "}}\n",
         ),
         reps = reps,
         preps = pruning_reps,
+        pareps = parallel_reps,
         acceptance = acceptance,
         backend = simd_backend,
+        host = host_parallelism,
+        evaluable = host_parallelism >= 8,
         rows = rows.join(",\n"),
         srows = simd_rows.join(",\n"),
         prows = pruning_rows.join(",\n"),
+        parows = parallel_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write benchmark baseline");
     println!("wrote {out_path}");

@@ -33,8 +33,12 @@
 //!   full relocation phase under both;
 //!
 //! plus [`relocation::pruning_comparison`], the end-to-end relocation
-//! phase with drift-bound candidate pruning off vs on. Every comparison
-//! doubles as an exactness check: any label divergence panics the bench.
+//! phase with drift-bound candidate pruning off vs on, and
+//! [`relocation::parallel_comparison`], the full `ParallelUcpc` phase over
+//! a threads × {even, steal} scheduler grid on clustered and load-skewed
+//! workloads (both built through the zero-allocation
+//! `PdfAssignment::assign_into_arena` pipeline). Every comparison doubles
+//! as an exactness check: any label divergence panics the bench.
 
 #![warn(missing_docs)]
 

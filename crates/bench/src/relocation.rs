@@ -13,8 +13,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use ucpc_core::objective::ClusterStats;
+use ucpc_core::parallel::{ParallelBackend, ParallelUcpc};
 use ucpc_core::pruning::{best_candidate, PruneCounters, PruningConfig};
 use ucpc_core::Ucpc;
+use ucpc_datasets::uncertainty::{NoiseKind, PdfAssignment, SpreadScaling, UncertaintyModel};
 use ucpc_uncertain::simd::{self, Backend};
 use ucpc_uncertain::{MomentArena, UncertainObject, UnivariatePdf};
 
@@ -146,37 +148,111 @@ pub fn kernel_pass(w: &Workload) -> f64 {
     acc
 }
 
+/// The Section-5.1 uncertainty model the arena-native workloads inject:
+/// Normal pdfs with spreads proportional to the per-dimension standard
+/// deviation (so the noise scale tracks the blob geometry, not individual
+/// coordinate magnitudes).
+fn bench_model() -> UncertaintyModel {
+    UncertaintyModel {
+        scaling: SpreadScaling::DimStd,
+        spread_range: (0.02, 0.2),
+        ..UncertaintyModel::paper_default(NoiseKind::Normal)
+    }
+}
+
+/// Builds an arena straight from deterministic points through the
+/// `PdfAssignment` pipeline — the batch path the relocation benchmarks
+/// default to: pdfs are assigned per point and their truncated moments are
+/// written into a pre-reserved [`MomentArena`] with zero per-object heap
+/// allocations (`assign_into_arena`); no `UncertainObject` is ever
+/// materialized.
+fn arena_from_points(points: &[Vec<f64>], rng: &mut StdRng) -> MomentArena {
+    let m = points[0].len();
+    let inv = 1.0 / points.len() as f64;
+    let mut mean = vec![0.0f64; m];
+    for p in points {
+        for j in 0..m {
+            mean[j] += p[j];
+        }
+    }
+    let mut dim_std = vec![0.0f64; m];
+    for p in points {
+        for j in 0..m {
+            let d = p[j] - mean[j] * inv;
+            dim_std[j] += d * d;
+        }
+    }
+    for s in &mut dim_std {
+        *s = (*s * inv).sqrt().max(1e-9);
+    }
+    let assignment = PdfAssignment::assign(points, &dim_std, &bench_model(), rng);
+    let mut arena = MomentArena::with_capacity(points.len(), m);
+    assignment.assign_into_arena(&mut arena);
+    arena
+}
+
 /// A clustered (Gaussian-blob) workload for the end-to-end pruned-vs-unpruned
 /// relocation-phase comparison. Candidate pruning pays off exactly when most
 /// objects' cluster neighborhoods are stable — the regime of the paper's
 /// datasets — so the pruning benchmark runs on clusterable data; the uniform
 /// [`workload`] above (no structure, every margin small) remains the kernel
-/// microbench substrate and doubles as pruning's adversarial case.
+/// microbench substrate and doubles as pruning's adversarial case. Built
+/// through the arena-native `assign_into_arena` pipeline.
 pub fn blob_workload(shape: Shape, seed: u64) -> (MomentArena, Vec<usize>) {
     let Shape { n, m, k } = shape;
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Vec<f64>> = (0..k)
         .map(|_| (0..m).map(|_| rng.gen_range(-5.0..5.0)).collect())
         .collect();
-    let data: Vec<UncertainObject> = (0..n)
+    let points: Vec<Vec<f64>> = (0..n)
         .map(|i| {
             let c = &centers[i % k];
-            UncertainObject::new(
-                (0..m)
-                    .map(|j| {
-                        UnivariatePdf::normal(
-                            c[j] + rng.gen_range(-1.5..1.5),
-                            rng.gen_range(0.1..1.0),
-                        )
-                    })
-                    .collect(),
-            )
+            (0..m).map(|j| c[j] + rng.gen_range(-1.5..1.5)).collect()
         })
         .collect();
+    let arena = arena_from_points(&points, &mut rng);
     let labels: Vec<usize> = (0..n)
         .map(|i| if i < k { i } else { rng.gen_range(0..k) })
         .collect();
-    (MomentArena::from_objects(&data), labels)
+    (arena, labels)
+}
+
+/// A load-skewed clustered workload for the scheduler comparison: the first
+/// quarter of the objects sits in the ambiguous midpoint region between two
+/// cluster centers (tiny decision margins — the pruning bounds can rarely
+/// retire them, so they pay the full `k−1` candidate scan pass after pass),
+/// while the remaining three quarters form tight, well-separated blobs that
+/// tier-0 drift tests skip in O(1) after the first passes. Because the hard
+/// objects are contiguous at the front, even chunking concentrates nearly
+/// all scan work on the first worker(s); work stealing redistributes it.
+/// Built through the arena-native `assign_into_arena` pipeline.
+pub fn skewed_workload(shape: Shape, seed: u64) -> (MomentArena, Vec<usize>) {
+    let Shape { n, m, k } = shape;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Center c sits 40 units along axis (c mod m): pairwise separation is
+    // comfortably larger than any blob or jitter scale.
+    let center = |c: usize, j: usize| if j == c % m { 40.0 } else { 0.0 };
+    let hard = n / 4;
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            if i < hard {
+                // Midway between centers 0 and 1, jittered: ambiguous.
+                (0..m)
+                    .map(|j| 0.5 * (center(0, j) + center(1 % k, j)) + rng.gen_range(-2.0..2.0))
+                    .collect()
+            } else {
+                let c = i % k;
+                (0..m)
+                    .map(|j| center(c, j) + rng.gen_range(-0.5..0.5))
+                    .collect()
+            }
+        })
+        .collect();
+    let arena = arena_from_points(&points, &mut rng);
+    let labels: Vec<usize> = (0..n)
+        .map(|i| if i < k { i } else { rng.gen_range(0..k) })
+        .collect();
+    (arena, labels)
 }
 
 /// One grid row of the end-to-end pruning comparison.
@@ -246,6 +322,92 @@ pub fn pruning_comparison(shape: Shape, seed: u64, reps: usize) -> PruningRow {
         counters,
         iterations,
     }
+}
+
+/// One grid row of the parallel scheduler comparison.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// The shape measured.
+    pub shape: Shape,
+    /// Worker threads of the propose phase.
+    pub threads: usize,
+    /// Backend name (`"even"` or `"steal"`).
+    pub backend: &'static str,
+    /// Median wall time of the full relocation phase.
+    pub ns_per_run: u128,
+    /// Shards claimed across worker-run boundaries (steal backend only).
+    pub steals: usize,
+    /// Apply-phase proposals that had to be re-priced (on the steal backend
+    /// only the version-staled ones; on even, every survivor).
+    pub revalidated: usize,
+    /// Relocations applied (identical across every configuration).
+    pub applied: usize,
+}
+
+/// Runs the full parallel relocation phase (identical arena + initial
+/// labels, candidate pruning on) for every combination of `threads_grid`
+/// and the two scheduling backends, `reps` repetitions each, reporting
+/// median wall times. Asserts — on every repetition — that all
+/// configurations produce byte-identical labels and identical pass/apply
+/// counts: the benchmark doubles as an end-to-end scheduler-determinism
+/// check.
+pub fn parallel_comparison(
+    arena: &MomentArena,
+    labels: &[usize],
+    shape: Shape,
+    reps: usize,
+    threads_grid: &[usize],
+) -> Vec<ParallelRow> {
+    let mut reference: Option<(Vec<usize>, usize, usize)> = None;
+    let mut rows = Vec::new();
+    for backend in [ParallelBackend::Even, ParallelBackend::Steal] {
+        for &threads in threads_grid {
+            let algo = ParallelUcpc {
+                threads,
+                backend,
+                pruning: PruningConfig::Bounds,
+                ..ParallelUcpc::default()
+            };
+            let mut ns = Vec::with_capacity(reps);
+            let mut last = None;
+            for _ in 0..reps {
+                let init = labels.to_vec();
+                let t = Instant::now();
+                let r = algo
+                    .run_on_arena(arena, shape.k, init)
+                    .expect("parallel relocation run");
+                ns.push(t.elapsed().as_nanos());
+                match &reference {
+                    Some((ref_labels, iters, applied)) => {
+                        assert_eq!(
+                            ref_labels.as_slice(),
+                            r.clustering.labels(),
+                            "labels diverged: {} backend, {threads} threads",
+                            backend.name()
+                        );
+                        assert_eq!(*iters, r.iterations);
+                        assert_eq!(*applied, r.applied);
+                    }
+                    None => {
+                        reference = Some((r.clustering.labels().to_vec(), r.iterations, r.applied))
+                    }
+                }
+                last = Some(r);
+            }
+            let r = last.expect("reps >= 1");
+            ns.sort_unstable();
+            rows.push(ParallelRow {
+                shape,
+                threads,
+                backend: backend.name(),
+                ns_per_run: ns[ns.len() / 2],
+                steals: r.steals,
+                revalidated: r.revalidated,
+                applied: r.applied,
+            });
+        }
+    }
+    rows
 }
 
 /// Median nanoseconds per call of `f` over `reps` timed repetitions (after
@@ -372,6 +534,20 @@ mod tests {
             2,
         );
         assert!(row.scalar_ns > 0 && row.simd_ns > 0);
+    }
+
+    #[test]
+    fn parallel_comparison_is_deterministic_across_the_grid() {
+        let shape = Shape { n: 300, m: 8, k: 4 };
+        let (arena, labels) = skewed_workload(shape, 5);
+        let rows = parallel_comparison(&arena, &labels, shape, 2, &[1, 3]);
+        // 2 backends × 2 thread counts; label identity asserted inside.
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.ns_per_run > 0));
+        assert!(rows
+            .iter()
+            .filter(|r| r.backend == "even")
+            .all(|r| r.steals == 0));
     }
 
     #[test]

@@ -36,7 +36,12 @@
 //!
 //! Everything above those layers is orchestration: initialization
 //! ([`init::Initializer`]), restarts, the incremental driver's epoch
-//! bookkeeping, and the shared [`framework`] types.
+//! bookkeeping, and the shared [`framework`] types. The parallel drivers
+//! ([`parallel::ParallelUcpc`]'s propose phase, [`restarts::BestOfRestarts`]'s
+//! restart queue) share the work-stealing [`scheduler::WorkPool`] and the
+//! `UCPC_THREADS` resolution helper ([`scheduler::resolve_threads`]);
+//! [`parallel::SharedStats`] adds per-cluster version counters so the
+//! propose phase runs snapshot-free (env knob `UCPC_PARALLEL`).
 //!
 //! ```
 //! use rand::rngs::StdRng;
@@ -66,6 +71,7 @@ pub mod objective;
 pub mod parallel;
 pub mod pruning;
 pub mod restarts;
+pub mod scheduler;
 pub mod ucentroid;
 pub mod ucpc;
 

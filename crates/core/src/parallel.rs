@@ -4,30 +4,170 @@
 //! which is inherently order-dependent. The parallel variant splits each pass
 //! into two phases:
 //!
-//! 1. **propose** — worker threads scan disjoint shards of the dataset
-//!    against a frozen snapshot of the cluster statistics and emit the best
-//!    relocation per object (each candidate one fused dot product via the
-//!    scalar-aggregate kernel form of Corollary 1; moments are read from a
-//!    shared flat [`MomentArena`]);
+//! 1. **propose** — worker threads scan shards of the dataset against the
+//!    pass-start cluster statistics and emit the best relocation per object
+//!    (each candidate one fused dot product via the scalar-aggregate kernel
+//!    form of Corollary 1; moments are read from a shared flat
+//!    [`MomentArena`]);
 //! 2. **apply** — proposals are re-validated sequentially against the live
 //!    statistics (a proposal is applied only if it still strictly decreases
 //!    the objective) so monotone descent — Proposition 4's termination
 //!    argument — is preserved exactly.
 //!
-//! The result is deterministic for a fixed shard order and matches the
-//! sequential algorithm's convergence guarantees, trading some per-pass
-//! greediness for scan parallelism. An ablation benchmark compares the two.
+//! Two propose-phase backends share that structure, selected by
+//! [`ParallelBackend`] (env knob `UCPC_PARALLEL`):
+//!
+//! * [`ParallelBackend::Even`] — the reference layout: one contiguous
+//!   `n/threads` chunk per worker, statically assigned, scanned against a
+//!   per-pass *clone* of the cluster statistics, and every surviving
+//!   proposal re-priced from scratch during apply. This is the PR 2/3 code
+//!   path, kept bit-exact as the baseline the stealing backend is tested
+//!   against.
+//! * [`ParallelBackend::Steal`] — size-adaptive shards (roughly L2-sized
+//!   blocks of `mu` rows, see [`crate::scheduler::steal_shard_rows`]) drained
+//!   through a work-stealing [`WorkPool`], so skewed per-object cost — a
+//!   pruning tier-0 skip is one cache line while a full scan is `k` fused
+//!   dot products — no longer leaves workers idle behind a static split.
+//!   The per-pass statistics clone is gone: workers read the live
+//!   [`SharedStats`] directly (safe: the apply phase is quiescent while
+//!   workers run), and each proposal records the per-cluster *version*
+//!   counters it priced against. The sequential apply phase bumps a
+//!   cluster's version on every mutation, so a proposal whose source and
+//!   destination versions are unchanged is provably priced against the
+//!   exact current statistics and is applied without re-pricing; only
+//!   proposals staled by an earlier relocation in the same pass pay the two
+//!   re-validation dot products.
+//!
+//! Both backends evaluate every object against bit-identical pass-start
+//! statistics with the identical kernel calls, collect proposals indexed by
+//! object, and apply them in ascending object order with the same
+//! strictly-decreasing test — so the relocation sequence, and therefore the
+//! final labels, are byte-identical across backends and across any thread
+//! count (pinned end to end by `tests/parallel_determinism.rs`). When
+//! candidate pruning is on, each shard carries its own [`PruneShard`] window
+//! of the cache, which follows the shard to whichever worker claims it.
 
-use crate::framework::{validate_input, ClusterError, Clustering, UncertainClusterer};
+use crate::framework::{validate_labels, ClusterError, Clustering, UncertainClusterer};
 use crate::init::Initializer;
 use crate::objective::{total_objective, ClusterStats};
 use crate::pruning::{
     apply_tracked_relocation, best_candidate, best_candidate_with_second, fp_scale, DriftTotals,
     PruneCache, PruneCounters, PruneDecision, PruneShard, PruningConfig,
 };
+use crate::scheduler::{resolve_threads, steal_shard_rows, WorkPool};
 use rand::RngCore;
 use ucpc_uncertain::arena::MomentView;
 use ucpc_uncertain::{MomentArena, UncertainObject};
+
+/// Propose-phase scheduling/validation strategy of [`ParallelUcpc`].
+///
+/// The default honours the `UCPC_PARALLEL` environment variable (`even` or
+/// `steal`, unset ⇒ `Steal`), mirroring `UCPC_PRUNING`/`UCPC_SIMD`; both
+/// backends produce byte-identical labels, so the knob only changes speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelBackend {
+    /// Fixed even chunks, per-pass statistics snapshot, full apply-phase
+    /// re-validation — the PR 2/3 reference path.
+    Even,
+    /// Work-stealing size-adaptive shards over snapshot-free versioned
+    /// statistics ([`SharedStats`]).
+    Steal,
+}
+
+impl ParallelBackend {
+    /// Reads the `UCPC_PARALLEL` environment knob (`"even"` ⇒
+    /// [`Self::Even`], `"steal"` ⇒ [`Self::Steal`], anything else ⇒
+    /// `None`).
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("UCPC_PARALLEL").ok()?.to_lowercase().as_str() {
+            "even" => Some(Self::Even),
+            "steal" => Some(Self::Steal),
+            _ => None,
+        }
+    }
+
+    /// The knob spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Even => "even",
+            Self::Steal => "steal",
+        }
+    }
+}
+
+impl Default for ParallelBackend {
+    fn default() -> Self {
+        Self::from_env().unwrap_or(Self::Steal)
+    }
+}
+
+/// Versioned cluster aggregates: the snapshot-free substitute for the
+/// per-pass `ClusterStats` clone.
+///
+/// Each cluster's sufficient statistics (the Ψ/Φ/S₂ scalars and the
+/// `mean_sum`/`norm` rows inside [`ClusterStats`]) are paired with a
+/// monotonically increasing version counter. Propose workers read the
+/// statistics through a shared reference — race-free because the apply
+/// phase, the only mutator, is sequential and strictly alternates with the
+/// propose phase — and record the versions they priced against. The apply
+/// phase bumps both affected versions on every relocation, which is exactly
+/// the seqlock write-side discipline collapsed onto a phase barrier: a
+/// version pair that is unchanged at validation time proves the proposal's
+/// delta is still the bit-exact value a fresh evaluation would produce, so
+/// it is applied without re-pricing.
+#[derive(Debug, Clone)]
+pub struct SharedStats {
+    stats: Vec<ClusterStats>,
+    versions: Vec<u64>,
+}
+
+impl SharedStats {
+    /// Wraps freshly built per-cluster statistics, all versions zero.
+    pub fn new(stats: Vec<ClusterStats>) -> Self {
+        let versions = vec![0; stats.len()];
+        Self { stats, versions }
+    }
+
+    /// The live per-cluster statistics.
+    pub fn stats(&self) -> &[ClusterStats] {
+        &self.stats
+    }
+
+    /// All version counters, indexed by cluster.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// Version counter of cluster `c`.
+    pub fn version(&self, c: usize) -> u64 {
+        self.versions[c]
+    }
+
+    /// Applies one relocation (remove `v` from `src`, add it to `dst`) and
+    /// bumps both clusters' versions. With `totals`, the drift-tracked
+    /// updates of [`crate::pruning`] run and the return value reports a
+    /// small-size transition (⇒ the caller bumps its prune-cache epoch);
+    /// without, the plain updates run and `false` is returned.
+    pub fn apply_relocation(
+        &mut self,
+        src: usize,
+        dst: usize,
+        v: &MomentView<'_>,
+        totals: Option<&mut DriftTotals>,
+    ) -> bool {
+        let small = match totals {
+            Some(t) => apply_tracked_relocation(&mut self.stats, src, dst, v, t),
+            None => {
+                self.stats[src].remove_view(v);
+                self.stats[dst].add_view(v);
+                false
+            }
+        };
+        self.versions[src] = self.versions[src].wrapping_add(1);
+        self.versions[dst] = self.versions[dst].wrapping_add(1);
+        small
+    }
+}
 
 /// Configuration of the parallel UCPC search.
 ///
@@ -56,13 +196,18 @@ pub struct ParallelUcpc {
     pub max_iters: usize,
     /// Minimum objective decrease for a relocation to be applied.
     pub tolerance: f64,
-    /// Worker threads for the propose phase (`0` = available parallelism).
+    /// Worker threads for the propose phase (`0` = the `UCPC_THREADS` knob,
+    /// falling back to available parallelism; see
+    /// [`crate::scheduler::resolve_threads`]).
     pub threads: usize,
+    /// Propose-phase backend (see [`ParallelBackend`]; label-identical, the
+    /// knob only changes speed).
+    pub backend: ParallelBackend,
     /// Candidate pruning for the propose phase. Each worker evaluates the
-    /// drift bounds of [`crate::pruning`] against the same frozen statistics
-    /// snapshot it proposes against, over its own shard of the cache
-    /// columns; the proposal stream is provably identical to the unpruned
-    /// one, so the final labels are byte-identical.
+    /// drift bounds of [`crate::pruning`] against the same pass-start
+    /// statistics it proposes against, over the cache window of whichever
+    /// shard it claims; the proposal stream is provably identical to the
+    /// unpruned one, so the final labels are byte-identical.
     pub pruning: PruningConfig,
 }
 
@@ -73,6 +218,7 @@ impl Default for ParallelUcpc {
             max_iters: 200,
             tolerance: 1e-9,
             threads: 0,
+            backend: ParallelBackend::default(),
             pruning: PruningConfig::default(),
         }
     }
@@ -96,6 +242,47 @@ pub struct ParallelUcpcResult {
     /// Candidate-pruning counters summed over all propose phases (all zero
     /// when pruning is off).
     pub pruning: PruneCounters,
+    /// Shards claimed by a worker that did not own them (always zero on the
+    /// [`ParallelBackend::Even`] backend).
+    pub steals: usize,
+    /// Proposals whose delta had to be re-priced during apply. On
+    /// [`ParallelBackend::Even`] this counts every surviving proposal (the
+    /// reference path re-validates unconditionally); on
+    /// [`ParallelBackend::Steal`] only proposals staled by an earlier
+    /// relocation in the same pass.
+    pub revalidated: usize,
+}
+
+/// One object's surviving proposal: the destination, the priced delta, and
+/// the source/destination versions it was priced against.
+#[derive(Debug, Clone, Copy)]
+struct Proposal {
+    dst: usize,
+    delta: f64,
+    src_ver: u64,
+    dst_ver: u64,
+}
+
+/// One schedulable unit of the propose phase: a contiguous object range,
+/// its slice of the proposal output, and (pruning on) its window of the
+/// prune cache. The window travels with the task to whichever worker claims
+/// it — stolen shards keep their cache rows.
+struct ShardTask<'a> {
+    start: usize,
+    prune: Option<PruneShard<'a>>,
+    out: &'a mut [Option<Proposal>],
+}
+
+/// The read-only pass context shared by every propose worker.
+struct PassCtx<'a> {
+    stats: &'a [ClusterStats],
+    versions: &'a [u64],
+    arena: &'a MomentArena,
+    labels: &'a [usize],
+    tolerance: f64,
+    epoch: u64,
+    totals: DriftTotals,
+    scale: f64,
 }
 
 impl ParallelUcpc {
@@ -106,108 +293,167 @@ impl ParallelUcpc {
         k: usize,
         rng: &mut dyn RngCore,
     ) -> Result<ParallelUcpcResult, ClusterError> {
-        let m = validate_input(data, k)?;
-        let mut labels = self.init.initial_partition(data, k, rng);
+        crate::framework::validate_input(data, k)?;
+        let labels = self.init.initial_partition(data, k, rng);
+        self.run_on_arena(&MomentArena::from_objects(data), k, labels)
+    }
 
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.threads
-        };
+    /// Runs the parallel search directly on a prebuilt moment arena — the
+    /// arena-native entry point the bench and dataset drivers use so batch
+    /// inputs never round-trip through `UncertainObject`. Labels must be one
+    /// per arena row, each in `0..k`.
+    pub fn run_on_arena(
+        &self,
+        arena: &MomentArena,
+        k: usize,
+        mut labels: Vec<usize>,
+    ) -> Result<ParallelUcpcResult, ClusterError> {
+        if arena.is_empty() {
+            return Err(ClusterError::EmptyDataset);
+        }
+        if k == 0 || k > arena.len() {
+            return Err(ClusterError::InvalidK { k, n: arena.len() });
+        }
+        validate_labels(&labels, arena.len(), k)?;
 
-        let arena = MomentArena::from_objects(data);
+        let m = arena.dims();
+        let n = arena.len();
+        let threads = resolve_threads(self.threads);
+
         let mut stats: Vec<ClusterStats> = vec![ClusterStats::empty(m); k];
         for (i, &label) in labels.iter().enumerate() {
             stats[label].add_view(&arena.view(i));
         }
+        let mut shared = SharedStats::new(stats);
 
         let mut iterations = 0usize;
         let mut applied = 0usize;
         let mut rejected = 0usize;
         let mut converged = false;
+        let mut steals = 0usize;
+        let mut revalidated = 0usize;
         let mut counters = PruneCounters::default();
         let mut epoch = 0u64;
         let mut totals = DriftTotals::default();
-        let mut cache = self
-            .pruning
-            .is_enabled()
-            .then(|| PruneCache::new(arena.len(), k));
+        let mut cache = self.pruning.is_enabled().then(|| PruneCache::new(n, k));
+        // One proposal slot per object, reused (re-blanked) across passes so
+        // the relocation loop allocates nothing per pass.
+        let mut proposals: Vec<Option<Proposal>> = vec![None; n];
 
         while iterations < self.max_iters {
             iterations += 1;
 
-            // Phase 1: propose against a frozen snapshot, reading moments
-            // from the shared arena. Each worker owns one shard of the prune
-            // cache and evaluates the drift bounds against the same frozen
-            // snapshot it scans (the accumulators frozen inside it are its
-            // per-shard drift snapshot), so proposals — pruned or not — are
-            // deterministic functions of the pass-start state.
-            let snapshot = stats.clone();
-            let labels_ro: &[usize] = &labels;
-            let chunk = arena.len().div_ceil(threads).max(1);
-            let n_chunks = arena.len().div_ceil(chunk);
+            // Phase 1: propose against the pass-start statistics, reading
+            // moments from the shared arena. The even backend scans a cloned
+            // snapshot; the steal backend reads the live SharedStats, whose
+            // bits are identical (the apply phase is quiescent). Each task
+            // owns one shard of the prune cache and evaluates the drift
+            // bounds against the same pass-start state it scans, so
+            // proposals — pruned or not, stolen or not — are deterministic
+            // functions of that state.
+            let chunk = match self.backend {
+                ParallelBackend::Even => n.div_ceil(threads).max(1),
+                ParallelBackend::Steal => steal_shard_rows(n, m, threads),
+            };
+            let n_chunks = n.div_ceil(chunk);
             let scale = if cache.is_some() {
-                fp_scale(&snapshot)
+                fp_scale(shared.stats())
             } else {
                 0.0
             };
+            let snapshot: Option<Vec<ClusterStats>> =
+                matches!(self.backend, ParallelBackend::Even).then(|| shared.stats().to_vec());
 
-            let proposals: Vec<Option<(usize, usize)>> = {
+            proposals.fill(None);
+            {
                 let shards: Vec<Option<PruneShard<'_>>> = match cache.as_mut() {
                     Some(c) => c.shards(chunk).into_iter().map(Some).collect(),
                     None => (0..n_chunks).map(|_| None).collect(),
                 };
+                let mut tasks = Vec::with_capacity(n_chunks);
+                let mut rest: &mut [Option<Proposal>] = &mut proposals;
+                for (ci, prune) in shards.into_iter().enumerate() {
+                    let take = chunk.min(rest.len());
+                    let (out, tail) = rest.split_at_mut(take);
+                    rest = tail;
+                    tasks.push(ShardTask {
+                        start: ci * chunk,
+                        prune,
+                        out,
+                    });
+                }
+                let pool = WorkPool::new(tasks, threads);
+                let ctx = PassCtx {
+                    stats: snapshot.as_deref().unwrap_or(shared.stats()),
+                    versions: shared.versions(),
+                    arena,
+                    labels: &labels,
+                    tolerance: self.tolerance,
+                    epoch,
+                    totals,
+                    scale,
+                };
+                let stealing = matches!(self.backend, ParallelBackend::Steal);
                 std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (ci, shard) in shards.into_iter().enumerate() {
-                        let start = ci * chunk;
-                        let end = (start + chunk).min(arena.len());
-                        let snapshot = &snapshot;
-                        let arena = &arena;
-                        let tol = self.tolerance;
-                        handles.push(scope.spawn(move || {
-                            propose_range(
-                                start, end, shard, snapshot, arena, labels_ro, tol, epoch, totals,
-                                scale,
-                            )
-                        }));
-                    }
-                    handles
-                        .into_iter()
-                        .flat_map(|h| {
-                            let (props, shard_counters) =
-                                h.join().expect("propose worker panicked");
-                            counters.merge(shard_counters);
-                            props
+                    let handles: Vec<_> = (0..threads)
+                        .map(|w| {
+                            let pool = &pool;
+                            let ctx = &ctx;
+                            scope.spawn(move || {
+                                let mut worker_counters = PruneCounters::default();
+                                loop {
+                                    let task = if stealing {
+                                        pool.claim(w)
+                                    } else {
+                                        pool.claim_own(w)
+                                    };
+                                    let Some(mut task) = task else { break };
+                                    propose_shard(&mut task, ctx, &mut worker_counters);
+                                }
+                                worker_counters
+                            })
                         })
-                        .collect()
-                })
-            };
+                        .collect();
+                    for h in handles {
+                        counters.merge(h.join().expect("propose worker panicked"));
+                    }
+                });
+                steals += pool.steals();
+            }
 
-            // Phase 2: sequential re-validation + application.
+            // Phase 2: sequential validation + application, in ascending
+            // object order on both backends. A steal-backend proposal whose
+            // source and destination versions are untouched is applied on
+            // its priced delta (bit-exactly what re-pricing would return);
+            // anything else — and every even-backend proposal — is
+            // re-priced against the live statistics.
             let mut moved = false;
-            for proposal in proposals.into_iter().flatten() {
-                let (i, dst) = proposal;
+            for (i, p) in proposals.iter().enumerate() {
+                let Some(p) = p else { continue };
                 let src = labels[i];
-                if src == dst || stats[src].size() <= 1 {
+                if src == p.dst || shared.stats()[src].size() <= 1 {
                     rejected += 1;
                     continue;
                 }
                 let v = arena.view(i);
-                let delta = stats[src].delta_j_remove(&v) + stats[dst].delta_j_add(&v);
+                let fresh = matches!(self.backend, ParallelBackend::Steal)
+                    && shared.version(src) == p.src_ver
+                    && shared.version(p.dst) == p.dst_ver;
+                let delta = if fresh {
+                    p.delta
+                } else {
+                    revalidated += 1;
+                    shared.stats()[src].delta_j_remove(&v) + shared.stats()[p.dst].delta_j_add(&v)
+                };
                 if delta < -self.tolerance {
-                    if let Some(c) = cache.as_mut() {
-                        if apply_tracked_relocation(&mut stats, src, dst, &v, &mut totals) {
-                            epoch += 1;
-                        }
-                        c.invalidate(i);
-                    } else {
-                        stats[src].remove_view(&v);
-                        stats[dst].add_view(&v);
+                    let tracked = cache.is_some();
+                    if shared.apply_relocation(src, p.dst, &v, tracked.then_some(&mut totals)) {
+                        epoch += 1;
                     }
-                    labels[i] = dst;
+                    if let Some(c) = cache.as_mut() {
+                        c.invalidate(i);
+                    }
+                    labels[i] = p.dst;
                     applied += 1;
                     moved = true;
                 } else {
@@ -223,94 +469,96 @@ impl ParallelUcpc {
 
         Ok(ParallelUcpcResult {
             clustering: Clustering::new(labels, k),
-            objective: total_objective(&stats),
+            objective: total_objective(shared.stats()),
             iterations,
             applied,
             rejected,
             converged,
             pruning: counters,
+            steals,
+            revalidated,
         })
     }
 }
 
-/// One propose-phase worker: scans `start..end` against the frozen
-/// `snapshot`, taking the pruning shortcuts when a cache shard is supplied.
-/// Every proposal (and non-proposal) is identical to what the unpruned scan
-/// of the same range would emit — tier 1 only fires when the scan provably
-/// proposes nothing, tier 2 recomputes the confirmed argmin's delta with the
-/// exact kernel calls of the full scan.
-#[allow(clippy::too_many_arguments)]
-fn propose_range(
-    start: usize,
-    end: usize,
-    mut shard: Option<PruneShard<'_>>,
-    snapshot: &[ClusterStats],
-    arena: &MomentArena,
-    labels: &[usize],
-    tol: f64,
-    epoch: u64,
-    totals: DriftTotals,
-    scale: f64,
-) -> (Vec<Option<(usize, usize)>>, PruneCounters) {
-    let mut counters = PruneCounters::default();
-    let proposals = (start..end)
-        .map(|i| {
-            let src = labels[i];
-            if snapshot[src].size() <= 1 {
-                return None;
-            }
-            let v = arena.view(i);
-            let decision = match &shard {
-                Some(s) => s.decide(i, epoch, snapshot, totals, src, &v, tol, scale),
-                None => PruneDecision::FullScan,
-            };
-            match decision {
-                PruneDecision::Skip => {
-                    counters.skips += 1;
-                    None
-                }
-                PruneDecision::ConfirmBest(dst) => {
-                    counters.confirms += 1;
-                    let delta = snapshot[src].delta_j_remove(&v) + snapshot[dst].delta_j_add(&v);
-                    (delta < -tol).then_some((i, dst))
-                }
-                PruneDecision::FullScan => {
-                    if shard.is_some() {
-                        counters.full_scans += 1;
-                    }
-                    full_scan(i, src, &v, snapshot, tol, epoch, totals, shard.as_mut())
+/// One propose-phase task: scans the shard's object range against the
+/// pass-start statistics, taking the pruning shortcuts when a cache window
+/// is attached. Every proposal (and non-proposal) is identical to what the
+/// unpruned scan of the same range would emit — tier 1 only fires when the
+/// scan provably proposes nothing, tier 2 recomputes the confirmed argmin's
+/// delta with the exact kernel calls of the full scan.
+fn propose_shard(task: &mut ShardTask<'_>, ctx: &PassCtx<'_>, counters: &mut PruneCounters) {
+    for (off, slot) in task.out.iter_mut().enumerate() {
+        let i = task.start + off;
+        let src = ctx.labels[i];
+        if ctx.stats[src].size() <= 1 {
+            continue;
+        }
+        let v = ctx.arena.view(i);
+        let decision = match &task.prune {
+            Some(s) => s.decide(
+                i,
+                ctx.epoch,
+                ctx.stats,
+                ctx.totals,
+                src,
+                &v,
+                ctx.tolerance,
+                ctx.scale,
+            ),
+            None => PruneDecision::FullScan,
+        };
+        match decision {
+            PruneDecision::Skip => counters.skips += 1,
+            PruneDecision::ConfirmBest(dst) => {
+                counters.confirms += 1;
+                let delta = ctx.stats[src].delta_j_remove(&v) + ctx.stats[dst].delta_j_add(&v);
+                if delta < -ctx.tolerance {
+                    *slot = Some(Proposal {
+                        dst,
+                        delta,
+                        src_ver: ctx.versions[src],
+                        dst_ver: ctx.versions[dst],
+                    });
                 }
             }
-        })
-        .collect();
-    (proposals, counters)
+            PruneDecision::FullScan => {
+                if task.prune.is_some() {
+                    counters.full_scans += 1;
+                }
+                *slot = full_scan(i, src, &v, ctx, task.prune.as_mut());
+            }
+        }
+    }
 }
 
 /// The reference `k−1` candidate scan of one object, with second-best
-/// tracking; caches a "no move" outcome when a shard is present.
-#[allow(clippy::too_many_arguments)]
+/// tracking; caches a "no move" outcome when a shard window is present.
 fn full_scan(
     i: usize,
     src: usize,
     v: &MomentView<'_>,
-    snapshot: &[ClusterStats],
-    tol: f64,
-    epoch: u64,
-    totals: DriftTotals,
+    ctx: &PassCtx<'_>,
     shard: Option<&mut PruneShard<'_>>,
-) -> Option<(usize, usize)> {
+) -> Option<Proposal> {
+    let proposal = |dst: usize, delta: f64| Proposal {
+        dst,
+        delta,
+        src_ver: ctx.versions[src],
+        dst_ver: ctx.versions[dst],
+    };
     match shard {
-        Some(s) => match best_candidate_with_second(snapshot, src, v) {
-            Some((dst, delta, _)) if delta < -tol => Some((i, dst)),
+        Some(s) => match best_candidate_with_second(ctx.stats, src, v) {
+            Some((dst, delta, _)) if delta < -ctx.tolerance => Some(proposal(dst, delta)),
             Some((dst, delta, second)) => {
-                s.store(i, epoch, snapshot, totals, dst, delta, second);
+                s.store(i, ctx.epoch, ctx.stats, ctx.totals, dst, delta, second);
                 None
             }
             None => None,
         },
-        None => best_candidate(snapshot, src, v)
-            .filter(|&(_, delta)| delta < -tol)
-            .map(|(dst, _)| (i, dst)),
+        None => best_candidate(ctx.stats, src, v)
+            .filter(|&(_, delta)| delta < -ctx.tolerance)
+            .map(|(dst, delta)| proposal(dst, delta)),
     }
 }
 
@@ -411,27 +659,84 @@ mod tests {
     #[test]
     fn single_thread_matches_multi_thread() {
         let data = blobs(12);
-        let run = |threads| {
+        let run = |threads, backend| {
             let mut rng = StdRng::seed_from_u64(9);
             ParallelUcpc {
                 threads,
+                backend,
                 ..Default::default()
             }
             .run(&data, 3, &mut rng)
             .unwrap()
             .clustering
         };
-        assert_eq!(
-            run(1).labels(),
-            run(4).labels(),
-            "shard count must not change result"
-        );
+        let reference = run(1, ParallelBackend::Even);
+        for backend in [ParallelBackend::Even, ParallelBackend::Steal] {
+            for threads in [1, 4] {
+                assert_eq!(
+                    reference.labels(),
+                    run(threads, backend).labels(),
+                    "thread count / backend must not change the result \
+                     ({threads} threads, {})",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steal_backend_matches_even_backend_with_pruning() {
+        let data = blobs(16);
+        let run = |backend| {
+            let mut rng = StdRng::seed_from_u64(13);
+            ParallelUcpc {
+                threads: 4,
+                backend,
+                pruning: PruningConfig::Bounds,
+                ..Default::default()
+            }
+            .run(&data, 3, &mut rng)
+            .unwrap()
+        };
+        let even = run(ParallelBackend::Even);
+        let steal = run(ParallelBackend::Steal);
+        assert_eq!(even.clustering.labels(), steal.clustering.labels());
+        assert_eq!(even.iterations, steal.iterations);
+        assert_eq!(even.applied, steal.applied);
+        assert_eq!(even.rejected, steal.rejected);
+        assert_eq!(even.pruning, steal.pruning);
+        assert_eq!(even.steals, 0, "even backend never steals");
+        // The snapshot-free path re-prices only staled proposals; the
+        // reference path re-prices everything that survived.
+        assert!(steal.revalidated <= even.revalidated);
+    }
+
+    #[test]
+    fn run_on_arena_validates_inputs() {
+        let data = blobs(4);
+        let arena = MomentArena::from_objects(&data);
+        assert!(matches!(
+            ParallelUcpc::default().run_on_arena(&MomentArena::from_objects(&[]), 2, vec![]),
+            Err(ClusterError::EmptyDataset)
+        ));
+        assert!(matches!(
+            ParallelUcpc::default().run_on_arena(&arena, 0, vec![0; 12]),
+            Err(ClusterError::InvalidK { k: 0, n: 12 })
+        ));
+        assert!(matches!(
+            ParallelUcpc::default().run_on_arena(&arena, 2, vec![5; 12]),
+            Err(ClusterError::LabelOutOfRange {
+                label: 5,
+                k: 2,
+                index: 0
+            })
+        ));
     }
 
     #[test]
     fn stale_proposals_are_rejected_not_applied_blindly() {
-        // With many near-duplicate objects, snapshot proposals can go stale;
-        // the run must still terminate with a valid partition.
+        // With many near-duplicate objects, pass-start proposals can go
+        // stale; the run must still terminate with a valid partition.
         let data: Vec<UncertainObject> = (0..40)
             .map(|i| UncertainObject::new(vec![UnivariatePdf::normal((i % 4) as f64 * 0.01, 1.0)]))
             .collect();
@@ -439,5 +744,11 @@ mod tests {
         let r = ParallelUcpc::default().run(&data, 4, &mut rng).unwrap();
         assert_eq!(r.clustering.len(), 40);
         assert!(r.converged || r.iterations == 200);
+    }
+
+    #[test]
+    fn backend_knob_parses() {
+        assert_eq!(ParallelBackend::Even.name(), "even");
+        assert_eq!(ParallelBackend::Steal.name(), "steal");
     }
 }

@@ -7,12 +7,25 @@
 //! instead of an average, the usual remedy is restarting from several seeds
 //! and keeping the lowest-objective result — which is what [`BestOfRestarts`]
 //! does for any objective-reporting algorithm.
+//!
+//! Restarts are embarrassingly parallel, but their wall times are wildly
+//! uneven (a lucky initialization converges in 3 passes, an unlucky one in
+//! 30), so a static restart-per-thread split wastes the fast threads. The
+//! runner therefore drains restart indices through the same work-claiming
+//! [`WorkPool`] the propose-phase shard scheduler uses — restart-level work
+//! stealing over one shared queue. Every restart's seed is drawn from the
+//! caller's RNG *before* the pool starts and results are collected by
+//! restart index, so the outcome (winner, objectives, labels) is
+//! byte-identical to the sequential loop regardless of thread count or
+//! claim order.
 
 use crate::framework::{validate_input, ClusterError, Clustering};
 use crate::pruning::{PruneCache, PruneCounters};
+use crate::scheduler::{resolve_threads, WorkPool};
 use crate::ucpc::{Ucpc, UcpcResult};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::sync::Mutex;
 use ucpc_uncertain::{MomentArena, UncertainObject};
 
 /// Restarts UCPC from `restarts` independent initializations and keeps the
@@ -42,6 +55,11 @@ pub struct BestOfRestarts {
     pub algorithm: Ucpc,
     /// Number of independent restarts (must be at least 1).
     pub restarts: usize,
+    /// Worker threads draining the restart queue (`0` = the `UCPC_THREADS`
+    /// knob, falling back to available parallelism; see
+    /// [`crate::scheduler::resolve_threads`]). The result is identical for
+    /// every thread count.
+    pub threads: usize,
 }
 
 impl Default for BestOfRestarts {
@@ -49,6 +67,7 @@ impl Default for BestOfRestarts {
         Self {
             algorithm: Ucpc::default(),
             restarts: 10,
+            threads: 0,
         }
     }
 }
@@ -65,10 +84,15 @@ pub struct RestartResult {
     /// Candidate-pruning counters summed over all restarts (all zero when
     /// the wrapped algorithm runs unpruned).
     pub pruning: PruneCounters,
+    /// Restarts claimed by a worker that did not own them (zero on a
+    /// single-threaded run).
+    pub steals: usize,
 }
 
 impl BestOfRestarts {
-    /// Runs all restarts (seeds drawn from `rng`) and returns the best.
+    /// Runs all restarts (seeds drawn from `rng` up front, so the seed
+    /// stream — and therefore every restart's outcome — is independent of
+    /// the thread count) and returns the best.
     pub fn run(
         &self,
         data: &[UncertainObject],
@@ -79,20 +103,59 @@ impl BestOfRestarts {
         validate_input(data, k)?;
         // One arena shared by every restart: the SoA moment matrices are
         // read-only during the search, so only the initial partition differs.
-        // The prune cache is likewise allocated once; `run_on_arena_with_cache`
+        // Each worker owns one prune cache; `run_on_arena_with_cache`
         // invalidates it at the start of every restart (the per-restart
-        // best/second-best state would otherwise leak between searches).
+        // best/second-best state would otherwise leak between searches), so
+        // which worker executes a restart cannot affect its outcome.
         let arena = MomentArena::from_objects(data);
-        let mut cache = PruneCache::new(arena.len(), k);
+        let seeds: Vec<u64> = (0..self.restarts).map(|_| rng.next_u64()).collect();
+        let threads = resolve_threads(self.threads).min(self.restarts);
+
+        let mut steals = 0usize;
+        let results: Vec<Result<UcpcResult, ClusterError>> = if threads <= 1 {
+            let mut cache = PruneCache::new(arena.len(), k);
+            seeds
+                .iter()
+                .map(|&seed| self.one_restart(data, &arena, k, seed, &mut cache))
+                .collect()
+        } else {
+            // Restart-level work stealing: contiguous restart runs per
+            // worker, drained front-first and stolen back-first (the same
+            // pool discipline as the propose-phase shard scheduler).
+            let pool = WorkPool::new((0..self.restarts).collect::<Vec<usize>>(), threads);
+            let slots: Vec<Mutex<Option<Result<UcpcResult, ClusterError>>>> =
+                (0..self.restarts).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for w in 0..threads {
+                    let pool = &pool;
+                    let slots = &slots;
+                    let arena = &arena;
+                    let seeds = &seeds;
+                    scope.spawn(move || {
+                        let mut cache = PruneCache::new(arena.len(), k);
+                        while let Some(r) = pool.claim(w) {
+                            let result = self.one_restart(data, arena, k, seeds[r], &mut cache);
+                            *slots[r].lock().expect("result slot poisoned") = Some(result);
+                        }
+                    });
+                }
+            });
+            steals = pool.steals();
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("every restart index was claimed exactly once")
+                })
+                .collect()
+        };
+
         let mut best: Option<(usize, UcpcResult)> = None;
         let mut objectives = Vec::with_capacity(self.restarts);
         let mut pruning = PruneCounters::default();
-        for r in 0..self.restarts {
-            let mut run_rng = StdRng::seed_from_u64(rng.next_u64());
-            let labels = self.algorithm.init.initial_partition(data, k, &mut run_rng);
-            let result = self
-                .algorithm
-                .run_on_arena_with_cache(&arena, k, labels, &mut cache)?;
+        for (r, result) in results.into_iter().enumerate() {
+            let result = result?;
             objectives.push(result.objective);
             pruning.merge(result.pruning);
             let better = best
@@ -108,7 +171,24 @@ impl BestOfRestarts {
             objectives,
             winner,
             pruning,
+            steals,
         })
+    }
+
+    /// Executes one restart from its pre-drawn seed, reusing the worker's
+    /// prune cache.
+    fn one_restart(
+        &self,
+        data: &[UncertainObject],
+        arena: &MomentArena,
+        k: usize,
+        seed: u64,
+        cache: &mut PruneCache,
+    ) -> Result<UcpcResult, ClusterError> {
+        let mut run_rng = StdRng::seed_from_u64(seed);
+        let labels = self.algorithm.init.initial_partition(data, k, &mut run_rng);
+        self.algorithm
+            .run_on_arena_with_cache(arena, k, labels, cache)
     }
 
     /// Convenience: just the winning partition.
@@ -175,6 +255,35 @@ mod tests {
         // Same seed stream: the first restart of both runs coincides, and
         // the 10-restart minimum can only be lower or equal.
         assert!(obj(10) <= obj(1) + 1e-12);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_outcome() {
+        let data = tricky_data();
+        let run = |threads| {
+            let mut rng = StdRng::seed_from_u64(5);
+            BestOfRestarts {
+                restarts: 8,
+                threads,
+                ..Default::default()
+            }
+            .run(&data, 4, &mut rng)
+            .unwrap()
+        };
+        let seq = run(1);
+        assert_eq!(seq.steals, 0);
+        for threads in [2, 4, 8] {
+            let par = run(threads);
+            assert_eq!(seq.winner, par.winner, "{threads} threads");
+            assert_eq!(
+                seq.best.clustering.labels(),
+                par.best.clustering.labels(),
+                "{threads} threads"
+            );
+            // Bit-identical per-restart objectives: the seed stream is drawn
+            // before the pool starts and every restart is self-contained.
+            assert_eq!(seq.objectives, par.objectives, "{threads} threads");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use rand::Rng;
 use rand::RngCore;
 use ucpc_uncertain::sampling::Metropolis;
-use ucpc_uncertain::{PdfFamily, UncertainObject, UnivariatePdf};
+use ucpc_uncertain::{MomentArena, PdfFamily, UncertainObject, UnivariatePdf};
 
 /// The pdf family injected into a benchmark dataset (the paper's "U", "N",
 /// "E" table columns).
@@ -285,6 +285,45 @@ impl PdfAssignment {
             .collect()
     }
 
+    /// Case 2 written straight into a borrowed [`MomentArena`] — the
+    /// arena-native batch pipeline. Appends one row per assigned point,
+    /// bit-identical to `MomentArena::from_objects(&self.uncertain_objects())`
+    /// (same per-dimension truncation and the same moment formulas, fed
+    /// through [`MomentArena::push_row_with`]), but with **zero per-object
+    /// heap allocations**: no `UncertainObject`, no `Moments`, no pdf
+    /// vectors — each dimension's truncated pdf lives on the stack just long
+    /// enough to yield its `(mu, mu_2)` pair. Capacity for all rows is
+    /// reserved up front, so after that single reservation the fill does not
+    /// touch the allocator at all (pinned by the counting-allocator test in
+    /// `tests/alloc_free_pipeline.rs`).
+    pub fn assign_into_arena(&self, arena: &mut MomentArena) {
+        let m = self.pdfs.first().map_or(0, Vec::len);
+        arena.reserve_rows(self.len(), m);
+        for dims in &self.pdfs {
+            arena.push_row_with(dims.len(), |j| {
+                let pdf = &dims[j];
+                let region = pdf.central_region(self.coverage);
+                if region.width() > 0.0 {
+                    let t = pdf.truncate(region);
+                    (t.mean(), t.second_moment())
+                } else {
+                    // Point mass: nothing to truncate (same branch as
+                    // `UncertainObject::with_coverage`).
+                    (pdf.mean(), pdf.second_moment())
+                }
+            });
+        }
+    }
+
+    /// Convenience wrapper over [`PdfAssignment::assign_into_arena`]: the
+    /// Case-2 dataset as a freshly reserved arena.
+    pub fn uncertain_arena(&self) -> MomentArena {
+        let m = self.pdfs.first().map_or(0, Vec::len);
+        let mut arena = MomentArena::with_capacity(self.len(), m);
+        self.assign_into_arena(&mut arena);
+        arena
+    }
+
     /// Builds the paired Case-1/Case-2 datasets from **one** shared noise
     /// realization: each point is observed once through its pdf; `D'` holds
     /// the bare observations and `D''` holds uncertain objects centered per
@@ -365,6 +404,39 @@ mod tests {
                 assert!(side.lo.is_finite() && side.hi.is_finite());
                 assert!(side.width() > 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn arena_pipeline_matches_the_object_route_bit_for_bit() {
+        let (points, std) = grid_points();
+        for (s, kind) in NoiseKind::all().into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(70 + s as u64);
+            let model = UncertaintyModel::paper_default(kind);
+            let a = PdfAssignment::assign(&points, &std, &model, &mut rng);
+            let via_objects = MomentArena::from_objects(&a.uncertain_objects());
+            let direct = a.uncertain_arena();
+            assert_eq!(
+                direct, via_objects,
+                "{kind:?}: arena-native fill diverged from the object route"
+            );
+        }
+    }
+
+    #[test]
+    fn assign_into_arena_appends_to_an_existing_arena() {
+        let (points, std) = grid_points();
+        let mut rng = StdRng::seed_from_u64(72);
+        let model = UncertaintyModel::paper_default(NoiseKind::Normal);
+        let a = PdfAssignment::assign(&points, &std, &model, &mut rng);
+        let mut arena = a.uncertain_arena();
+        let first = arena.len();
+        a.assign_into_arena(&mut arena);
+        assert_eq!(arena.len(), 2 * first);
+        // Appended rows repeat the first batch exactly.
+        for i in 0..first {
+            assert_eq!(arena.mu_row(i), arena.mu_row(first + i));
+            assert_eq!(arena.var_row(i), arena.var_row(first + i));
         }
     }
 

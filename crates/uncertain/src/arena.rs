@@ -133,20 +133,47 @@ impl MomentArena {
         arena
     }
 
+    /// An empty arena with `n` rows of `m` dimensions pre-reserved — the
+    /// entry point of the arena-native batch pipeline (e.g.
+    /// `ucpc_datasets::uncertainty::PdfAssignment::assign_into_arena`),
+    /// which fills rows with zero further heap allocations.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut arena = Self::from_moments([]);
+        arena.reserve_rows(n, m);
+        arena
+    }
+
+    /// Reserves space for `additional` more rows of `dims` dimensions. Sets
+    /// the arena's dimensionality when it is still empty and unset; panics
+    /// if `dims` contradicts rows already present.
+    pub fn reserve_rows(&mut self, additional: usize, dims: usize) {
+        self.prepare_dims(dims);
+        self.mu.reserve(additional * dims);
+        self.mu2.reserve(additional * dims);
+        self.var.reserve(additional * dims);
+        self.sum_mu_sq.reserve(additional);
+        self.sum_mu2.reserve(additional);
+        self.sum_var.reserve(additional);
+        self.norm_mu.reserve(additional);
+    }
+
+    /// Number of rows the arena can hold before any of its columns
+    /// reallocates — the invariant the zero-allocation batch-pipeline test
+    /// checks around a reserved fill.
+    pub fn row_capacity(&self) -> usize {
+        let per_row = self.m.max(1);
+        (self.mu.capacity() / per_row)
+            .min(self.mu2.capacity() / per_row)
+            .min(self.var.capacity() / per_row)
+            .min(self.sum_mu_sq.capacity())
+            .min(self.sum_mu2.capacity())
+            .min(self.sum_var.capacity())
+            .min(self.norm_mu.capacity())
+    }
+
     /// Appends one object's moments as a new row.
     pub fn push(&mut self, mo: &Moments) {
-        if self.n == 0 {
-            self.m = mo.dims();
-            let hint = 64 * self.m;
-            self.mu.reserve(hint);
-            self.mu2.reserve(hint);
-            self.var.reserve(hint);
-        }
-        assert_eq!(
-            mo.dims(),
-            self.m,
-            "arena rows must share one dimensionality"
-        );
+        self.prepare_dims(mo.dims());
         self.mu.extend_from_slice(mo.mu());
         self.mu2.extend_from_slice(mo.mu2());
         self.var.extend_from_slice(mo.variance());
@@ -155,6 +182,53 @@ impl MomentArena {
         self.sum_var.push(mo.total_variance());
         self.norm_mu.push(mo.norm_mu());
         self.n += 1;
+    }
+
+    /// Appends one row *without* a [`Moments`] value: `fill(j)` yields the
+    /// dimension's `(mu_j, (mu_2)_j)` pair and the arena derives the
+    /// variance (`(mu_2 − mu²)⁺`, Eq. 5 with the same
+    /// cancellation clamp as [`Moments::from_mu_mu2`]) and the scalar
+    /// aggregates in the same per-dimension fold order — so a row built here
+    /// is bit-identical to pushing the equivalent `Moments`. This is the
+    /// batch pipeline's write path: no per-object vectors exist, and with
+    /// capacity reserved ([`Self::with_capacity`] / [`Self::reserve_rows`])
+    /// the fill performs no heap allocation at all.
+    pub fn push_row_with(&mut self, dims: usize, mut fill: impl FnMut(usize) -> (f64, f64)) {
+        self.prepare_dims(dims);
+        let mut sum_mu_sq = 0.0f64;
+        let mut sum_mu2 = 0.0f64;
+        let mut sum_var = 0.0f64;
+        for j in 0..dims {
+            let (mu, mu2) = fill(j);
+            let var = (mu2 - mu * mu).max(0.0);
+            self.mu.push(mu);
+            self.mu2.push(mu2);
+            self.var.push(var);
+            sum_mu_sq += mu * mu;
+            sum_mu2 += mu2;
+            sum_var += var;
+        }
+        self.sum_mu_sq.push(sum_mu_sq);
+        self.sum_mu2.push(sum_mu2);
+        self.sum_var.push(sum_var);
+        self.norm_mu.push(sum_mu_sq.sqrt());
+        self.n += 1;
+    }
+
+    /// Pins the arena's dimensionality on the first row (with a small
+    /// warm-up reservation when nothing was pre-reserved) and checks it on
+    /// every later one.
+    fn prepare_dims(&mut self, dims: usize) {
+        if self.n == 0 && self.m == 0 {
+            self.m = dims;
+            if self.mu.capacity() == 0 {
+                let hint = 64 * dims;
+                self.mu.reserve(hint);
+                self.mu2.reserve(hint);
+                self.var.reserve(hint);
+            }
+        }
+        assert_eq!(dims, self.m, "arena rows must share one dimensionality");
     }
 
     /// Number of objects `n`.
@@ -339,6 +413,50 @@ mod tests {
             let naive: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
             assert!((dot(&a, &b) - naive).abs() < 1e-9, "length {n}");
         }
+    }
+
+    #[test]
+    fn push_row_with_is_bit_identical_to_pushing_moments() {
+        let objs = objects();
+        let reference = MomentArena::from_objects(&objs);
+        let mut built = MomentArena::with_capacity(objs.len(), 3);
+        for o in &objs {
+            let mo = o.moments();
+            built.push_row_with(3, |j| (mo.mu()[j], mo.mu2()[j]));
+        }
+        assert_eq!(built, reference);
+    }
+
+    #[test]
+    fn reserved_fill_never_reallocates() {
+        let n = 100;
+        let mut arena = MomentArena::with_capacity(n, 4);
+        let cap = arena.row_capacity();
+        assert!(cap >= n);
+        for i in 0..n {
+            arena.push_row_with(4, |j| {
+                let mu = (i * 4 + j) as f64 * 0.25 - 3.0;
+                (mu, mu * mu + 0.5)
+            });
+        }
+        assert_eq!(arena.len(), n);
+        assert_eq!(
+            arena.row_capacity(),
+            cap,
+            "filling a reserved arena must not grow any column"
+        );
+    }
+
+    #[test]
+    fn reserve_rows_extends_an_existing_arena() {
+        let mut arena = MomentArena::from_objects(&objects());
+        arena.reserve_rows(500, 3);
+        let cap = arena.row_capacity();
+        assert!(cap >= arena.len() + 500);
+        for _ in 0..500 {
+            arena.push_row_with(3, |j| (j as f64, j as f64 * j as f64 + 1.0));
+        }
+        assert_eq!(arena.row_capacity(), cap);
     }
 
     #[test]

@@ -69,7 +69,117 @@ fn shadow_scan(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// The stolen-shard variant of the invariant: cache entries are written
+    /// through one shard geometry and read through *another*, re-split at a
+    /// random chunk size every round — exactly what the work-stealing
+    /// propose phase does when a shard (with its cache window) migrates
+    /// between workers and the adaptive chunk size changes across passes.
+    /// A skip or argmin confirmation issued through any window over any
+    /// geometry must survive the shadow full scan; a base-offset bug in the
+    /// window arithmetic would surface here as an unsound decision on a
+    /// non-first shard.
+    #[test]
+    fn stolen_shard_windows_never_skip_what_a_full_scan_rejects(
+        seed in 0u64..1_000_000,
+        n in 12usize..40,
+        m in 1usize..5,
+        k in 2usize..6,
+        steps in 8usize..30,
+    ) {
+        prop_assume!(k < n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = dataset(n, m, &mut rng);
+        let arena = MomentArena::from_objects(&data);
+        let mut labels: Vec<usize> =
+            (0..n).map(|i| if i < k { i } else { rng.gen_range(0..k) }).collect();
+        let mut stats = vec![ClusterStats::empty(m); k];
+        for (i, &l) in labels.iter().enumerate() {
+            stats[l].add_view(&arena.view(i));
+        }
+
+        let mut cache = PruneCache::new(n, k);
+        let mut totals = DriftTotals::default();
+        let mut epoch = 0u64;
+
+        for _step in 0..steps {
+            // Write a handful of entries through this round's geometry,
+            // each via the window that owns the object.
+            let write_chunk = rng.gen_range(1..=n);
+            {
+                let mut shards = cache.shards(write_chunk);
+                for _ in 0..3 {
+                    let i = rng.gen_range(0..n);
+                    let src = labels[i];
+                    if stats[src].size() <= 1 {
+                        continue;
+                    }
+                    if let Some((dst, best, second)) = shadow_scan(&stats, &arena, i, src) {
+                        shards[i / write_chunk]
+                            .store(i, epoch, &stats, totals, dst, best, second);
+                    }
+                }
+            }
+
+            // One adversarial relocation (any object, any destination).
+            let i = rng.gen_range(0..n);
+            let src = labels[i];
+            if stats[src].size() > 1 {
+                let mut dst = rng.gen_range(0..k);
+                if dst == src {
+                    dst = (dst + 1) % k;
+                }
+                let v = arena.view(i);
+                if apply_tracked_relocation(&mut stats, src, dst, &v, &mut totals) {
+                    epoch += 1;
+                }
+                cache.invalidate(i);
+                labels[i] = dst;
+            }
+
+            // Read every object's decision through a *different* random
+            // geometry — the "stolen" windows — and shadow-check it.
+            let read_chunk = rng.gen_range(1..=n);
+            let shards = cache.shards(read_chunk);
+            let scale = fp_scale(&stats);
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..n {
+                let src = labels[j];
+                if stats[src].size() <= 1 {
+                    continue;
+                }
+                let v = arena.view(j);
+                let decision = shards[j / read_chunk]
+                    .decide(j, epoch, &stats, totals, src, &v, TOLERANCE, scale);
+                let truth = shadow_scan(&stats, &arena, j, src);
+                match decision {
+                    PruneDecision::FullScan => {}
+                    PruneDecision::Skip => {
+                        let (_, best, _) = truth.expect("k >= 2 yields candidates");
+                        prop_assert!(
+                            best >= -TOLERANCE,
+                            "unsound skip through a stolen window: shadow best \
+                             {best} would relocate (object {j}, chunk {read_chunk}, \
+                             seed {seed})"
+                        );
+                    }
+                    PruneDecision::ConfirmBest(dst) => {
+                        let (true_dst, best, second) = truth.expect("candidates exist");
+                        prop_assert_eq!(
+                            dst, true_dst,
+                            "unsound argmin through a stolen window (object {}, \
+                             chunk {}, seed {})", j, read_chunk, seed
+                        );
+                        prop_assert!(
+                            best < second || second == f64::INFINITY,
+                            "confirmed argmin is not strictly winning"
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     /// Random relocation churn; after every step, every cached object's
     /// decision is validated against a shadow scan.

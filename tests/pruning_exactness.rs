@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ucpc::core::incremental::IncrementalUcpc;
-use ucpc::core::parallel::ParallelUcpc;
+use ucpc::core::parallel::{ParallelBackend, ParallelUcpc};
 use ucpc::core::restarts::BestOfRestarts;
 use ucpc::core::{PruningConfig, Ucpc};
 use ucpc::uncertain::{UncertainObject, UnivariatePdf};
@@ -134,29 +134,34 @@ fn ucpc_pruning_actually_fires_on_clustered_data() {
 fn parallel_ucpc_pruned_matches_unpruned() {
     for (gi, &(n, m, k)) in GRID.iter().enumerate() {
         for seed in 0..2u64 {
-            let seed = seed + 10 * gi as u64;
-            let data = dataset(n, m, seed, gi % 2 == 0);
-            let run = |pruning| {
-                let mut rng = StdRng::seed_from_u64(seed + 1);
-                ParallelUcpc {
-                    threads: 3,
-                    pruning,
-                    ..ParallelUcpc::default()
-                }
-                .run(&data, k, &mut rng)
-                .unwrap()
-            };
-            let off = run(PruningConfig::Off);
-            let on = run(PruningConfig::Bounds);
-            assert_eq!(
-                off.clustering.labels(),
-                on.clustering.labels(),
-                "parallel labels diverged: n={n} m={m} k={k} seed={seed}"
-            );
-            assert_eq!(off.iterations, on.iterations);
-            assert_eq!(off.applied, on.applied);
-            assert_eq!(off.rejected, on.rejected);
-            assert!(objectives_match(off.objective, on.objective));
+            for backend in [ParallelBackend::Even, ParallelBackend::Steal] {
+                let seed = seed + 10 * gi as u64;
+                let data = dataset(n, m, seed, gi % 2 == 0);
+                let run = |pruning| {
+                    let mut rng = StdRng::seed_from_u64(seed + 1);
+                    ParallelUcpc {
+                        threads: 3,
+                        backend,
+                        pruning,
+                        ..ParallelUcpc::default()
+                    }
+                    .run(&data, k, &mut rng)
+                    .unwrap()
+                };
+                let off = run(PruningConfig::Off);
+                let on = run(PruningConfig::Bounds);
+                assert_eq!(
+                    off.clustering.labels(),
+                    on.clustering.labels(),
+                    "parallel labels diverged: n={n} m={m} k={k} seed={seed} \
+                     backend={}",
+                    backend.name()
+                );
+                assert_eq!(off.iterations, on.iterations);
+                assert_eq!(off.applied, on.applied);
+                assert_eq!(off.rejected, on.rejected);
+                assert!(objectives_match(off.objective, on.objective));
+            }
         }
     }
 }
@@ -224,6 +229,7 @@ fn best_of_restarts_pruned_matches_unpruned() {
                     ..Ucpc::default()
                 },
                 restarts: 6,
+                threads: 2,
             }
             .run(&data, 4, &mut rng)
             .unwrap()
