@@ -13,9 +13,13 @@
 //! * the same full relocation phase under `ParallelUcpc` for threads ∈
 //!   {1, 2, 4, 8} × backends {even, steal} (pruning on) on the acceptance
 //!   blob shape and on a load-skewed shape, with labels asserted
-//!   byte-identical across every configuration.
+//!   byte-identical across every configuration; and
+//! * the `IncrementalUcpc` streaming churn window (interleaved
+//!   remove/insert/stabilize) over storage backends {objects, slab} ×
+//!   pruning {off, bounds}, with live labels and objective bits asserted
+//!   identical across all four configurations.
 //!
-//! All clustered workloads are built through the arena-native
+//! All clustered batch workloads are built through the arena-native
 //! `PdfAssignment::assign_into_arena` pipeline (no `UncertainObject`
 //! round-trip).
 //!
@@ -26,6 +30,7 @@ use ucpc_bench::relocation::{
     blob_workload, kernel_pass, median_ns, naive_pass, parallel_comparison, pruning_comparison,
     simd_comparison, skewed_workload, workload, Shape, GRID,
 };
+use ucpc_bench::streaming::{streaming_comparison, ChurnSpec};
 
 fn main() {
     let out_path = std::env::args()
@@ -211,6 +216,74 @@ fn main() {
         }
     }
 
+    // Streaming churn grid: IncrementalUcpc backends × pruning on a small
+    // and the acceptance shape; labels and objective bits are asserted
+    // identical across every configuration inside `streaming_comparison`.
+    let streaming_reps = 3;
+    let spec = ChurnSpec::default();
+    let mut streaming_rows = Vec::new();
+    println!(
+        "\n{:<22} {:<8} {:<7} {:>14} {:>9} {:>10}",
+        "streaming (churn)", "backend", "prune", "ns/window", "speedup", "skip rate"
+    );
+    for shape in [
+        Shape {
+            n: 2_000,
+            m: 8,
+            k: 5,
+        },
+        acceptance_shape,
+    ] {
+        let rows = streaming_comparison(shape, spec, 7, streaming_reps);
+        let base: Vec<(&str, u128)> = rows
+            .iter()
+            .filter(|r| r.backend == "objects")
+            .map(|r| (r.pruning, r.churn_ns))
+            .collect();
+        for row in rows {
+            // Speedup of this row over the reference `objects` backend at
+            // the same pruning configuration.
+            let base_ns = base
+                .iter()
+                .find(|(p, _)| *p == row.pruning)
+                .expect("objects row present")
+                .1;
+            let speedup = base_ns as f64 / row.churn_ns as f64;
+            let c = row.counters;
+            println!(
+                "n={:<6} m={:<3} k={:<4} {:<8} {:<7} {:>14} {:>8.2}x {:>9.1}%",
+                shape.n,
+                shape.m,
+                shape.k,
+                row.backend,
+                row.pruning,
+                row.churn_ns,
+                speedup,
+                100.0 * c.skip_rate()
+            );
+            streaming_rows.push(format!(
+                concat!(
+                    "    {{\"n\": {}, \"m\": {}, \"k\": {}, ",
+                    "\"backend\": \"{}\", \"pruning\": \"{}\", ",
+                    "\"churn_ns\": {}, \"speedup_vs_objects\": {:.3}, ",
+                    "\"skips\": {}, \"confirms\": {}, \"full_scans\": {}, ",
+                    "\"skip_rate\": {:.4}}}"
+                ),
+                shape.n,
+                shape.m,
+                shape.k,
+                row.backend,
+                row.pruning,
+                row.churn_ns,
+                speedup,
+                c.skips,
+                c.confirms,
+                c.full_scans,
+                c.skip_rate()
+            ));
+        }
+    }
+
     let acceptance = GRID
         .iter()
         .position(|s| s.n == 10_000 && s.m == 32 && s.k == 20)
@@ -227,9 +300,14 @@ fn main() {
             "identical to unpruned); and the full ParallelUcpc relocation phase over threads x ",
             "{{even, steal}} backends on the acceptance blob shape and a load-skewed shape ",
             "(labels asserted byte-identical across every configuration; workloads built via ",
-            "the zero-allocation assign_into_arena pipeline)\",\n",
+            "the zero-allocation assign_into_arena pipeline); and the IncrementalUcpc ",
+            "streaming churn window (interleaved remove/insert/stabilize) over storage ",
+            "backends {{objects, slab}} x pruning {{off, bounds}} — slab = free-list row ",
+            "reuse + drift-tracked edits + surgical per-cluster cache invalidation, objects = ",
+            "the seed per-object reference path with global epoch bumps (live labels and ",
+            "objective bits asserted identical across all four configurations)\",\n",
             "  \"units\": \"nanoseconds (median of {reps} kernel / {preps} end-to-end / ",
-            "{pareps} parallel repetitions, release profile)\",\n",
+            "{pareps} parallel / {sreps} streaming repetitions, release profile)\",\n",
             "  \"acceptance_shape\": {{\"n\": 10000, \"m\": 32, \"k\": 20, ",
             // The pruning gate was 1.5 when PR 2 measured it against the
             // pre-SIMD kernel; the SIMD kernel made the skipped scans ~2x
@@ -243,7 +321,12 @@ fn main() {
             // "parallel_gates_evaluable" below records whether the emitting
             // host could exercise them (a single-core container cannot show
             // any multi-thread speedup, only the determinism asserts).
-            "\"required_parallel_speedup\": 3.0, \"required_steal_advantage\": 1.15}},\n",
+            // Streaming gate: the slab backend >= 1.5x over the seed
+            // objects backend on the pruned (bounds) churn window at the
+            // acceptance shape — the configuration where contiguity and
+            // surgical invalidation both engage.
+            "\"required_parallel_speedup\": 3.0, \"required_steal_advantage\": 1.15, ",
+            "\"required_streaming_speedup\": 1.5}},\n",
             "  \"acceptance_row_index\": {acceptance},\n",
             "  \"simd_backend\": \"{backend}\",\n",
             "  \"host_parallelism\": {host},\n",
@@ -251,12 +334,14 @@ fn main() {
             "  \"grid\": [\n{rows}\n  ],\n",
             "  \"simd_grid\": [\n{srows}\n  ],\n",
             "  \"pruning_grid\": [\n{prows}\n  ],\n",
-            "  \"parallel_grid\": [\n{parows}\n  ]\n",
+            "  \"parallel_grid\": [\n{parows}\n  ],\n",
+            "  \"streaming_grid\": [\n{strows}\n  ]\n",
             "}}\n",
         ),
         reps = reps,
         preps = pruning_reps,
         pareps = parallel_reps,
+        sreps = streaming_reps,
         acceptance = acceptance,
         backend = simd_backend,
         host = host_parallelism,
@@ -265,6 +350,7 @@ fn main() {
         srows = simd_rows.join(",\n"),
         prows = pruning_rows.join(",\n"),
         parows = parallel_rows.join(",\n"),
+        strows = streaming_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write benchmark baseline");
     println!("wrote {out_path}");

@@ -33,12 +33,15 @@
 //!   full relocation phase under both;
 //!
 //! plus [`relocation::pruning_comparison`], the end-to-end relocation
-//! phase with drift-bound candidate pruning off vs on, and
+//! phase with drift-bound candidate pruning off vs on,
 //! [`relocation::parallel_comparison`], the full `ParallelUcpc` phase over
 //! a threads × {even, steal} scheduler grid on clustered and load-skewed
 //! workloads (both built through the zero-allocation
-//! `PdfAssignment::assign_into_arena` pipeline). Every comparison doubles
-//! as an exactness check: any label divergence panics the bench.
+//! `PdfAssignment::assign_into_arena` pipeline), and
+//! [`streaming::streaming_comparison`], the `IncrementalUcpc` churn loop
+//! over storage backends × pruning (slab free-list reuse + surgical
+//! invalidation vs the per-object reference path). Every comparison
+//! doubles as an exactness check: any label divergence panics the bench.
 
 #![warn(missing_docs)]
 
@@ -46,3 +49,4 @@ pub mod args;
 pub mod harness;
 pub mod relocation;
 pub mod report;
+pub mod streaming;

@@ -13,14 +13,197 @@
 //! positions go stale and get refreshed continuously, and re-running batch
 //! UCPC from scratch on every update would waste the O(m) incrementality the
 //! closed form provides.
+//!
+//! # Storage backends
+//!
+//! Two moment stores implement the same driver, selected by
+//! [`StreamBackend`] (env knob `UCPC_STREAMING`, mirroring
+//! `UCPC_PRUNING`/`UCPC_SIMD`/`UCPC_PARALLEL`):
+//!
+//! * [`StreamBackend::Slab`] (default) — moments live in a
+//!   [`ucpc_uncertain::SlabArena`]: flat SoA rows recycled through a
+//!   free-list, so the stabilization scan streams contiguous memory exactly
+//!   like the batch path, a steady-state insert-after-remove performs zero
+//!   allocator calls (`tests/streaming_alloc_free.rs`), and edits run
+//!   through the *drift-tracked* statistic updates so outstanding pruning
+//!   bounds survive them (surgical invalidation — see below).
+//! * [`StreamBackend::Objects`] — the pre-slab reference layout: one
+//!   heap-allocated [`Moments`] per object in `Vec<Option<Moments>>`, with
+//!   untracked edits and a global cache-epoch bump per edit. Kept because
+//!   the exactness suite pins the slab path byte-identical to it.
+//!
+//! # Why the backends are bit-identical
+//!
+//! A slab row is written with the same bits a standalone [`Moments`] holds
+//! (verbatim row copy, identical scalar fold — see
+//! [`ucpc_uncertain::slab`]), so every kernel evaluation sees identical
+//! inputs. Edits mutate [`ClusterStats`] through `add_view_tracked` /
+//! `remove_view_tracked`, whose statistic updates are bit-identical to the
+//! untracked `add_view`/`remove_view` the reference backend uses (the drift
+//! accumulators are bookkeeping outside the statistics proper). And the
+//! pruning shortcuts are exact by construction, so how aggressively a
+//! backend invalidates its cache changes which *scans* run, never which
+//! *relocations* apply. `tests/incremental_consistency.rs` pins labels,
+//! statistics and objectives bitwise across backends × pruning × SIMD.
+//!
+//! # Surgical invalidation
+//!
+//! The reference backend kills the whole prune cache on every edit (global
+//! epoch bump): an untracked edit changes a cluster's statistics without
+//! moving its drift accumulators, so no cached bound may survive. The slab
+//! backend instead performs edits through the tracked updates — an edit is
+//! then just one more transition the drift bounds already cover, and cached
+//! bounds *widen* instead of dying. Only a small-size transition (the
+//! touched cluster passing through size `< 2`, where the remove-direction
+//! coefficients are undefined) taints history, and it taints exactly that
+//! cluster's remove direction — so only entries whose `src` is the touched
+//! cluster are invalidated, via the per-cluster version counters of
+//! [`crate::pruning`] (module docs there derive the soundness). On churny
+//! streams this is the difference between every stabilization pass
+//! re-scanning all `n` objects and the pass skipping everything the edits
+//! provably could not have changed.
+//!
+//! # Memory bound
+//!
+//! [`ObjectId`]s are dense insertion-order slots and are **never reused**
+//! (a departed handle stays distinguishable from every later arrival), so
+//! the handle-indexed side grows with the *total* number of insertions,
+//! not the live count: the label map, the slab's handle → row map, and —
+//! with pruning on — the prune cache's per-handle entry and drift-snapshot
+//! rows (`O(k)` floats each). The moment storage itself stays at the
+//! high-water mark of concurrent liveness (rows are recycled), and
+//! stabilization passes over dead handles cost one branch each. For
+//! unbounded-lifetime streams with heavy churn, periodically migrate the
+//! live window into a fresh driver (an O(live·m) rebuild — the ROADMAP
+//! tracks a generation-stamped handle scheme that would remove the need).
 
 use crate::framework::ClusterError;
 use crate::objective::{total_objective, ClusterStats};
 use crate::pruning::{
-    apply_tracked_relocation, best_candidate, best_candidate_with_second, fp_scale, DriftTotals,
-    PruneCache, PruneCounters, PruneDecision, PruningConfig,
+    apply_tracked_insert, apply_tracked_relocation, apply_tracked_remove, best_candidate,
+    best_candidate_with_second, best_insertion, fp_scale, DriftTotals, PruneCache, PruneCounters,
+    PruneDecision, PruningConfig,
 };
-use ucpc_uncertain::{Moments, UncertainObject};
+use ucpc_uncertain::arena::MomentView;
+use ucpc_uncertain::{Moments, SlabArena, UncertainObject};
+
+/// Moment-storage backend of [`IncrementalUcpc`].
+///
+/// The default honours the `UCPC_STREAMING` environment variable (`slab` or
+/// `objects`, unset ⇒ `Slab`). Both backends produce byte-identical
+/// partitions; the knob trades the slab's contiguity, allocation-free
+/// steady state and surgical cache invalidation against the reference
+/// path's simplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamBackend {
+    /// One heap-allocated [`Moments`] per object (`Vec<Option<Moments>>`),
+    /// untracked edits, global epoch bump per edit — the seed reference
+    /// path.
+    Objects,
+    /// Flat [`SlabArena`] rows with free-list reuse, drift-tracked edits,
+    /// per-cluster surgical invalidation.
+    Slab,
+}
+
+impl StreamBackend {
+    /// Reads the `UCPC_STREAMING` environment knob (`"slab"` ⇒
+    /// [`Self::Slab`], `"objects"` ⇒ [`Self::Objects`], anything else ⇒
+    /// `None`).
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("UCPC_STREAMING")
+            .ok()?
+            .to_lowercase()
+            .as_str()
+        {
+            "slab" => Some(Self::Slab),
+            "objects" => Some(Self::Objects),
+            _ => None,
+        }
+    }
+
+    /// The knob spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Objects => "objects",
+            Self::Slab => "slab",
+        }
+    }
+}
+
+impl Default for StreamBackend {
+    fn default() -> Self {
+        Self::from_env().unwrap_or(Self::Slab)
+    }
+}
+
+/// The per-backend moment store. Handles (dense insertion-order ids) are
+/// never reused on either backend; the slab recycles *rows* underneath
+/// while `rows[id]` keeps each live handle pinned to its current row.
+// One store exists per driver (never a collection of them), so the size
+// spread between an empty Vec and the slab's column set is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum MomentStore {
+    Objects(Vec<Option<Moments>>),
+    Slab {
+        slab: SlabArena,
+        /// Handle → slab row; meaningful only while the handle is live
+        /// (`labels[id].is_some()` in the driver).
+        rows: Vec<usize>,
+    },
+}
+
+impl MomentStore {
+    fn new(backend: StreamBackend) -> Self {
+        match backend {
+            StreamBackend::Objects => Self::Objects(Vec::new()),
+            StreamBackend::Slab => Self::Slab {
+                slab: SlabArena::new(),
+                rows: Vec::new(),
+            },
+        }
+    }
+
+    fn backend(&self) -> StreamBackend {
+        match self {
+            Self::Objects(_) => StreamBackend::Objects,
+            Self::Slab { .. } => StreamBackend::Slab,
+        }
+    }
+
+    /// Stores the moments of the next handle (the caller assigns ids
+    /// densely in insertion order).
+    fn push(&mut self, mo: &Moments) {
+        match self {
+            Self::Objects(objects) => objects.push(Some(mo.clone())),
+            Self::Slab { slab, rows } => {
+                let row = slab.insert(mo);
+                rows.push(row);
+            }
+        }
+    }
+
+    /// Kernel view of a live handle's moments.
+    fn view(&self, id: usize) -> MomentView<'_> {
+        match self {
+            Self::Objects(objects) => objects[id].as_ref().expect("live handle").view(),
+            Self::Slab { slab, rows } => slab.view(rows[id]),
+        }
+    }
+
+    fn reserve_ids(&mut self, additional: usize, dims: usize) {
+        match self {
+            Self::Objects(objects) => objects.reserve(additional),
+            Self::Slab { slab, rows } => {
+                rows.reserve(additional);
+                // Appended rows only; recycled rows need no capacity, so a
+                // reservation sized for the worst case (no removals) covers
+                // every interleaving.
+                slab.reserve_rows(additional, dims);
+            }
+        }
+    }
+}
 
 /// A live UCPC partition supporting O(k·m) insertions, O(m) removals and
 /// on-demand relocation passes.
@@ -46,17 +229,21 @@ pub struct IncrementalUcpc {
     m: usize,
     k: usize,
     stats: Vec<ClusterStats>,
-    /// Moments of every live object (index-stable; removed slots are None).
-    objects: Vec<Option<Moments>>,
+    /// Moments of every live object, behind the configured backend.
+    store: MomentStore,
     labels: Vec<Option<usize>>,
     live: usize,
     /// Candidate pruning for [`Self::stabilize`] passes.
     pruning: PruningConfig,
-    /// Prune-cache epoch. Every insert/remove bumps it, invalidating all
-    /// cached scan outcomes: an edit changes a cluster's statistics without
-    /// going through the drift-tracked relocation path, so no cached bound
-    /// may survive it (the cache/stat-consistency contract).
+    /// Prune-cache epoch — the coarse kill-switch. [`Self::set_pruning`]
+    /// bumps it, and the [`StreamBackend::Objects`] reference backend bumps
+    /// it on every edit (untracked edits invalidate everything). The slab
+    /// backend never needs to: its edits are drift-tracked and small-size
+    /// transitions go through the per-cluster `versions` below.
     epoch: u64,
+    /// Per-cluster remove-direction version counters — the surgical
+    /// invalidation watermarks of [`crate::pruning`].
+    versions: Vec<u64>,
     totals: DriftTotals,
     cache: PruneCache,
     counters: PruneCounters,
@@ -75,8 +262,13 @@ impl ObjectId {
 
 impl IncrementalUcpc {
     /// Creates an empty incremental clustering over `m` dimensions with `k`
-    /// clusters.
+    /// clusters, on the env-default storage backend.
     pub fn new(m: usize, k: usize) -> Result<Self, ClusterError> {
+        Self::with_backend(m, k, StreamBackend::default())
+    }
+
+    /// [`Self::new`] with an explicit storage backend.
+    pub fn with_backend(m: usize, k: usize, backend: StreamBackend) -> Result<Self, ClusterError> {
         if k == 0 {
             return Err(ClusterError::InvalidK { k, n: 0 });
         }
@@ -84,15 +276,21 @@ impl IncrementalUcpc {
             m,
             k,
             stats: vec![ClusterStats::empty(m); k],
-            objects: Vec::new(),
+            store: MomentStore::new(backend),
             labels: Vec::new(),
             live: 0,
             pruning: PruningConfig::default(),
             epoch: 0,
+            versions: vec![0; k],
             totals: DriftTotals::default(),
             cache: PruneCache::new(0, k),
             counters: PruneCounters::default(),
         })
+    }
+
+    /// The active storage backend.
+    pub fn backend(&self) -> StreamBackend {
+        self.store.backend()
     }
 
     /// Enables or disables candidate pruning for subsequent
@@ -100,6 +298,15 @@ impl IncrementalUcpc {
     pub fn set_pruning(&mut self, pruning: PruningConfig) {
         self.pruning = pruning;
         self.epoch += 1;
+    }
+
+    /// Reserves capacity for `additional` further insertions (handle maps
+    /// and, on the slab backend, moment rows), so a churn loop staying
+    /// within the reservation triggers no reallocation — the contract the
+    /// steady-state zero-allocation test pins.
+    pub fn reserve_ids(&mut self, additional: usize) {
+        self.labels.reserve(additional);
+        self.store.reserve_ids(additional, self.m);
     }
 
     /// The per-cluster sufficient statistics of the live partition (the
@@ -145,34 +352,43 @@ impl IncrementalUcpc {
     }
 
     /// Inserts an object into the cluster that minimizes the objective
-    /// increase (O(k·m) by Corollary 1) and returns its handle.
+    /// increase (O(k·m) by Corollary 1; the placement scan is the
+    /// dot3-batched [`best_insertion`] kernel) and returns its handle.
     pub fn insert(&mut self, object: &UncertainObject) -> Result<ObjectId, ClusterError> {
         if object.dims() != self.m {
             return Err(ClusterError::DimensionMismatch {
                 expected: self.m,
                 found: object.dims(),
-                index: self.objects.len(),
+                index: self.labels.len(),
             });
         }
-        let moments = object.moments().clone();
-        let view = moments.view();
-        let mut best = 0usize;
-        let mut best_delta = f64::INFINITY;
-        for (c, stats) in self.stats.iter().enumerate() {
-            let delta = stats.delta_j_add(&view);
-            if delta < best_delta {
-                best_delta = delta;
-                best = c;
+        let mo = object.moments();
+        let v = mo.view();
+        let (best, _) = best_insertion(&self.stats, &v).expect("k >= 1 clusters");
+        match self.store {
+            MomentStore::Objects(_) => {
+                self.stats[best].add_view(&v);
+                // The insertion mutated a cluster outside the drift-tracked
+                // path: invalidate every cached scan outcome.
+                self.epoch += 1;
+            }
+            MomentStore::Slab { .. } => {
+                // Tracked edit: outstanding bounds widen by the accumulated
+                // drift instead of dying; only a small-size transition
+                // stales (surgically) the entries rooted in this cluster.
+                apply_tracked_insert(
+                    &mut self.stats,
+                    best,
+                    &v,
+                    &mut self.totals,
+                    &mut self.versions,
+                );
             }
         }
-        self.stats[best].add_view(&view);
-        self.objects.push(Some(moments));
+        self.store.push(mo);
         self.labels.push(Some(best));
         self.live += 1;
-        // The insertion mutated a cluster outside the drift-tracked
-        // relocation path: invalidate every cached scan outcome.
-        self.epoch += 1;
-        Ok(ObjectId(self.objects.len() - 1))
+        Ok(ObjectId(self.labels.len() - 1))
     }
 
     /// Removes a live object in O(m). Returns `false` if the handle was
@@ -184,14 +400,33 @@ impl IncrementalUcpc {
         let Some(cluster) = slot.take() else {
             return false;
         };
-        let moments = self.objects[id.0].take().expect("label implies object");
-        self.stats[cluster].remove(&moments);
+        match &mut self.store {
+            MomentStore::Objects(objects) => {
+                let mo = objects[id.0].take().expect("label implies object");
+                self.stats[cluster].remove(&mo);
+                // Removal, like insertion, bypasses drift tracking on this
+                // backend: without this epoch bump a stale cached bound
+                // could silently skip a scan whose outcome the departed
+                // member changed (the cache/stat-consistency regression in
+                // `tests/incremental_consistency.rs`).
+                self.epoch += 1;
+            }
+            MomentStore::Slab { slab, rows } => {
+                let row = rows[id.0];
+                {
+                    let v = slab.view(row);
+                    apply_tracked_remove(
+                        &mut self.stats,
+                        cluster,
+                        &v,
+                        &mut self.totals,
+                        &mut self.versions,
+                    );
+                }
+                slab.remove(row);
+            }
+        }
         self.live -= 1;
-        // Removal, like insertion, bypasses drift tracking: without this
-        // epoch bump a stale cached bound could silently skip a scan whose
-        // outcome the departed member changed (the cache/stat-consistency
-        // regression in `tests/incremental_consistency.rs`).
-        self.epoch += 1;
         true
     }
 
@@ -204,18 +439,21 @@ impl IncrementalUcpc {
         let mut relocations = 0usize;
         let pruned = self.pruning.is_enabled();
         if pruned {
-            self.cache.grow(self.objects.len());
+            self.cache.grow(self.labels.len());
         }
         for _ in 0..passes {
             let mut moved = false;
             let scale = if pruned { fp_scale(&self.stats) } else { 0.0 };
-            for i in 0..self.objects.len() {
+            for i in 0..self.labels.len() {
                 let Some(src) = self.labels[i] else { continue };
-                let moments = self.objects[i].as_ref().expect("live object");
                 if self.stats[src].size() == 1 {
                     continue;
                 }
-                let view = moments.view();
+                // Borrowed straight out of the store — applied relocations
+                // below mutate only `stats`/`totals`/`versions`/`cache`,
+                // all disjoint from the moment storage, so no per-move
+                // clone of the moments is ever needed.
+                let v = self.store.view(i);
 
                 let decision = if pruned {
                     self.cache.view().decide(
@@ -223,8 +461,9 @@ impl IncrementalUcpc {
                         self.epoch,
                         &self.stats,
                         self.totals,
+                        &self.versions,
                         src,
-                        &view,
+                        &v,
                         TOLERANCE,
                         scale,
                     )
@@ -238,20 +477,17 @@ impl IncrementalUcpc {
                     }
                     PruneDecision::ConfirmBest(dst) => {
                         self.counters.confirms += 1;
-                        let delta = self.stats[src].delta_j_remove(&view)
-                            + self.stats[dst].delta_j_add(&view);
+                        let delta =
+                            self.stats[src].delta_j_remove(&v) + self.stats[dst].delta_j_add(&v);
                         if delta < -TOLERANCE {
-                            let moments = moments.clone();
-                            let view = moments.view();
-                            if apply_tracked_relocation(
+                            apply_tracked_relocation(
                                 &mut self.stats,
                                 src,
                                 dst,
-                                &view,
+                                &v,
                                 &mut self.totals,
-                            ) {
-                                self.epoch += 1;
-                            }
+                                &mut self.versions,
+                            );
                             self.cache.invalidate(i);
                             self.labels[i] = Some(dst);
                             relocations += 1;
@@ -262,20 +498,17 @@ impl IncrementalUcpc {
                         if pruned {
                             self.counters.full_scans += 1;
                             if let Some((dst, delta, second)) =
-                                best_candidate_with_second(&self.stats, src, &view)
+                                best_candidate_with_second(&self.stats, src, &v)
                             {
                                 if delta < -TOLERANCE {
-                                    let moments = moments.clone();
-                                    let view = moments.view();
-                                    if apply_tracked_relocation(
+                                    apply_tracked_relocation(
                                         &mut self.stats,
                                         src,
                                         dst,
-                                        &view,
+                                        &v,
                                         &mut self.totals,
-                                    ) {
-                                        self.epoch += 1;
-                                    }
+                                        &mut self.versions,
+                                    );
                                     self.cache.invalidate(i);
                                     self.labels[i] = Some(dst);
                                     relocations += 1;
@@ -286,18 +519,18 @@ impl IncrementalUcpc {
                                         self.epoch,
                                         &self.stats,
                                         self.totals,
+                                        &self.versions,
+                                        src,
                                         dst,
                                         delta,
                                         second,
                                     );
                                 }
                             }
-                        } else if let Some((dst, delta)) = best_candidate(&self.stats, src, &view) {
+                        } else if let Some((dst, delta)) = best_candidate(&self.stats, src, &v) {
                             if delta < -TOLERANCE {
-                                let moments = moments.clone();
-                                let view = moments.view();
-                                self.stats[src].remove_view(&view);
-                                self.stats[dst].add_view(&view);
+                                self.stats[src].remove_view(&v);
+                                self.stats[dst].add_view(&v);
                                 self.labels[i] = Some(dst);
                                 relocations += 1;
                                 moved = true;
@@ -345,35 +578,39 @@ mod tests {
 
     #[test]
     fn stream_with_stabilization_matches_structure() {
-        let mut inc = IncrementalUcpc::new(1, 2).unwrap();
-        let mut ids = Vec::new();
-        for c in [0.0, 0.2, 0.4, 9.0, 9.2, 9.4, 0.1, 9.1] {
-            ids.push(inc.insert(&obj(c)).unwrap());
+        for backend in [StreamBackend::Objects, StreamBackend::Slab] {
+            let mut inc = IncrementalUcpc::with_backend(1, 2, backend).unwrap();
+            let mut ids = Vec::new();
+            for c in [0.0, 0.2, 0.4, 9.0, 9.2, 9.4, 0.1, 9.1] {
+                ids.push(inc.insert(&obj(c)).unwrap());
+            }
+            inc.stabilize(10);
+            let l = |i: usize| inc.label_of(ids[i]).unwrap();
+            assert_eq!(l(0), l(1));
+            assert_eq!(l(0), l(2));
+            assert_eq!(l(0), l(6));
+            assert_eq!(l(3), l(4));
+            assert_eq!(l(3), l(7));
+            assert_ne!(l(0), l(3));
         }
-        inc.stabilize(10);
-        let l = |i: usize| inc.label_of(ids[i]).unwrap();
-        assert_eq!(l(0), l(1));
-        assert_eq!(l(0), l(2));
-        assert_eq!(l(0), l(6));
-        assert_eq!(l(3), l(4));
-        assert_eq!(l(3), l(7));
-        assert_ne!(l(0), l(3));
     }
 
     #[test]
     fn removal_is_exact() {
-        let mut inc = IncrementalUcpc::new(1, 2).unwrap();
-        let keep: Vec<ObjectId> = [0.0, 0.5, 8.0]
-            .iter()
-            .map(|&c| inc.insert(&obj(c)).unwrap())
-            .collect();
-        let gone = inc.insert(&obj(100.0)).unwrap();
-        let with = inc.objective();
-        assert!(inc.remove(gone));
-        assert!(!inc.remove(gone), "double remove must be a no-op");
-        assert_eq!(inc.len(), 3);
-        assert!(inc.objective() <= with);
-        assert!(keep.iter().all(|&id| inc.label_of(id).is_some()));
+        for backend in [StreamBackend::Objects, StreamBackend::Slab] {
+            let mut inc = IncrementalUcpc::with_backend(1, 2, backend).unwrap();
+            let keep: Vec<ObjectId> = [0.0, 0.5, 8.0]
+                .iter()
+                .map(|&c| inc.insert(&obj(c)).unwrap())
+                .collect();
+            let gone = inc.insert(&obj(100.0)).unwrap();
+            let with = inc.objective();
+            assert!(inc.remove(gone));
+            assert!(!inc.remove(gone), "double remove must be a no-op");
+            assert_eq!(inc.len(), 3);
+            assert!(inc.objective() <= with);
+            assert!(keep.iter().all(|&id| inc.label_of(id).is_some()));
+        }
     }
 
     #[test]
@@ -417,5 +654,34 @@ mod tests {
             inc.insert(&obj(0.0)),
             Err(ClusterError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn slab_rows_are_recycled_across_churn() {
+        let mut inc = IncrementalUcpc::with_backend(1, 2, StreamBackend::Slab).unwrap();
+        let mut ids: Vec<ObjectId> = (0..6)
+            .map(|i| inc.insert(&obj(i as f64)).unwrap())
+            .collect();
+        for step in 0..40 {
+            let victim = ids.remove(0);
+            assert!(inc.remove(victim));
+            ids.push(inc.insert(&obj((step % 7) as f64)).unwrap());
+        }
+        assert_eq!(inc.len(), 6);
+        // The slab's row high-water mark stays at the peak liveness even
+        // though 40 handles were churned through.
+        let MomentStore::Slab { slab, .. } = &inc.store else {
+            panic!("slab backend expected");
+        };
+        assert_eq!(slab.rows(), 6, "rows must be recycled, not appended");
+        assert!(ids.iter().all(|&id| inc.label_of(id).is_some()));
+    }
+
+    #[test]
+    fn backend_knob_parses() {
+        assert_eq!(StreamBackend::Objects.name(), "objects");
+        assert_eq!(StreamBackend::Slab.name(), "slab");
+        let inc = IncrementalUcpc::with_backend(1, 2, StreamBackend::Objects).unwrap();
+        assert_eq!(inc.backend(), StreamBackend::Objects);
     }
 }

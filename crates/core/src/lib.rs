@@ -35,13 +35,21 @@
 //!   labels (env knob `UCPC_PRUNING`, [`pruning::PruningConfig`]).
 //!
 //! Everything above those layers is orchestration: initialization
-//! ([`init::Initializer`]), restarts, the incremental driver's epoch
-//! bookkeeping, and the shared [`framework`] types. The parallel drivers
-//! ([`parallel::ParallelUcpc`]'s propose phase, [`restarts::BestOfRestarts`]'s
-//! restart queue) share the work-stealing [`scheduler::WorkPool`] and the
-//! `UCPC_THREADS` resolution helper ([`scheduler::resolve_threads`]);
-//! [`parallel::SharedStats`] adds per-cluster version counters so the
-//! propose phase runs snapshot-free (env knob `UCPC_PARALLEL`).
+//! ([`init::Initializer`]), restarts, the incremental driver's
+//! invalidation bookkeeping, and the shared [`framework`] types. The
+//! parallel drivers ([`parallel::ParallelUcpc`]'s propose phase,
+//! [`restarts::BestOfRestarts`]'s restart queue) share the work-stealing
+//! [`scheduler::WorkPool`] and the `UCPC_THREADS` resolution helper
+//! ([`scheduler::resolve_threads`]); [`parallel::SharedStats`] adds
+//! per-cluster version counters so the propose phase runs snapshot-free
+//! (env knob `UCPC_PARALLEL`). The streaming driver
+//! ([`incremental::IncrementalUcpc`]) stores its live window in a
+//! [`ucpc_uncertain::SlabArena`] (free-list row reuse, env knob
+//! `UCPC_STREAMING`), routes placements through the dot3-batched
+//! [`pruning::best_insertion`] scan, and performs edits through the
+//! drift-tracked updates so pruning bounds survive them — only a cluster
+//! passing through size < 2 surgically invalidates the entries rooted in
+//! it, via the per-cluster version counters of [`pruning`].
 //!
 //! ```
 //! use rand::rngs::StdRng;

@@ -271,8 +271,10 @@ impl ClusterStats {
     /// bounds of [`crate::pruning`]. Returns `true` when the transition is
     /// "small" (a cluster size below 2 before or after), in which case the
     /// remove-direction coefficients could not be soundly accumulated and
-    /// the caller must invalidate every outstanding prune cache (bump its
-    /// epoch).
+    /// the caller must invalidate the cache entries rooted in this cluster
+    /// (bump its per-cluster version — the add-direction coefficients are
+    /// accumulated unconditionally and stay sound, which is what makes the
+    /// surgical invalidation of [`crate::pruning`] exact).
     pub fn add_view_tracked(&mut self, v: &MomentView<'_>) -> bool {
         let n = self.size;
         let a_pre = self.psi_tot - self.s_sq_tot;
@@ -303,8 +305,8 @@ impl ClusterStats {
     }
 
     /// Removes one member like [`Self::remove_view`] while accumulating the
-    /// drift bounds of [`crate::pruning`]; same `true` ⇒ epoch-bump contract
-    /// as [`Self::add_view_tracked`].
+    /// drift bounds of [`crate::pruning`]; same `true` ⇒ version-bump
+    /// contract as [`Self::add_view_tracked`].
     pub fn remove_view_tracked(&mut self, v: &MomentView<'_>) -> bool {
         let n = self.size;
         let a_pre = self.psi_tot - self.s_sq_tot;

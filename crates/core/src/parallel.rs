@@ -144,28 +144,31 @@ impl SharedStats {
     }
 
     /// Applies one relocation (remove `v` from `src`, add it to `dst`) and
-    /// bumps both clusters' versions. With `totals`, the drift-tracked
-    /// updates of [`crate::pruning`] run and the return value reports a
-    /// small-size transition (⇒ the caller bumps its prune-cache epoch);
-    /// without, the plain updates run and `false` is returned.
+    /// bumps both clusters' re-pricing versions. With `pruning`, the
+    /// drift-tracked updates of [`crate::pruning`] run, folding into the
+    /// supplied totals and bumping the supplied per-cluster
+    /// *invalidation* versions on small-size transitions (surgical
+    /// invalidation — distinct from the re-pricing versions this struct
+    /// owns, which move on *every* relocation); without, the plain updates
+    /// run.
     pub fn apply_relocation(
         &mut self,
         src: usize,
         dst: usize,
         v: &MomentView<'_>,
-        totals: Option<&mut DriftTotals>,
-    ) -> bool {
-        let small = match totals {
-            Some(t) => apply_tracked_relocation(&mut self.stats, src, dst, v, t),
+        pruning: Option<(&mut DriftTotals, &mut [u64])>,
+    ) {
+        match pruning {
+            Some((totals, inval_versions)) => {
+                apply_tracked_relocation(&mut self.stats, src, dst, v, totals, inval_versions);
+            }
             None => {
                 self.stats[src].remove_view(v);
                 self.stats[dst].add_view(v);
-                false
             }
-        };
+        }
         self.versions[src] = self.versions[src].wrapping_add(1);
         self.versions[dst] = self.versions[dst].wrapping_add(1);
-        small
     }
 }
 
@@ -280,7 +283,9 @@ struct PassCtx<'a> {
     arena: &'a MomentArena,
     labels: &'a [usize],
     tolerance: f64,
-    epoch: u64,
+    /// Per-cluster remove-direction invalidation watermarks (see
+    /// [`crate::pruning`]); unrelated to the re-pricing `versions` above.
+    prune_versions: &'a [u64],
     totals: DriftTotals,
     scale: f64,
 }
@@ -333,7 +338,7 @@ impl ParallelUcpc {
         let mut steals = 0usize;
         let mut revalidated = 0usize;
         let mut counters = PruneCounters::default();
-        let mut epoch = 0u64;
+        let mut prune_versions = vec![0u64; k];
         let mut totals = DriftTotals::default();
         let mut cache = self.pruning.is_enabled().then(|| PruneCache::new(n, k));
         // One proposal slot per object, reused (re-blanked) across passes so
@@ -389,7 +394,7 @@ impl ParallelUcpc {
                     arena,
                     labels: &labels,
                     tolerance: self.tolerance,
-                    epoch,
+                    prune_versions: &prune_versions,
                     totals,
                     scale,
                 };
@@ -446,10 +451,13 @@ impl ParallelUcpc {
                     shared.stats()[src].delta_j_remove(&v) + shared.stats()[p.dst].delta_j_add(&v)
                 };
                 if delta < -self.tolerance {
-                    let tracked = cache.is_some();
-                    if shared.apply_relocation(src, p.dst, &v, tracked.then_some(&mut totals)) {
-                        epoch += 1;
-                    }
+                    let pruned = cache.is_some();
+                    shared.apply_relocation(
+                        src,
+                        p.dst,
+                        &v,
+                        pruned.then(|| (&mut totals, &mut prune_versions[..])),
+                    );
                     if let Some(c) = cache.as_mut() {
                         c.invalidate(i);
                     }
@@ -498,9 +506,10 @@ fn propose_shard(task: &mut ShardTask<'_>, ctx: &PassCtx<'_>, counters: &mut Pru
         let decision = match &task.prune {
             Some(s) => s.decide(
                 i,
-                ctx.epoch,
+                0,
                 ctx.stats,
                 ctx.totals,
+                ctx.prune_versions,
                 src,
                 &v,
                 ctx.tolerance,
@@ -551,7 +560,17 @@ fn full_scan(
         Some(s) => match best_candidate_with_second(ctx.stats, src, v) {
             Some((dst, delta, _)) if delta < -ctx.tolerance => Some(proposal(dst, delta)),
             Some((dst, delta, second)) => {
-                s.store(i, ctx.epoch, ctx.stats, ctx.totals, dst, delta, second);
+                s.store(
+                    i,
+                    0,
+                    ctx.stats,
+                    ctx.totals,
+                    ctx.prune_versions,
+                    src,
+                    dst,
+                    delta,
+                    second,
+                );
                 None
             }
             None => None,

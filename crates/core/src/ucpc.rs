@@ -181,7 +181,11 @@ impl Ucpc {
         let mut converged = false;
         let mut iterations = 0usize;
         let mut counters = PruneCounters::default();
-        let mut epoch = 0u64;
+        // Per-cluster remove-direction version counters: a small-size
+        // transition stales only the entries whose `src` it touched (the
+        // surgical invalidation of `crate::pruning`); the cache epoch is
+        // never bumped inside one search.
+        let mut versions = vec![0u64; k];
         let mut totals = DriftTotals::default();
         let mut shard = cache.map(|c| c.view());
 
@@ -206,7 +210,17 @@ impl Ucpc {
                 let v = arena.view(i);
 
                 let decision = match &shard {
-                    Some(s) => s.decide(i, epoch, &stats, totals, src, &v, self.tolerance, scale),
+                    Some(s) => s.decide(
+                        i,
+                        0,
+                        &stats,
+                        totals,
+                        &versions,
+                        src,
+                        &v,
+                        self.tolerance,
+                        scale,
+                    ),
                     None => PruneDecision::FullScan,
                 };
 
@@ -221,9 +235,14 @@ impl Ucpc {
                         counters.confirms += 1;
                         let delta = stats[src].delta_j_remove(&v) + stats[dst].delta_j_add(&v);
                         if delta < -self.tolerance {
-                            if apply_tracked_relocation(&mut stats, src, dst, &v, &mut totals) {
-                                epoch += 1;
-                            }
+                            apply_tracked_relocation(
+                                &mut stats,
+                                src,
+                                dst,
+                                &v,
+                                &mut totals,
+                                &mut versions,
+                            );
                             let s = shard.as_mut().expect("tier 2 implies a cache");
                             s.invalidate(i);
                             labels[i] = dst;
@@ -248,21 +267,22 @@ impl Ucpc {
                                 if delta < -self.tolerance {
                                     // Lines 10–13: apply the move and update
                                     // statistics.
-                                    if apply_tracked_relocation(
+                                    apply_tracked_relocation(
                                         &mut stats,
                                         src,
                                         dst,
                                         &v,
                                         &mut totals,
-                                    ) {
-                                        epoch += 1;
-                                    }
+                                        &mut versions,
+                                    );
                                     s.invalidate(i);
                                     labels[i] = dst;
                                     relocations += 1;
                                     moved_this_pass = true;
                                 } else {
-                                    s.store(i, epoch, &stats, totals, dst, delta, second);
+                                    s.store(
+                                        i, 0, &stats, totals, &versions, src, dst, delta, second,
+                                    );
                                 }
                             }
                         } else if let Some((dst, delta)) = best_candidate(&stats, src, &v) {

@@ -193,26 +193,66 @@ impl MomentArena {
     /// batch pipeline's write path: no per-object vectors exist, and with
     /// capacity reserved ([`Self::with_capacity`] / [`Self::reserve_rows`])
     /// the fill performs no heap allocation at all.
-    pub fn push_row_with(&mut self, dims: usize, mut fill: impl FnMut(usize) -> (f64, f64)) {
+    pub fn push_row_with(&mut self, dims: usize, fill: impl FnMut(usize) -> (f64, f64)) {
         self.prepare_dims(dims);
-        let mut sum_mu_sq = 0.0f64;
-        let mut sum_mu2 = 0.0f64;
-        let mut sum_var = 0.0f64;
-        for j in 0..dims {
-            let (mu, mu2) = fill(j);
-            let var = (mu2 - mu * mu).max(0.0);
+        let (sum_mu_sq, sum_mu2, sum_var) = fold_row(dims, fill, |_, mu, mu2, var| {
             self.mu.push(mu);
             self.mu2.push(mu2);
             self.var.push(var);
-            sum_mu_sq += mu * mu;
-            sum_mu2 += mu2;
-            sum_var += var;
-        }
+        });
         self.sum_mu_sq.push(sum_mu_sq);
         self.sum_mu2.push(sum_mu2);
         self.sum_var.push(sum_var);
         self.norm_mu.push(sum_mu_sq.sqrt());
         self.n += 1;
+    }
+
+    /// Overwrites row `i` in place with another object's moments, scalar
+    /// columns included — no column grows or reallocates. The bits written
+    /// are exactly the ones [`Self::push`] would have appended, so a reused
+    /// row is indistinguishable from a freshly pushed one; this is the
+    /// in-place half of the slab free-list reuse contract
+    /// (see [`crate::slab::SlabArena`]).
+    pub fn overwrite_row(&mut self, i: usize, mo: &Moments) {
+        assert!(i < self.n, "row {i} out of bounds (n = {})", self.n);
+        assert_eq!(
+            mo.dims(),
+            self.m,
+            "arena rows must share one dimensionality"
+        );
+        let row = i * self.m..(i + 1) * self.m;
+        self.mu[row.clone()].copy_from_slice(mo.mu());
+        self.mu2[row.clone()].copy_from_slice(mo.mu2());
+        self.var[row].copy_from_slice(mo.variance());
+        self.sum_mu_sq[i] = mo.sum_mu_sq();
+        self.sum_mu2[i] = mo.sum_mu2();
+        self.sum_var[i] = mo.total_variance();
+        self.norm_mu[i] = mo.norm_mu();
+    }
+
+    /// Overwrites row `i` in place from a `(mu_j, (mu_2)_j)` fill closure —
+    /// the in-place counterpart of [`Self::push_row_with`], with the
+    /// identical per-dimension fold order for the derived variance and
+    /// scalar aggregates, so an overwritten row is bit-identical to the row
+    /// `push_row_with` would have appended from the same fill.
+    pub fn overwrite_row_with(
+        &mut self,
+        i: usize,
+        dims: usize,
+        fill: impl FnMut(usize) -> (f64, f64),
+    ) {
+        assert!(i < self.n, "row {i} out of bounds (n = {})", self.n);
+        assert_eq!(dims, self.m, "arena rows must share one dimensionality");
+        let base = i * self.m;
+        let (sum_mu_sq, sum_mu2, sum_var) = fold_row(dims, fill, |j, mu, mu2, var| {
+            self.mu[base + j] = mu;
+            self.mu2[base + j] = mu2;
+            self.var[base + j] = var;
+        });
+        self.sum_mu_sq[i] = sum_mu_sq;
+        self.sum_mu2[i] = sum_mu2;
+        self.sum_var[i] = sum_var;
+        self.norm_mu[i] = sum_mu_sq.sqrt();
     }
 
     /// Pins the arena's dimensionality on the first row (with a small
@@ -295,6 +335,33 @@ impl MomentArena {
             norm_mu: self.norm_mu[i],
         }
     }
+}
+
+/// The one canonical per-row fold behind [`MomentArena::push_row_with`]
+/// and [`MomentArena::overwrite_row_with`]: derives each dimension's
+/// variance (`(mu_2 − mu²)⁺`, the same cancellation clamp as
+/// [`Moments::from_mu_mu2`]), hands the triple to `write`, and accumulates
+/// the scalar aggregates in dimension order. Appended and overwritten rows
+/// are bit-identical *because this fold exists exactly once* — the two
+/// write paths differ only in where `write` puts the values.
+#[inline]
+fn fold_row(
+    dims: usize,
+    mut fill: impl FnMut(usize) -> (f64, f64),
+    mut write: impl FnMut(usize, f64, f64, f64),
+) -> (f64, f64, f64) {
+    let mut sum_mu_sq = 0.0f64;
+    let mut sum_mu2 = 0.0f64;
+    let mut sum_var = 0.0f64;
+    for j in 0..dims {
+        let (mu, mu2) = fill(j);
+        let var = (mu2 - mu * mu).max(0.0);
+        write(j, mu, mu2, var);
+        sum_mu_sq += mu * mu;
+        sum_mu2 += mu2;
+        sum_var += var;
+    }
+    (sum_mu_sq, sum_mu2, sum_var)
 }
 
 /// Fused dot product `⟨a, b⟩` — the kernel's single O(m) pass, dispatched
@@ -457,6 +524,39 @@ mod tests {
             arena.push_row_with(3, |j| (j as f64, j as f64 * j as f64 + 1.0));
         }
         assert_eq!(arena.row_capacity(), cap);
+    }
+
+    #[test]
+    fn overwrite_row_matches_push_bit_for_bit() {
+        let objs = objects();
+        let reference = MomentArena::from_objects(&objs);
+        // Build an arena with the rows swapped, then overwrite both rows
+        // back: the result must equal the straight-pushed reference exactly.
+        let mut arena = MomentArena::from_moments([objs[1].moments(), objs[0].moments()]);
+        arena.overwrite_row(0, objs[0].moments());
+        arena.overwrite_row(1, objs[1].moments());
+        assert_eq!(arena, reference);
+    }
+
+    #[test]
+    fn overwrite_row_with_matches_push_row_with() {
+        let objs = objects();
+        let reference = MomentArena::from_objects(&objs);
+        let mut arena = MomentArena::from_objects(&objs);
+        // Scribble over row 0, then rebuild it through the fill closure.
+        arena.overwrite_row_with(0, 3, |_| (1234.5, 1234.5 * 1234.5 + 1.0));
+        assert_ne!(arena, reference);
+        let mo = objs[0].moments();
+        arena.overwrite_row_with(0, 3, |j| (mo.mu()[j], mo.mu2()[j]));
+        assert_eq!(arena, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overwrite_out_of_bounds_panics() {
+        let mut arena = MomentArena::from_objects(&objects());
+        let mo = Moments::of_point(&[1.0, 2.0, 3.0]);
+        arena.overwrite_row(2, &mo);
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Slab-style moment storage for streaming workloads: a [`MomentArena`]
+//! whose rows are recycled through a free-list.
+//!
+//! # Why a slab
+//!
+//! The batch pipeline fills a [`MomentArena`] once and never removes a row.
+//! A streaming driver ([`IncrementalUcpc`]) continuously inserts arriving
+//! objects and removes departed ones; storing each live object as its own
+//! heap-allocated [`Moments`] (the pre-slab layout, `Vec<Option<Moments>>`)
+//! gives up exactly the contiguity the batch path's kernel depends on —
+//! every candidate scan chases three boxed slices per object — and pays
+//! three allocator calls per insertion. [`SlabArena`] keeps the flat SoA
+//! matrices and recycles rows instead: `remove` pushes the row index onto a
+//! free-list, the next `insert` pops it and overwrites the row **in place**
+//! ([`MomentArena::overwrite_row`] / [`MomentArena::overwrite_row_with`]),
+//! so a steady-state insert-after-remove touches no allocator at all
+//! (pinned by `tests/streaming_alloc_free.rs`) and the scan keeps streaming
+//! contiguous rows.
+//!
+//! # Why row reuse preserves bit-exactness
+//!
+//! The overwrite path writes the same bits a fresh [`MomentArena::push`] of
+//! the same moments would have appended: the three moment rows are copied
+//! verbatim, and the derived variance and scalar aggregates are folded in
+//! the identical per-dimension order as the append path (asserted by the
+//! arena's unit tests). A [`MomentView`] served out of a recycled row is
+//! therefore indistinguishable — bit for bit — from one served out of a
+//! freshly appended row or out of a standalone [`Moments`], which is what
+//! lets the slab-backed incremental driver produce byte-identical labels to
+//! the per-object reference path (`tests/incremental_consistency.rs` pins
+//! this across pruning configurations and SIMD backends).
+//!
+//! Row indices are *not* stable identifiers across a remove/insert pair —
+//! the whole point is that they are recycled. Callers that need stable
+//! handles (e.g. `IncrementalUcpc`'s `ObjectId`) keep their own
+//! handle → row map; the slab guarantees only that a row stays pinned and
+//! untouched between the `insert` that returned it and the `remove` that
+//! frees it.
+//!
+//! [`IncrementalUcpc`]: ../../ucpc_core/incremental/struct.IncrementalUcpc.html
+
+use crate::arena::{MomentArena, MomentView};
+use crate::moments::Moments;
+
+/// A [`MomentArena`] with free-list row reuse: O(1) `insert` (recycling a
+/// freed row in place when one exists, appending otherwise) and O(1)
+/// `remove`, with live rows served as contiguous kernel views.
+///
+/// ```
+/// use ucpc_uncertain::{Moments, SlabArena};
+///
+/// let mut slab = SlabArena::new();
+/// let a = slab.insert(&Moments::of_point(&[1.0, 2.0]));
+/// let b = slab.insert(&Moments::of_point(&[3.0, 4.0]));
+/// assert_eq!(slab.len(), 2);
+///
+/// slab.remove(a);
+/// // The freed row is recycled in place: no new row is appended.
+/// let c = slab.insert(&Moments::of_point(&[5.0, 6.0]));
+/// assert_eq!(c, a);
+/// assert_eq!(slab.rows(), 2);
+/// assert_eq!(slab.view(c).mu, &[5.0, 6.0]);
+/// assert_eq!(slab.view(b).mu, &[3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlabArena {
+    arena: MomentArena,
+    /// Indices of freed rows, popped LIFO by [`Self::insert`].
+    free: Vec<usize>,
+    /// Liveness flag per row — guards against double-free and views of
+    /// freed rows, which would otherwise silently corrupt a clustering.
+    occupied: Vec<bool>,
+}
+
+impl SlabArena {
+    /// An empty slab; the dimensionality is pinned by the first insertion.
+    pub fn new() -> Self {
+        Self {
+            arena: MomentArena::from_moments([]),
+            free: Vec::new(),
+            occupied: Vec::new(),
+        }
+    }
+
+    /// An empty slab with `rows` rows of `m` dimensions pre-reserved, so
+    /// the first `rows` insertions perform no column reallocation.
+    pub fn with_capacity(rows: usize, m: usize) -> Self {
+        let mut slab = Self::new();
+        slab.reserve_rows(rows, m);
+        slab
+    }
+
+    /// Reserves space for `additional` more rows of `dims` dimensions —
+    /// appended rows (moment columns + liveness flags) *and* the free-list
+    /// slots their later removal would need, so any insert/remove
+    /// interleaving staying within the reservation triggers no
+    /// reallocation anywhere in the slab.
+    pub fn reserve_rows(&mut self, additional: usize, dims: usize) {
+        self.arena.reserve_rows(additional, dims);
+        self.occupied.reserve(additional);
+        // Worst case every currently-live row and the whole reservation
+        // are freed at once; free-list slots are one word each, so
+        // reserve for that outright.
+        self.free.reserve(self.len() + additional);
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.arena.len() - self.free.len()
+    }
+
+    /// Whether no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total rows backing the slab, live and freed: the high-water mark of
+    /// concurrent liveness, and the bound on valid row indices.
+    pub fn rows(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Number of freed rows awaiting reuse.
+    pub fn free_rows(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of dimensions `m` (0 until the first insertion).
+    pub fn dims(&self) -> usize {
+        self.arena.dims()
+    }
+
+    /// Whether row `i` currently holds a live object.
+    pub fn is_live(&self, i: usize) -> bool {
+        self.occupied.get(i).copied().unwrap_or(false)
+    }
+
+    /// Inserts one object's moments, recycling a freed row in place when
+    /// one exists (zero allocator calls) and appending a new row otherwise.
+    /// Returns the row index.
+    pub fn insert(&mut self, mo: &Moments) -> usize {
+        match self.free.pop() {
+            Some(row) => {
+                self.arena.overwrite_row(row, mo);
+                self.occupied[row] = true;
+                row
+            }
+            None => {
+                self.arena.push(mo);
+                self.occupied.push(true);
+                self.arena.len() - 1
+            }
+        }
+    }
+
+    /// Inserts one object from a `(mu_j, (mu_2)_j)` fill closure — the
+    /// moments-free write path ([`MomentArena::push_row_with`] /
+    /// [`MomentArena::overwrite_row_with`]): the variance and scalar
+    /// aggregates are derived in the canonical fold order, so the row is
+    /// bit-identical to inserting the equivalent [`Moments`]. Returns the
+    /// row index.
+    pub fn insert_with(&mut self, dims: usize, fill: impl FnMut(usize) -> (f64, f64)) -> usize {
+        match self.free.pop() {
+            Some(row) => {
+                self.arena.overwrite_row_with(row, dims, fill);
+                self.occupied[row] = true;
+                row
+            }
+            None => {
+                self.arena.push_row_with(dims, fill);
+                self.occupied.push(true);
+                self.arena.len() - 1
+            }
+        }
+    }
+
+    /// Frees row `i` for reuse. The row's contents stay untouched until the
+    /// next recycling insertion overwrites them. Panics on a row that is
+    /// not live (double-free would alias two handles onto one row).
+    pub fn remove(&mut self, i: usize) {
+        assert!(self.is_live(i), "remove of non-live slab row {i}");
+        self.occupied[i] = false;
+        self.free.push(i);
+    }
+
+    /// The kernel view of live row `i` (see [`MomentArena::view`]). Panics
+    /// on a freed row.
+    pub fn view(&self, i: usize) -> MomentView<'_> {
+        assert!(self.is_live(i), "view of non-live slab row {i}");
+        self.arena.view(i)
+    }
+}
+
+impl Default for SlabArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mo(x: f64) -> Moments {
+        Moments::from_mu_mu2(vec![x, -x], vec![x * x + 0.5, x * x + 1.0])
+    }
+
+    #[test]
+    fn freed_rows_are_recycled_lifo() {
+        let mut slab = SlabArena::new();
+        let rows: Vec<usize> = (0..4).map(|i| slab.insert(&mo(i as f64))).collect();
+        assert_eq!(rows, vec![0, 1, 2, 3]);
+        slab.remove(rows[1]);
+        slab.remove(rows[3]);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.free_rows(), 2);
+        // LIFO: last freed, first reused; no appends while rows are free.
+        assert_eq!(slab.insert(&mo(10.0)), rows[3]);
+        assert_eq!(slab.insert(&mo(11.0)), rows[1]);
+        assert_eq!(slab.rows(), 4);
+        assert_eq!(slab.insert(&mo(12.0)), 4, "free list empty: append");
+    }
+
+    #[test]
+    fn recycled_rows_serve_the_new_objects_bits() {
+        let mut slab = SlabArena::new();
+        let a = slab.insert(&mo(1.0));
+        let b = slab.insert(&mo(2.0));
+        slab.remove(a);
+        let c = slab.insert(&mo(3.0));
+        assert_eq!(c, a);
+        let fresh = mo(3.0);
+        let v = slab.view(c);
+        assert_eq!(v.mu, fresh.mu());
+        assert_eq!(v.mu2, fresh.mu2());
+        assert_eq!(v.var, fresh.variance());
+        assert_eq!(v.sum_mu_sq.to_bits(), fresh.sum_mu_sq().to_bits());
+        assert_eq!(v.sum_mu2.to_bits(), fresh.sum_mu2().to_bits());
+        assert_eq!(v.sum_var.to_bits(), fresh.total_variance().to_bits());
+        assert_eq!(v.norm_mu.to_bits(), fresh.norm_mu().to_bits());
+        // The untouched neighbour is unaffected.
+        assert_eq!(slab.view(b).mu, mo(2.0).mu());
+    }
+
+    #[test]
+    fn insert_with_matches_insert_bitwise() {
+        let mut by_moments = SlabArena::new();
+        let mut by_fill = SlabArena::new();
+        for i in 0..3 {
+            let m = mo(i as f64 * 0.7 - 1.0);
+            by_moments.insert(&m);
+            by_fill.insert_with(2, |j| (m.mu()[j], m.mu2()[j]));
+        }
+        // Churn a slot through both write paths.
+        by_moments.remove(1);
+        by_fill.remove(1);
+        let m = mo(42.0);
+        by_moments.insert(&m);
+        by_fill.insert_with(2, |j| (m.mu()[j], m.mu2()[j]));
+        for i in 0..3 {
+            let a = by_moments.view(i);
+            let b = by_fill.view(i);
+            assert_eq!(a.mu, b.mu);
+            assert_eq!(a.mu2, b.mu2);
+            assert_eq!(a.var, b.var);
+            assert_eq!(a.sum_mu_sq.to_bits(), b.sum_mu_sq.to_bits());
+            assert_eq!(a.sum_var.to_bits(), b.sum_var.to_bits());
+            assert_eq!(a.norm_mu.to_bits(), b.norm_mu.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "remove of non-live slab row")]
+    fn double_free_panics() {
+        let mut slab = SlabArena::new();
+        let a = slab.insert(&mo(1.0));
+        slab.remove(a);
+        slab.remove(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "view of non-live slab row")]
+    fn view_of_freed_row_panics() {
+        let mut slab = SlabArena::new();
+        let a = slab.insert(&mo(1.0));
+        slab.remove(a);
+        let _ = slab.view(a);
+    }
+
+    #[test]
+    fn with_capacity_pre_reserves() {
+        let mut slab = SlabArena::with_capacity(8, 2);
+        assert_eq!(slab.dims(), 2);
+        for i in 0..8 {
+            slab.insert(&mo(i as f64));
+        }
+        assert_eq!(slab.len(), 8);
+    }
+}

@@ -1,16 +1,22 @@
 //! Property test of the drift-bound *invariant itself*, not just run-level
 //! outcomes: over random relocation sequences — including adversarial,
-//! non-greedy moves the search would never take — whenever the bound
+//! non-greedy moves the search would never take, and tracked streaming
+//! edits (inserts/removals outside any relocation) — whenever the bound
 //! machinery says "skip" (or "the cached argmin still wins"), a shadow full
 //! scan must agree. A lucky end-to-end equality cannot mask an unsound
 //! bound here: every single decision is cross-checked against ground truth.
+//! The per-cluster remove-direction version counters (surgical
+//! invalidation, see `ucpc_core::pruning`) are exercised directly: edits
+//! that empty or nearly empty a cluster bump only that cluster's counter,
+//! and every entry that survives must still pass its shadow scan.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ucpc::core::objective::ClusterStats;
 use ucpc::core::pruning::{
-    apply_tracked_relocation, fp_scale, DriftTotals, PruneCache, PruneDecision,
+    apply_tracked_insert, apply_tracked_relocation, apply_tracked_remove, fp_scale, DriftTotals,
+    PruneCache, PruneDecision,
 };
 use ucpc::uncertain::{MomentArena, UncertainObject, UnivariatePdf};
 
@@ -101,7 +107,7 @@ proptest! {
 
         let mut cache = PruneCache::new(n, k);
         let mut totals = DriftTotals::default();
-        let mut epoch = 0u64;
+        let mut versions = vec![0u64; k];
 
         for _step in 0..steps {
             // Write a handful of entries through this round's geometry,
@@ -117,7 +123,7 @@ proptest! {
                     }
                     if let Some((dst, best, second)) = shadow_scan(&stats, &arena, i, src) {
                         shards[i / write_chunk]
-                            .store(i, epoch, &stats, totals, dst, best, second);
+                            .store(i, 0, &stats, totals, &versions, src, dst, best, second);
                     }
                 }
             }
@@ -131,9 +137,7 @@ proptest! {
                     dst = (dst + 1) % k;
                 }
                 let v = arena.view(i);
-                if apply_tracked_relocation(&mut stats, src, dst, &v, &mut totals) {
-                    epoch += 1;
-                }
+                apply_tracked_relocation(&mut stats, src, dst, &v, &mut totals, &mut versions);
                 cache.invalidate(i);
                 labels[i] = dst;
             }
@@ -151,7 +155,7 @@ proptest! {
                 }
                 let v = arena.view(j);
                 let decision = shards[j / read_chunk]
-                    .decide(j, epoch, &stats, totals, src, &v, TOLERANCE, scale);
+                    .decide(j, 0, &stats, totals, &versions, src, &v, TOLERANCE, scale);
                 let truth = shadow_scan(&stats, &arena, j, src);
                 match decision {
                     PruneDecision::FullScan => {}
@@ -181,68 +185,119 @@ proptest! {
         }
     }
 
-    /// Random relocation churn; after every step, every cached object's
-    /// decision is validated against a shadow scan.
+    /// Random relocation churn *interleaved with tracked streaming edits*
+    /// (inserts of pooled extra objects, removals of assigned ones — the
+    /// slab backend's edit path, including edits that take clusters through
+    /// size < 2 and fire the surgical per-cluster invalidation); after
+    /// every step, every cached object's decision is validated against a
+    /// shadow scan.
     #[test]
     fn skip_and_confirm_decisions_survive_shadow_scans(
         seed in 0u64..1_000_000,
         n in 12usize..40,
+        extras in 3usize..10,
         m in 1usize..6,
         k in 2usize..6,
         steps in 10usize..60,
     ) {
         prop_assume!(k < n);
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = dataset(n, m, &mut rng);
+        let total = n + extras;
+        let data = dataset(total, m, &mut rng);
         let arena = MomentArena::from_objects(&data);
-        let mut labels: Vec<usize> =
-            (0..n).map(|i| if i < k { i } else { rng.gen_range(0..k) }).collect();
+        // Core objects start assigned; the extra pool starts outside the
+        // clustering and is streamed in/out by tracked edits.
+        let mut labels: Vec<Option<usize>> = (0..total)
+            .map(|i| {
+                if i >= n {
+                    None
+                } else if i < k {
+                    Some(i)
+                } else {
+                    Some(rng.gen_range(0..k))
+                }
+            })
+            .collect();
         let mut stats = vec![ClusterStats::empty(m); k];
-        for (i, &l) in labels.iter().enumerate() {
-            stats[l].add_view(&arena.view(i));
+        for (i, l) in labels.iter().enumerate() {
+            if let Some(l) = *l {
+                stats[l].add_view(&arena.view(i));
+            }
         }
 
-        let mut cache = PruneCache::new(n, k);
+        let mut cache = PruneCache::new(total, k);
         let mut totals = DriftTotals::default();
-        let mut epoch = 0u64;
+        let mut versions = vec![0u64; k];
 
         for _step in 0..steps {
             // Cache a handful of random objects from genuine scans.
             for _ in 0..3 {
-                let i = rng.gen_range(0..n);
-                let src = labels[i];
+                let i = rng.gen_range(0..total);
+                let Some(src) = labels[i] else { continue };
                 if stats[src].size() <= 1 {
                     continue;
                 }
                 if let Some((dst, best, second)) = shadow_scan(&stats, &arena, i, src) {
                     cache
                         .view()
-                        .store(i, epoch, &stats, totals, dst, best, second);
+                        .store(i, 0, &stats, totals, &versions, src, dst, best, second);
                 }
             }
 
-            // One adversarial relocation: a random object to a random other
-            // cluster, regardless of whether it improves the objective.
-            let i = rng.gen_range(0..n);
-            let src = labels[i];
-            if stats[src].size() > 1 && k >= 2 {
-                let mut dst = rng.gen_range(0..k);
-                if dst == src {
-                    dst = (dst + 1) % k;
+            // One adversarial action: a non-greedy relocation, a tracked
+            // insert of a pooled object, or a tracked removal.
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    // Tracked insert: any unassigned object, any cluster —
+                    // including empty ones (small transition ⇒ surgical
+                    // version bump on exactly that cluster).
+                    let unassigned: Vec<usize> =
+                        (0..total).filter(|&i| labels[i].is_none()).collect();
+                    if let Some(&i) = unassigned.get(rng.gen_range(0..unassigned.len().max(1))) {
+                        let dst = rng.gen_range(0..k);
+                        let v = arena.view(i);
+                        apply_tracked_insert(&mut stats, dst, &v, &mut totals, &mut versions);
+                        cache.invalidate(i);
+                        labels[i] = Some(dst);
+                    }
                 }
-                let v = arena.view(i);
-                if apply_tracked_relocation(&mut stats, src, dst, &v, &mut totals) {
-                    epoch += 1;
+                1 => {
+                    // Tracked removal — allowed to empty a cluster.
+                    let assigned: Vec<usize> =
+                        (0..total).filter(|&i| labels[i].is_some()).collect();
+                    if assigned.len() > k {
+                        let i = assigned[rng.gen_range(0..assigned.len())];
+                        let src = labels[i].take().expect("assigned");
+                        let v = arena.view(i);
+                        apply_tracked_remove(&mut stats, src, &v, &mut totals, &mut versions);
+                        cache.invalidate(i);
+                    }
                 }
-                cache.invalidate(i);
-                labels[i] = dst;
+                _ => {
+                    let i = rng.gen_range(0..total);
+                    if let Some(src) = labels[i] {
+                        if stats[src].size() > 1 {
+                            let mut dst = rng.gen_range(0..k);
+                            if dst == src {
+                                dst = (dst + 1) % k;
+                            }
+                            let v = arena.view(i);
+                            apply_tracked_relocation(
+                                &mut stats, src, dst, &v, &mut totals, &mut versions,
+                            );
+                            cache.invalidate(i);
+                            labels[i] = Some(dst);
+                        }
+                    }
+                }
             }
 
-            // Validate every object's decision against ground truth.
+            // Validate every assigned object's decision against ground
+            // truth.
             let scale = fp_scale(&stats);
             #[allow(clippy::needless_range_loop)]
-            for j in 0..n {
-                let src = labels[j];
+            for j in 0..total {
+                let Some(src) = labels[j] else { continue };
                 if stats[src].size() <= 1 {
                     continue;
                 }
@@ -250,7 +305,7 @@ proptest! {
                 let decision =
                     cache
                         .view()
-                        .decide(j, epoch, &stats, totals, src, &v, TOLERANCE, scale);
+                        .decide(j, 0, &stats, totals, &versions, src, &v, TOLERANCE, scale);
                 let truth = shadow_scan(&stats, &arena, j, src);
                 match decision {
                     PruneDecision::FullScan => {}
