@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
-use ucpc_core::incremental::{IncrementalUcpc, ObjectId, StreamBackend};
+use ucpc_core::incremental::{IncrementalUcpc, ObjectHandle, StreamBackend};
 use ucpc_core::pruning::{PruneCounters, PruningConfig};
 use ucpc_uncertain::{UncertainObject, UnivariatePdf};
 
@@ -91,7 +91,7 @@ pub fn streaming_workload(shape: Shape, spec: ChurnSpec, seed: u64) -> Streaming
 /// pruning counters accumulated inside the measured window.
 pub struct ChurnOutcome {
     /// Live labels after the final sweep, in insertion order.
-    pub labels: Vec<(ObjectId, usize)>,
+    pub labels: Vec<(ObjectHandle, usize)>,
     /// Final objective.
     pub objective: f64,
     /// Pruning counters accumulated by the churn window's sweeps.
@@ -110,7 +110,7 @@ pub fn churn_once(
     let mut live = IncrementalUcpc::with_backend(w.shape.m, w.shape.k, backend)
         .expect("valid streaming configuration");
     live.set_pruning(pruning);
-    let mut ids: Vec<ObjectId> = w
+    let mut ids: Vec<ObjectHandle> = w
         .initial
         .iter()
         .map(|o| live.insert(o).expect("insert"))
@@ -120,9 +120,9 @@ pub fn churn_once(
     let before = live.pruning_counters();
     for (op, arrival) in w.replacements.iter().enumerate() {
         // FIFO eviction: the op-th oldest handle departs, its replacement
-        // arrives (and lands at ids[initial.len() + op]).
+        // arrives (recycling the victim's slot under a fresh generation).
         let victim = ids[op];
-        assert!(live.remove(victim), "victim handle must be live");
+        live.remove(victim).expect("victim handle must be live");
         ids.push(live.insert(arrival).expect("insert"));
         if (op + 1) % w.spec.stabilize_every == 0 {
             live.stabilize(w.spec.passes);
@@ -138,6 +138,8 @@ pub fn churn_once(
             skips: after.skips - before.skips,
             confirms: after.confirms - before.confirms,
             full_scans: after.full_scans - before.full_scans,
+            placement_priced: after.placement_priced - before.placement_priced,
+            placement_bypassed: after.placement_bypassed - before.placement_bypassed,
         },
     }
 }
@@ -169,7 +171,7 @@ pub fn streaming_comparison(
     reps: usize,
 ) -> Vec<StreamingRow> {
     let w = streaming_workload(shape, spec, seed);
-    let mut reference: Option<(Vec<(ObjectId, usize)>, u64)> = None;
+    let mut reference: Option<(Vec<(ObjectHandle, usize)>, u64)> = None;
     let mut rows = Vec::new();
     for backend in [StreamBackend::Objects, StreamBackend::Slab] {
         for pruning in [PruningConfig::Off, PruningConfig::Bounds] {

@@ -43,6 +43,15 @@ pub enum ClusterError {
         /// Index of the object carrying the offending label.
         index: usize,
     },
+    /// A streaming [`ObjectHandle`](ucpc_uncertain::ObjectHandle) names an
+    /// object that is gone: already removed, or its slot recycled to a
+    /// later occupant. Both streaming backends return this identically.
+    StaleHandle {
+        /// The handle's storage slot.
+        slot: u32,
+        /// The generation the handle was issued under.
+        generation: u32,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -67,6 +76,10 @@ impl fmt::Display for ClusterError {
             ClusterError::LabelOutOfRange { label, k, index } => write!(
                 f,
                 "label {label} of object {index} is out of range for k={k}"
+            ),
+            ClusterError::StaleHandle { slot, generation } => write!(
+                f,
+                "stale handle: slot {slot} generation {generation} is not live"
             ),
         }
     }

@@ -32,6 +32,36 @@
 //!   untracked edits and a global cache-epoch bump per edit. Kept because
 //!   the exactness suite pins the slab path byte-identical to it.
 //!
+//! # Generation-stamped handles
+//!
+//! Both backends recycle storage slots through a LIFO free-list with the
+//! *identical* discipline, and [`IncrementalUcpc::insert`] returns an
+//! [`ObjectHandle`] — slot plus the slot's generation counter at insertion
+//! time (see [`ucpc_uncertain::slab`] for the scheme). Two consequences:
+//!
+//! * **Bounded state.** Every handle-indexed structure — the label map,
+//!   the moment storage, and (with pruning on) the prune cache's entries
+//!   and drift-snapshot rows — is indexed by *slot* and therefore capped at
+//!   the high-water mark of concurrent liveness, not the total insertion
+//!   count. A steady-state insert-after-remove churn loop shows zero net
+//!   growth in any of them, for weeks (`tests/streaming_alloc_free.rs` and
+//!   the `bench_soak` flat-memory gate pin this).
+//! * **Checked staleness.** Using a handle after its `remove` — including
+//!   after its slot was recycled to a later arrival — is a checked
+//!   [`ClusterError::StaleHandle`] on **both** backends, never a silent
+//!   read of the slot's next occupant. `label_of` returns `None` for stale
+//!   handles.
+//!
+//! Because the two backends assign identical slot/generation sequences for
+//! identical edit scripts, their stabilization passes visit objects in the
+//! same order and stay bit-identical (pinned by
+//! `tests/incremental_consistency.rs`).
+//!
+//! For crash recovery and migration, [`IncrementalUcpc::snapshot`] serializes the
+//! complete logical state into a versioned byte buffer and
+//! [`IncrementalUcpc::restore`] reassembles it bit-identically — see
+//! [`crate::snapshot`].
+//!
 //! # Why the backends are bit-identical
 //!
 //! A slab row is written with the same bits a standalone [`Moments`] holds
@@ -61,31 +91,21 @@
 //! [`crate::pruning`] (module docs there derive the soundness). On churny
 //! streams this is the difference between every stabilization pass
 //! re-scanning all `n` objects and the pass skipping everything the edits
-//! provably could not have changed.
-//!
-//! # Memory bound
-//!
-//! [`ObjectId`]s are dense insertion-order slots and are **never reused**
-//! (a departed handle stays distinguishable from every later arrival), so
-//! the handle-indexed side grows with the *total* number of insertions,
-//! not the live count: the label map, the slab's handle → row map, and —
-//! with pruning on — the prune cache's per-handle entry and drift-snapshot
-//! rows (`O(k)` floats each). The moment storage itself stays at the
-//! high-water mark of concurrent liveness (rows are recycled), and
-//! stabilization passes over dead handles cost one branch each. For
-//! unbounded-lifetime streams with heavy churn, periodically migrate the
-//! live window into a fresh driver (an O(live·m) rebuild — the ROADMAP
-//! tracks a generation-stamped handle scheme that would remove the need).
+//! provably could not have changed. Cache entries additionally carry the
+//! slot's generation stamp, so an entry written for a departed occupant
+//! can never serve the slot's next tenant.
 
 use crate::framework::ClusterError;
 use crate::objective::{total_objective, ClusterStats};
 use crate::pruning::{
     apply_tracked_insert, apply_tracked_relocation, apply_tracked_remove, best_candidate,
-    best_candidate_with_second, best_insertion, fp_scale, DriftTotals, PruneCache, PruneCounters,
-    PruneDecision, PruningConfig,
+    best_candidate_with_second, best_insertion, best_insertion_bounded, fp_scale, DriftTotals,
+    PruneCache, PruneCounters, PruneDecision, PruningConfig,
 };
 use ucpc_uncertain::arena::MomentView;
 use ucpc_uncertain::{Moments, SlabArena, UncertainObject};
+
+pub use ucpc_uncertain::ObjectHandle;
 
 /// Moment-storage backend of [`IncrementalUcpc`].
 ///
@@ -136,66 +156,118 @@ impl Default for StreamBackend {
     }
 }
 
-/// The per-backend moment store. Handles (dense insertion-order ids) are
-/// never reused on either backend; the slab recycles *rows* underneath
-/// while `rows[id]` keeps each live handle pinned to its current row.
+/// The per-backend moment store. Both variants hand out generation-stamped
+/// slots with the identical LIFO reuse discipline (the slab natively, the
+/// reference backend through a mirrored free-list/generation pair), so the
+/// two backends issue identical handle sequences for identical edit
+/// scripts — which is what keeps their stabilization iteration orders, and
+/// hence their labels, bit-identical.
 // One store exists per driver (never a collection of them), so the size
 // spread between an empty Vec and the slab's column set is irrelevant.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
-enum MomentStore {
-    Objects(Vec<Option<Moments>>),
+pub(crate) enum MomentStore {
+    Objects {
+        objects: Vec<Option<Moments>>,
+        /// Freed slots, popped LIFO — mirrors [`SlabArena`]'s free-list
+        /// bit-for-bit so both backends recycle the same slot next.
+        free: Vec<u32>,
+        /// Per-slot generation counters, bumped on removal (wrapping) —
+        /// mirrors [`SlabArena::generation`].
+        gens: Vec<u32>,
+    },
     Slab {
         slab: SlabArena,
-        /// Handle → slab row; meaningful only while the handle is live
-        /// (`labels[id].is_some()` in the driver).
-        rows: Vec<usize>,
     },
 }
 
 impl MomentStore {
     fn new(backend: StreamBackend) -> Self {
         match backend {
-            StreamBackend::Objects => Self::Objects(Vec::new()),
+            StreamBackend::Objects => Self::Objects {
+                objects: Vec::new(),
+                free: Vec::new(),
+                gens: Vec::new(),
+            },
             StreamBackend::Slab => Self::Slab {
                 slab: SlabArena::new(),
-                rows: Vec::new(),
             },
         }
     }
 
     fn backend(&self) -> StreamBackend {
         match self {
-            Self::Objects(_) => StreamBackend::Objects,
+            Self::Objects { .. } => StreamBackend::Objects,
             Self::Slab { .. } => StreamBackend::Slab,
         }
     }
 
-    /// Stores the moments of the next handle (the caller assigns ids
-    /// densely in insertion order).
-    fn push(&mut self, mo: &Moments) {
+    /// Stores one arrival, recycling a freed slot when one exists, and
+    /// returns its generation-stamped handle.
+    fn insert(&mut self, mo: &Moments) -> ObjectHandle {
         match self {
-            Self::Objects(objects) => objects.push(Some(mo.clone())),
-            Self::Slab { slab, rows } => {
-                let row = slab.insert(mo);
-                rows.push(row);
-            }
+            Self::Objects {
+                objects,
+                free,
+                gens,
+            } => match free.pop() {
+                Some(slot) => {
+                    objects[slot as usize] = Some(mo.clone());
+                    ObjectHandle::new(slot, gens[slot as usize])
+                }
+                None => {
+                    objects.push(Some(mo.clone()));
+                    gens.push(0);
+                    let slot = u32::try_from(objects.len() - 1)
+                        .expect("streaming slot space exhausted (u32)");
+                    ObjectHandle::new(slot, 0)
+                }
+            },
+            Self::Slab { slab } => slab.insert(mo),
         }
     }
 
-    /// Kernel view of a live handle's moments.
-    fn view(&self, id: usize) -> MomentView<'_> {
+    /// Whether `h` names a live object.
+    fn contains(&self, h: ObjectHandle) -> bool {
+        let slot = h.slot();
         match self {
-            Self::Objects(objects) => objects[id].as_ref().expect("live handle").view(),
-            Self::Slab { slab, rows } => slab.view(rows[id]),
+            Self::Objects { objects, gens, .. } => {
+                slot < objects.len() && objects[slot].is_some() && gens[slot] == h.generation()
+            }
+            Self::Slab { slab } => slab.contains(h),
+        }
+    }
+
+    /// The generation counter of slot `slot` (current occupant while live,
+    /// next occupant while free).
+    fn generation(&self, slot: usize) -> u32 {
+        match self {
+            Self::Objects { gens, .. } => gens[slot],
+            Self::Slab { slab } => slab.generation(slot),
+        }
+    }
+
+    /// Kernel view of the live object in slot `slot`.
+    fn view(&self, slot: usize) -> MomentView<'_> {
+        match self {
+            Self::Objects { objects, .. } => objects[slot].as_ref().expect("live slot").view(),
+            Self::Slab { slab } => slab.view(slot),
         }
     }
 
     fn reserve_ids(&mut self, additional: usize, dims: usize) {
         match self {
-            Self::Objects(objects) => objects.reserve(additional),
-            Self::Slab { slab, rows } => {
-                rows.reserve(additional);
+            Self::Objects {
+                objects,
+                free,
+                gens,
+            } => {
+                let live = objects.len() - free.len();
+                objects.reserve(additional);
+                gens.reserve(additional);
+                free.reserve(live + additional);
+            }
+            Self::Slab { slab } => {
                 // Appended rows only; recycled rows need no capacity, so a
                 // reservation sized for the worst case (no removals) covers
                 // every interleaving.
@@ -206,7 +278,9 @@ impl MomentStore {
 }
 
 /// A live UCPC partition supporting O(k·m) insertions, O(m) removals and
-/// on-demand relocation passes.
+/// on-demand relocation passes. Handles are generation-stamped: using one
+/// after its removal is a checked [`ClusterError::StaleHandle`], and all
+/// handle-indexed state stays bounded by the live-window high-water mark.
 ///
 /// ```
 /// use ucpc_core::incremental::IncrementalUcpc;
@@ -221,43 +295,37 @@ impl MomentStore {
 /// live.stabilize(5);
 /// assert_eq!(live.label_of(ids[0]), live.label_of(ids[1]));
 /// assert_ne!(live.label_of(ids[0]), live.label_of(ids[2]));
-/// assert!(live.remove(ids[3]));
+/// live.remove(ids[3]).unwrap();
+/// assert!(live.remove(ids[3]).is_err(), "double remove is checked");
 /// assert_eq!(live.len(), 3);
 /// ```
 #[derive(Debug, Clone)]
 pub struct IncrementalUcpc {
-    m: usize,
-    k: usize,
-    stats: Vec<ClusterStats>,
+    pub(crate) m: usize,
+    pub(crate) k: usize,
+    pub(crate) stats: Vec<ClusterStats>,
     /// Moments of every live object, behind the configured backend.
-    store: MomentStore,
-    labels: Vec<Option<usize>>,
-    live: usize,
-    /// Candidate pruning for [`Self::stabilize`] passes.
-    pruning: PruningConfig,
+    pub(crate) store: MomentStore,
+    /// Per-slot cluster label (`None` while the slot is free). Indexed by
+    /// slot, so it tops out at the live-window high-water mark.
+    pub(crate) labels: Vec<Option<usize>>,
+    pub(crate) live: usize,
+    /// Candidate pruning for [`Self::stabilize`] passes and the bounded
+    /// placement scan of [`Self::insert`].
+    pub(crate) pruning: PruningConfig,
     /// Prune-cache epoch — the coarse kill-switch. [`Self::set_pruning`]
     /// bumps it, and the [`StreamBackend::Objects`] reference backend bumps
     /// it on every edit (untracked edits invalidate everything). The slab
-    /// backend never needs to: its edits are drift-tracked and small-size
-    /// transitions go through the per-cluster `versions` below.
-    epoch: u64,
+    /// backend never needs to: its edits are drift-tracked, small-size
+    /// transitions go through the per-cluster `versions` below, and slot
+    /// recycling is covered by the cache entries' generation stamps.
+    pub(crate) epoch: u64,
     /// Per-cluster remove-direction version counters — the surgical
     /// invalidation watermarks of [`crate::pruning`].
-    versions: Vec<u64>,
-    totals: DriftTotals,
-    cache: PruneCache,
-    counters: PruneCounters,
-}
-
-/// A handle to an inserted object (stable across removals).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ObjectId(usize);
-
-impl ObjectId {
-    /// The dense insertion-order slot of this handle (never reused).
-    pub fn index(self) -> usize {
-        self.0
-    }
+    pub(crate) versions: Vec<u64>,
+    pub(crate) totals: DriftTotals,
+    pub(crate) cache: PruneCache,
+    pub(crate) counters: PruneCounters,
 }
 
 impl IncrementalUcpc {
@@ -303,7 +371,9 @@ impl IncrementalUcpc {
     /// Reserves capacity for `additional` further insertions (handle maps
     /// and, on the slab backend, moment rows), so a churn loop staying
     /// within the reservation triggers no reallocation — the contract the
-    /// steady-state zero-allocation test pins.
+    /// steady-state zero-allocation test pins. With slot recycling, only
+    /// the *net* liveness growth consumes the reservation: a steady-state
+    /// insert-after-remove loop consumes none of it.
     pub fn reserve_ids(&mut self, additional: usize) {
         self.labels.reserve(additional);
         self.store.reserve_ids(additional, self.m);
@@ -316,7 +386,8 @@ impl IncrementalUcpc {
         &self.stats
     }
 
-    /// Candidate-pruning counters accumulated over all stabilization passes.
+    /// Candidate-pruning counters accumulated over all stabilization passes
+    /// and bounded placement scans.
     pub fn pruning_counters(&self) -> PruneCounters {
         self.counters
     }
@@ -336,14 +407,32 @@ impl IncrementalUcpc {
         self.k
     }
 
+    /// Number of storage slots ever created — the high-water mark of
+    /// concurrent liveness, and the size bound on every handle-indexed
+    /// structure (label map, moment rows, prune-cache entries). Under
+    /// steady-state churn this stops growing; the flat-memory tests assert
+    /// exactly that.
+    pub fn slot_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of prune-cache entries currently allocated (0 until the
+    /// first pruned stabilization pass; bounded by [`Self::slot_rows`]).
+    pub fn cache_entries(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Current total objective `Σ_C J(C)`.
     pub fn objective(&self) -> f64 {
         total_objective(&self.stats)
     }
 
-    /// Current cluster of a live object.
-    pub fn label_of(&self, id: ObjectId) -> Option<usize> {
-        self.labels.get(id.0).copied().flatten()
+    /// Current cluster of a live object; `None` if the handle is stale.
+    pub fn label_of(&self, h: ObjectHandle) -> Option<usize> {
+        if !self.store.contains(h) {
+            return None;
+        }
+        self.labels[h.slot()]
     }
 
     /// Cluster sizes.
@@ -352,9 +441,14 @@ impl IncrementalUcpc {
     }
 
     /// Inserts an object into the cluster that minimizes the objective
-    /// increase (O(k·m) by Corollary 1; the placement scan is the
-    /// dot3-batched [`best_insertion`] kernel) and returns its handle.
-    pub fn insert(&mut self, object: &UncertainObject) -> Result<ObjectId, ClusterError> {
+    /// increase (O(k·m) by Corollary 1) and returns its generation-stamped
+    /// handle. With pruning off the placement scan is the dot3-batched
+    /// [`best_insertion`] kernel over all `k` clusters; with pruning on it
+    /// is the Cauchy–Schwarz-bounded [`best_insertion_bounded`] scan, which
+    /// prices only the clusters the lower bound cannot exclude and returns
+    /// a bit-identical `(cluster, delta)` (shadow-asserted in debug
+    /// builds).
+    pub fn insert(&mut self, object: &UncertainObject) -> Result<ObjectHandle, ClusterError> {
         if object.dims() != self.m {
             return Err(ClusterError::DimensionMismatch {
                 expected: self.m,
@@ -364,9 +458,29 @@ impl IncrementalUcpc {
         }
         let mo = object.moments();
         let v = mo.view();
-        let (best, _) = best_insertion(&self.stats, &v).expect("k >= 1 clusters");
+        let (best, _) = if self.pruning.is_enabled() {
+            let scale = fp_scale(&self.stats);
+            let picked = best_insertion_bounded(&self.stats, &v, scale, &mut self.counters)
+                .expect("k >= 1 clusters");
+            #[cfg(debug_assertions)]
+            {
+                let shadow = best_insertion(&self.stats, &v).expect("k >= 1 clusters");
+                debug_assert_eq!(
+                    picked.0, shadow.0,
+                    "bounded placement must pick the full scan's cluster"
+                );
+                debug_assert_eq!(
+                    picked.1.to_bits(),
+                    shadow.1.to_bits(),
+                    "bounded placement delta must be bit-identical"
+                );
+            }
+            picked
+        } else {
+            best_insertion(&self.stats, &v).expect("k >= 1 clusters")
+        };
         match self.store {
-            MomentStore::Objects(_) => {
+            MomentStore::Objects { .. } => {
                 self.stats[best].add_view(&v);
                 // The insertion mutated a cluster outside the drift-tracked
                 // path: invalidate every cached scan outcome.
@@ -385,25 +499,41 @@ impl IncrementalUcpc {
                 );
             }
         }
-        self.store.push(mo);
-        self.labels.push(Some(best));
+        let h = self.store.insert(mo);
+        let slot = h.slot();
+        if slot == self.labels.len() {
+            self.labels.push(Some(best));
+        } else {
+            debug_assert!(self.labels[slot].is_none(), "recycled slot must be free");
+            self.labels[slot] = Some(best);
+        }
         self.live += 1;
-        Ok(ObjectId(self.labels.len() - 1))
+        Ok(h)
     }
 
-    /// Removes a live object in O(m). Returns `false` if the handle was
-    /// already removed.
-    pub fn remove(&mut self, id: ObjectId) -> bool {
-        let Some(slot) = self.labels.get_mut(id.0) else {
-            return false;
-        };
-        let Some(cluster) = slot.take() else {
-            return false;
-        };
+    /// Removes a live object in O(m). A stale handle — already removed, or
+    /// its slot recycled to a later arrival — returns
+    /// [`ClusterError::StaleHandle`] and changes nothing, identically on
+    /// both backends.
+    pub fn remove(&mut self, h: ObjectHandle) -> Result<(), ClusterError> {
+        if !self.store.contains(h) {
+            return Err(ClusterError::StaleHandle {
+                slot: h.slot() as u32,
+                generation: h.generation(),
+            });
+        }
+        let slot = h.slot();
+        let cluster = self.labels[slot].take().expect("live slot has a label");
         match &mut self.store {
-            MomentStore::Objects(objects) => {
-                let mo = objects[id.0].take().expect("label implies object");
+            MomentStore::Objects {
+                objects,
+                free,
+                gens,
+            } => {
+                let mo = objects[slot].take().expect("live slot holds moments");
                 self.stats[cluster].remove(&mo);
+                gens[slot] = gens[slot].wrapping_add(1);
+                free.push(slot as u32);
                 // Removal, like insertion, bypasses drift tracking on this
                 // backend: without this epoch bump a stale cached bound
                 // could silently skip a scan whose outcome the departed
@@ -411,10 +541,9 @@ impl IncrementalUcpc {
                 // `tests/incremental_consistency.rs`).
                 self.epoch += 1;
             }
-            MomentStore::Slab { slab, rows } => {
-                let row = rows[id.0];
+            MomentStore::Slab { slab } => {
                 {
-                    let v = slab.view(row);
+                    let v = slab.view(slot);
                     apply_tracked_remove(
                         &mut self.stats,
                         cluster,
@@ -423,11 +552,11 @@ impl IncrementalUcpc {
                         &mut self.versions,
                     );
                 }
-                slab.remove(row);
+                slab.remove(h).expect("contains(h) checked above");
             }
         }
         self.live -= 1;
-        true
+        Ok(())
     }
 
     /// Runs up to `passes` relocation passes of Algorithm 1 over the live
@@ -458,6 +587,7 @@ impl IncrementalUcpc {
                 let decision = if pruned {
                     self.cache.view().decide(
                         i,
+                        self.store.generation(i),
                         self.epoch,
                         &self.stats,
                         self.totals,
@@ -516,6 +646,7 @@ impl IncrementalUcpc {
                                 } else {
                                     self.cache.view().store(
                                         i,
+                                        self.store.generation(i),
                                         self.epoch,
                                         &self.stats,
                                         self.totals,
@@ -546,12 +677,21 @@ impl IncrementalUcpc {
         relocations
     }
 
-    /// Current labels of all live objects, in insertion order.
-    pub fn live_labels(&self) -> Vec<(ObjectId, usize)> {
+    /// Current handles and labels of all live objects, in slot order. The
+    /// handle sequences are comparable across backends because both assign
+    /// identical slot/generation sequences for identical edit scripts.
+    pub fn live_labels(&self) -> Vec<(ObjectHandle, usize)> {
         self.labels
             .iter()
             .enumerate()
-            .filter_map(|(i, l)| l.map(|c| (ObjectId(i), c)))
+            .filter_map(|(slot, l)| {
+                l.map(|c| {
+                    (
+                        ObjectHandle::new(slot as u32, self.store.generation(slot)),
+                        c,
+                    )
+                })
+            })
             .collect()
     }
 }
@@ -599,18 +739,78 @@ mod tests {
     fn removal_is_exact() {
         for backend in [StreamBackend::Objects, StreamBackend::Slab] {
             let mut inc = IncrementalUcpc::with_backend(1, 2, backend).unwrap();
-            let keep: Vec<ObjectId> = [0.0, 0.5, 8.0]
+            let keep: Vec<ObjectHandle> = [0.0, 0.5, 8.0]
                 .iter()
                 .map(|&c| inc.insert(&obj(c)).unwrap())
                 .collect();
             let gone = inc.insert(&obj(100.0)).unwrap();
             let with = inc.objective();
-            assert!(inc.remove(gone));
-            assert!(!inc.remove(gone), "double remove must be a no-op");
+            inc.remove(gone).unwrap();
+            assert!(
+                matches!(inc.remove(gone), Err(ClusterError::StaleHandle { .. })),
+                "double remove must be a checked error"
+            );
             assert_eq!(inc.len(), 3);
             assert!(inc.objective() <= with);
             assert!(keep.iter().all(|&id| inc.label_of(id).is_some()));
         }
+    }
+
+    #[test]
+    fn stale_handles_cannot_alias_recycled_slots() {
+        for backend in [StreamBackend::Objects, StreamBackend::Slab] {
+            let mut inc = IncrementalUcpc::with_backend(1, 2, backend).unwrap();
+            let a = inc.insert(&obj(0.0)).unwrap();
+            let b = inc.insert(&obj(9.0)).unwrap();
+            inc.remove(a).unwrap();
+            // The next arrival recycles a's slot under a newer generation.
+            let c = inc.insert(&obj(0.5)).unwrap();
+            assert_eq!(c.slot(), a.slot(), "slot must be recycled ({backend:?})");
+            assert_ne!(c, a);
+            assert_eq!(inc.label_of(a), None, "stale handle has no label");
+            assert!(
+                matches!(inc.remove(a), Err(ClusterError::StaleHandle { .. })),
+                "stale remove must not evict the new occupant ({backend:?})"
+            );
+            assert_eq!(inc.len(), 2);
+            assert!(inc.label_of(b).is_some());
+            assert!(inc.label_of(c).is_some());
+        }
+    }
+
+    #[test]
+    fn backends_issue_identical_handle_sequences() {
+        let script: &[(bool, f64)] = &[
+            (true, 0.0),
+            (true, 9.0),
+            (true, 0.2),
+            (false, 1.0), // remove the 2nd live handle
+            (true, 9.2),
+            (false, 0.0), // remove the 1st live handle
+            (true, 0.4),
+            (true, 9.4),
+        ];
+        let run = |backend| {
+            let mut inc = IncrementalUcpc::with_backend(1, 2, backend).unwrap();
+            let mut live: Vec<ObjectHandle> = Vec::new();
+            let mut issued = Vec::new();
+            for &(is_insert, x) in script {
+                if is_insert {
+                    let h = inc.insert(&obj(x)).unwrap();
+                    live.push(h);
+                    issued.push(h);
+                } else {
+                    let victim = live.remove(x as usize);
+                    inc.remove(victim).unwrap();
+                }
+            }
+            issued
+        };
+        assert_eq!(
+            run(StreamBackend::Objects),
+            run(StreamBackend::Slab),
+            "slot/generation sequences must match across backends"
+        );
     }
 
     #[test]
@@ -624,12 +824,11 @@ mod tests {
             inc.insert(o).unwrap();
         }
         inc.stabilize(20);
-        // Rebuild ClusterStats from the live assignment and compare J totals.
+        // Rebuild ClusterStats from the live assignment and compare J
+        // totals. No removals happened, so slots are insertion order.
         let mut rebuilt = vec![ClusterStats::empty(1); 3];
         for (id, c) in inc.live_labels() {
-            let _ = id;
-            let idx = id.0;
-            rebuilt[c].add(objs[idx].moments());
+            rebuilt[c].add(objs[id.slot()].moments());
         }
         let total: f64 = rebuilt.iter().map(ClusterStats::j).sum();
         assert!((inc.objective() - total).abs() < 1e-9);
@@ -657,24 +856,31 @@ mod tests {
     }
 
     #[test]
-    fn slab_rows_are_recycled_across_churn() {
-        let mut inc = IncrementalUcpc::with_backend(1, 2, StreamBackend::Slab).unwrap();
-        let mut ids: Vec<ObjectId> = (0..6)
-            .map(|i| inc.insert(&obj(i as f64)).unwrap())
-            .collect();
-        for step in 0..40 {
-            let victim = ids.remove(0);
-            assert!(inc.remove(victim));
-            ids.push(inc.insert(&obj((step % 7) as f64)).unwrap());
+    fn slot_maps_stay_bounded_across_churn() {
+        for backend in [StreamBackend::Objects, StreamBackend::Slab] {
+            let mut inc = IncrementalUcpc::with_backend(1, 2, backend).unwrap();
+            let mut ids: Vec<ObjectHandle> = (0..6)
+                .map(|i| inc.insert(&obj(i as f64)).unwrap())
+                .collect();
+            for step in 0..40 {
+                let victim = ids.remove(0);
+                inc.remove(victim).unwrap();
+                ids.push(inc.insert(&obj((step % 7) as f64)).unwrap());
+            }
+            assert_eq!(inc.len(), 6);
+            // The slot high-water mark stays at the peak liveness even
+            // though 40 handles were churned through — the label map and
+            // moment storage are live-window-bounded.
+            assert_eq!(
+                inc.slot_rows(),
+                6,
+                "slots must be recycled, not appended ({backend:?})"
+            );
+            if let MomentStore::Slab { slab } = &inc.store {
+                assert_eq!(slab.rows(), 6, "rows must be recycled, not appended");
+            }
+            assert!(ids.iter().all(|&id| inc.label_of(id).is_some()));
         }
-        assert_eq!(inc.len(), 6);
-        // The slab's row high-water mark stays at the peak liveness even
-        // though 40 handles were churned through.
-        let MomentStore::Slab { slab, .. } = &inc.store else {
-            panic!("slab backend expected");
-        };
-        assert_eq!(slab.rows(), 6, "rows must be recycled, not appended");
-        assert!(ids.iter().all(|&id| inc.label_of(id).is_some()));
     }
 
     #[test]

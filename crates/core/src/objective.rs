@@ -461,6 +461,56 @@ impl ClusterStats {
         j_new - self.j()
     }
 
+    /// An exact lower bound on [`Self::delta_j_add`] that needs **no dot
+    /// product**: [`Self::delta_j_add_with_cross`] is strictly decreasing in
+    /// the cross term (its coefficient is `−2/(|C|+1)`), and Cauchy–Schwarz
+    /// caps the cross term at `⟨s, mu(o)⟩ ≤ ‖s‖·‖mu(o)‖ = sqrt(S₂)·‖mu(o)‖`,
+    /// so evaluating the delta at that cap bounds the true value from below.
+    /// O(1) per cluster; the bounded placement scan
+    /// ([`crate::pruning::best_insertion_bounded`]) uses it to discard
+    /// clusters that provably cannot win the placement argmin, guarded by
+    /// [`crate::pruning::slack`] against floating-point rounding.
+    #[inline]
+    pub fn delta_j_add_lower_bound(&self, v: &MomentView<'_>) -> f64 {
+        let cross_max = self.s_sq_tot.max(0.0).sqrt() * v.norm_mu;
+        self.delta_j_add_with_cross(v, cross_max)
+    }
+
+    /// The incrementally-maintained scalar aggregates
+    /// `(Ψ_tot, Φ_tot, S₂)` — raw state for the snapshot codec.
+    pub(crate) fn scalar_aggregates(&self) -> (f64, f64, f64) {
+        (self.psi_tot, self.phi_tot, self.s_sq_tot)
+    }
+
+    /// Reassembles statistics from raw serialized state (snapshot restore).
+    /// Nothing is re-derived: the parts are installed verbatim, so a value
+    /// round-tripped through [`Self::scalar_aggregates`] and the public
+    /// accessors is bit-identical to the original.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        psi: Vec<f64>,
+        phi: Vec<f64>,
+        mean_sum: Vec<f64>,
+        size: usize,
+        psi_tot: f64,
+        phi_tot: f64,
+        s_sq_tot: f64,
+        drift: ClusterDrift,
+    ) -> Self {
+        debug_assert_eq!(psi.len(), phi.len());
+        debug_assert_eq!(psi.len(), mean_sum.len());
+        Self {
+            psi,
+            phi,
+            mean_sum,
+            size,
+            psi_tot,
+            phi_tot,
+            s_sq_tot,
+            drift,
+        }
+    }
+
     /// Objective change `J(C ∖ {o}) − J(C)` evaluated by the
     /// scalar-aggregate kernel. `o` must be a member; `−J(C)` when removing
     /// the last member.

@@ -507,6 +507,7 @@ fn propose_shard(task: &mut ShardTask<'_>, ctx: &PassCtx<'_>, counters: &mut Pru
             Some(s) => s.decide(
                 i,
                 0,
+                0,
                 ctx.stats,
                 ctx.totals,
                 ctx.prune_versions,
@@ -562,6 +563,7 @@ fn full_scan(
             Some((dst, delta, second)) => {
                 s.store(
                     i,
+                    0,
                     0,
                     ctx.stats,
                     ctx.totals,

@@ -198,6 +198,12 @@ pub struct PruneCounters {
     pub confirms: usize,
     /// Objects that ran the full `k−1` candidate scan.
     pub full_scans: usize,
+    /// Placement-scan candidates whose exact delta was priced (dot product
+    /// evaluated) by [`best_insertion_bounded`].
+    pub placement_priced: usize,
+    /// Placement-scan candidates discarded by the Cauchy–Schwarz lower
+    /// bound without pricing.
+    pub placement_bypassed: usize,
 }
 
 impl PruneCounters {
@@ -216,11 +222,23 @@ impl PruneCounters {
         }
     }
 
+    /// Fraction of placement candidates discarded without pricing.
+    pub fn placement_bypass_rate(&self) -> f64 {
+        let total = self.placement_priced + self.placement_bypassed;
+        if total == 0 {
+            0.0
+        } else {
+            self.placement_bypassed as f64 / total as f64
+        }
+    }
+
     /// Accumulates another run's counters (used by restarts and benches).
     pub fn merge(&mut self, other: PruneCounters) {
         self.skips += other.skips;
         self.confirms += other.confirms;
         self.full_scans += other.full_scans;
+        self.placement_priced += other.placement_priced;
+        self.placement_bypassed += other.placement_bypassed;
     }
 }
 
@@ -270,6 +288,31 @@ impl DriftTotals {
         self.rem_size += after.rem_size - before.rem_size;
         self.rem_mean += after.rem_mean - before.rem_mean;
     }
+
+    /// The six accumulators in snapshot order — raw state for the snapshot
+    /// codec.
+    pub(crate) fn to_array(self) -> [f64; 6] {
+        [
+            self.add_const,
+            self.add_size,
+            self.add_mean,
+            self.rem_const,
+            self.rem_size,
+            self.rem_mean,
+        ]
+    }
+
+    /// Inverse of [`Self::to_array`] (snapshot restore; bit-verbatim).
+    pub(crate) fn from_array(a: [f64; 6]) -> Self {
+        Self {
+            add_const: a[0],
+            add_size: a[1],
+            add_mean: a[2],
+            rem_const: a[3],
+            rem_size: a[4],
+            rem_mean: a[5],
+        }
+    }
 }
 
 /// One object's cached scan outcome, including its snapshot of the global
@@ -278,6 +321,11 @@ impl DriftTotals {
 #[derive(Debug, Clone, Copy)]
 struct CacheEntry {
     valid: bool,
+    /// Generation stamp of the slot's occupant at store time. Streaming
+    /// drivers recycle slots; an entry written for a departed occupant must
+    /// not serve its slot's next tenant, so `decide` rejects on mismatch.
+    /// Batch drivers have no churn and pass a constant 0.
+    gen: u32,
     epoch: u64,
     /// `versions[src]` at store time — the surgical-invalidation watermark:
     /// the entry dies iff `src`'s remove-direction version moves (see the
@@ -293,6 +341,7 @@ impl CacheEntry {
     fn invalid() -> Self {
         Self {
             valid: false,
+            gen: 0,
             epoch: 0,
             src_version: 0,
             best_dst: usize::MAX,
@@ -457,6 +506,55 @@ pub fn best_candidate(
 /// first index wins ties). `None` only for an empty cluster slice.
 pub fn best_insertion(stats: &[ClusterStats], v: &MomentView<'_>) -> Option<(usize, f64)> {
     scan::<false>(stats, usize::MAX, 0.0, v).map(|(dst, delta, _)| (dst, delta))
+}
+
+/// The *bounded* placement scan: identical result to [`best_insertion`] —
+/// same winner, bit-identical delta — but prices only the clusters the
+/// Cauchy–Schwarz lower bound ([`ClusterStats::delta_j_add_lower_bound`])
+/// cannot rule out. Clusters are visited in ascending order keeping the
+/// exact running best; a cluster `c` is discarded without its dot product
+/// when `L(c) − guard ≥ best_so_far`, where `guard` is the [`slack`] margin
+/// covering the rounding noise of both sides.
+///
+/// **Exactness.** In exact arithmetic `L(c) ≤ delta(c)`, so a discarded
+/// cluster satisfies `delta(c) ≥ L(c) ≥ best_so_far + guard > best_final`
+/// (the running best only decreases): it can neither win nor tie the final
+/// minimum, and since ties are broken by *first* index, dropping it cannot
+/// change the argmin either. In floating point both `L(c)` and `delta(c)`
+/// carry ~`ε·magnitude` rounding noise; `guard` is orders of magnitude
+/// above it (same construction as the relocation-scan slack). Priced
+/// candidates evaluate the identical [`ClusterStats::delta_j_add`] call an
+/// unbounded scan would issue, so the returned `(argmin, delta)` is
+/// bit-identical — asserted by a shadow full scan in debug builds of
+/// `IncrementalUcpc::insert` and by `tests/pruning_exactness.rs`.
+///
+/// Allocation-free (plain loop): the call sits inside the streaming
+/// insert path whose zero-allocation steady state is pinned by test.
+/// `counters` tallies priced vs bypassed candidates.
+pub fn best_insertion_bounded(
+    stats: &[ClusterStats],
+    v: &MomentView<'_>,
+    scale: f64,
+    counters: &mut PruneCounters,
+) -> Option<(usize, f64)> {
+    let q = v.sum_var + v.sum_mu_sq;
+    let guard = slack(scale, q, v.norm_mu);
+    let mut best: Option<(usize, f64)> = None;
+    for (c, stat) in stats.iter().enumerate() {
+        if let Some((_, bd)) = best {
+            if stat.delta_j_add_lower_bound(v) - guard >= bd {
+                counters.placement_bypassed += 1;
+                continue;
+            }
+        }
+        counters.placement_priced += 1;
+        let delta = stat.delta_j_add(v);
+        match best {
+            Some((_, bd)) if delta >= bd => {}
+            _ => best = Some((c, delta)),
+        }
+    }
+    best
 }
 
 /// [`best_candidate`] with runner-up tracking: additionally returns the
@@ -635,8 +733,11 @@ impl PruneShard<'_> {
     /// `v`) against the statistics in `stats`, the global drift totals,
     /// cache epoch `epoch`, and the per-cluster remove-direction `versions`
     /// (surgical invalidation: the entry is rejected iff `src`'s counter
-    /// moved since store time — see the module docs). Purely read-only:
-    /// callers act on the returned decision.
+    /// moved since store time — see the module docs). `gen` is the slot's
+    /// current generation stamp: streaming drivers recycle slots, and an
+    /// entry stored for a departed occupant must not serve the slot's next
+    /// tenant (batch drivers pass 0, like they pass epoch 0). Purely
+    /// read-only: callers act on the returned decision.
     ///
     /// Tier 0 diffs the global totals against the entry's inline snapshot —
     /// O(1), one cache line — and resolves the overwhelming majority of
@@ -647,6 +748,7 @@ impl PruneShard<'_> {
     pub fn decide(
         &self,
         i: usize,
+        gen: u32,
         epoch: u64,
         stats: &[ClusterStats],
         totals: DriftTotals,
@@ -659,6 +761,7 @@ impl PruneShard<'_> {
         let li = self.idx(i);
         let e = self.entries[li];
         if !e.valid
+            || e.gen != gen
             || e.epoch != epoch
             || versions[src] != e.src_version
             || e.best_dst == src
@@ -737,6 +840,7 @@ impl PruneShard<'_> {
     pub fn store(
         &mut self,
         i: usize,
+        gen: u32,
         epoch: u64,
         stats: &[ClusterStats],
         totals: DriftTotals,
@@ -749,6 +853,7 @@ impl PruneShard<'_> {
         let li = self.idx(i);
         self.entries[li] = CacheEntry {
             valid: true,
+            gen,
             epoch,
             src_version: versions[src],
             best_dst,
@@ -826,6 +931,7 @@ mod tests {
             shard.decide(
                 0,
                 0,
+                0,
                 &stats,
                 DriftTotals::default(),
                 &[0, 0],
@@ -852,26 +958,32 @@ mod tests {
         let v = arena.view(0);
         // A converged object: its best candidate delta is comfortably
         // positive, so with zero drift tier 0 must fire.
-        shard.store(0, 0, &stats, totals, &versions, 0, 1, 5.0, f64::INFINITY);
+        shard.store(0, 0, 0, &stats, totals, &versions, 0, 1, 5.0, f64::INFINITY);
         assert_eq!(
-            shard.decide(0, 0, &stats, totals, &versions, 0, &v, 1e-9, scale),
+            shard.decide(0, 0, 0, &stats, totals, &versions, 0, &v, 1e-9, scale),
             PruneDecision::Skip
         );
         // Same entry at a later epoch: stale, full scan.
         assert_eq!(
-            shard.decide(0, 1, &stats, totals, &versions, 0, &v, 1e-9, scale),
+            shard.decide(0, 0, 1, &stats, totals, &versions, 0, &v, 1e-9, scale),
+            PruneDecision::FullScan
+        );
+        // Same entry under a later slot generation (the slot was recycled
+        // to a new occupant): stale, full scan.
+        assert_eq!(
+            shard.decide(0, 1, 0, &stats, totals, &versions, 0, &v, 1e-9, scale),
             PruneDecision::FullScan
         );
         // Same entry after the source cluster's remove-direction version
         // moved (a small transition touched it): surgically stale.
         assert_eq!(
-            shard.decide(0, 0, &stats, totals, &[1, 0], 0, &v, 1e-9, scale),
+            shard.decide(0, 0, 0, &stats, totals, &[1, 0], 0, &v, 1e-9, scale),
             PruneDecision::FullScan
         );
         // A bump of a *non-source* cluster's version leaves the entry
         // usable — its remove-direction history is never consulted here.
         assert_eq!(
-            shard.decide(0, 0, &stats, totals, &[0, 7], 0, &v, 1e-9, scale),
+            shard.decide(0, 0, 0, &stats, totals, &[0, 7], 0, &v, 1e-9, scale),
             PruneDecision::Skip
         );
     }
@@ -889,14 +1001,14 @@ mod tests {
         let mut shard = cache.view();
         let v = arena.view(0);
         // Cached best is improving (−2) and far from second (+7): tier 2.
-        shard.store(0, 0, &stats, totals, &versions, 0, 2, -2.0, 7.0);
+        shard.store(0, 0, 0, &stats, totals, &versions, 0, 2, -2.0, 7.0);
         assert_eq!(
-            shard.decide(0, 0, &stats, totals, &versions, 0, &v, 1e-9, scale),
+            shard.decide(0, 0, 0, &stats, totals, &versions, 0, &v, 1e-9, scale),
             PruneDecision::ConfirmBest(2)
         );
         shard.invalidate(0);
         assert_eq!(
-            shard.decide(0, 0, &stats, totals, &versions, 0, &v, 1e-9, scale),
+            shard.decide(0, 0, 0, &stats, totals, &versions, 0, &v, 1e-9, scale),
             PruneDecision::FullScan
         );
     }
@@ -913,10 +1025,21 @@ mod tests {
         let mut shard = cache.view();
         let v = arena.view(0);
         // Barely-positive margin: sound to skip only while nothing moves.
-        shard.store(0, 0, &stats, totals, &versions, 0, 1, 0.05, f64::INFINITY);
+        shard.store(
+            0,
+            0,
+            0,
+            &stats,
+            totals,
+            &versions,
+            0,
+            1,
+            0.05,
+            f64::INFINITY,
+        );
         let scale = fp_scale(&stats);
         assert_eq!(
-            shard.decide(0, 0, &stats, totals, &versions, 0, &v, 1e-9, scale),
+            shard.decide(0, 0, 0, &stats, totals, &versions, 0, &v, 1e-9, scale),
             PruneDecision::Skip
         );
         // Relocate object 7 from cluster 1 to cluster 0 (tracked): both
@@ -929,6 +1052,7 @@ mod tests {
         assert_eq!(versions, [0, 0], "sizes stay >= 2: no version bump");
         assert_eq!(
             shard.decide(
+                0,
                 0,
                 0,
                 &stats,
@@ -958,7 +1082,7 @@ mod tests {
         let mut cache = PruneCache::new(12, 3);
         let mut shard = cache.view();
         let v = arena.view(0);
-        shard.store(0, 0, &stats, totals, &versions, 0, 2, 0.4, f64::INFINITY);
+        shard.store(0, 0, 0, &stats, totals, &versions, 0, 2, 0.4, f64::INFINITY);
         // Churn objects between clusters 1 and 2 (the candidate set):
         // eventually even the per-cluster bound must give up and rescan.
         let mut gave_up = false;
@@ -968,6 +1092,7 @@ mod tests {
             apply_tracked_relocation(&mut stats, src, dst, &vx, &mut totals, &mut versions);
             assert_eq!(versions, [0, 0, 0]);
             match shard.decide(
+                0,
                 0,
                 0,
                 &stats,
@@ -1027,6 +1152,47 @@ mod tests {
                     assert_eq!(got_d.to_bits(), want_d.to_bits(), "m={m} k={k}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn bounded_placement_matches_full_placement_bitwise() {
+        // Well-separated clusters across both scan regimes (short rows and
+        // dot3-batched rows): the bound must discard most candidates while
+        // the winner and its delta stay bit-identical to the full scan.
+        for m in [2usize, 32] {
+            let data: Vec<UncertainObject> = (0..20)
+                .map(|i| {
+                    let center = (i % 5) as f64 * 100.0;
+                    UncertainObject::new(
+                        (0..m)
+                            .map(|j| UnivariatePdf::normal(center + j as f64 * 0.1, 0.2))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let arena = MomentArena::from_objects(&data);
+            let labels: Vec<usize> = (0..15).map(|i| i % 5).collect();
+            let stats = stats_for(&arena, &labels, 5);
+            let scale = fp_scale(&stats);
+            let mut counters = PruneCounters::default();
+            for probe in 15..20 {
+                let v = arena.view(probe);
+                let (full_c, full_d) = best_insertion(&stats, &v).unwrap();
+                let (bnd_c, bnd_d) =
+                    best_insertion_bounded(&stats, &v, scale, &mut counters).unwrap();
+                assert_eq!(bnd_c, full_c, "m={m} probe={probe}");
+                assert_eq!(bnd_d.to_bits(), full_d.to_bits(), "m={m} probe={probe}");
+            }
+            assert!(
+                counters.placement_bypassed > 0,
+                "separated clusters must let the bound discard candidates (m={m})"
+            );
+            assert_eq!(
+                counters.placement_priced + counters.placement_bypassed,
+                5 * 5,
+                "every candidate is either priced or bypassed (m={m})"
+            );
         }
     }
 

@@ -1,0 +1,502 @@
+//! Versioned binary snapshot/restore for the streaming engine.
+//!
+//! [`IncrementalUcpc::snapshot`] serializes the complete logical state of a
+//! live clustering — storage backend and its moment rows, slot generations
+//! and free-list, labels, per-cluster [`ClusterStats`] (including the drift
+//! accumulators), the pruning configuration, and the invalidation
+//! watermarks (`epoch`, per-cluster `versions`, global drift totals) — into
+//! a self-describing byte buffer. [`IncrementalUcpc::restore`] reassembles
+//! an engine that is **bit-identical** to the original: continuing the same
+//! edit script on the restored engine produces byte-for-byte the labels,
+//! statistics bits and objective of the uninterrupted run, across both
+//! backends, pruning on/off and every SIMD backend
+//! (`tests/snapshot_roundtrip.rs`).
+//!
+//! # Why the round-trip is exact
+//!
+//! Every number crosses the boundary as raw IEEE-754 bits
+//! ([`f64::to_bits`] / [`f64::from_bits`], little-endian), never through
+//! decimal formatting. Statistics are installed verbatim through
+//! `ClusterStats::from_raw_parts` — nothing is re-derived from the rows.
+//! Slab rows are rebuilt from their serialized `(mu, mu2)` pairs through
+//! the same canonical per-dimension fold every insertion uses, which is
+//! bit-identical to the original write (see [`ucpc_uncertain::slab`] for
+//! the derivation). Freed rows are *not* serialized and restore as zeros:
+//! a freed row is never read (the free-list guarantees the next occupant
+//! overwrites it whole), so its residual bytes are not logical state — and
+//! zeroing them makes `snapshot(restore(s)) == s` hold bytewise.
+//!
+//! The prune cache's *entries* are deliberately excluded: a restored cache
+//! starts empty and entries regrow invalid, which is always sound (an
+//! invalid entry forces the exact full scan). The invalidation watermarks
+//! — `epoch`, `versions`, drift totals — *are* carried over, so bounds
+//! cached after restore are validated against exactly the history the
+//! original engine would have used.
+//!
+//! # Format
+//!
+//! Integers are little-endian; `f64` is [`f64::to_bits`] little-endian.
+//!
+//! ```text
+//! magic    8 × u8   "UCPCSNAP"
+//! version  u32      1 (bumped on any layout change; readers reject others)
+//! backend  u8       0 = Objects, 1 = Slab
+//! pruning  u8       0 = Off, 1 = Bounds
+//! m        u64      dimensions
+//! k        u64      clusters
+//! live     u64      live-object count (validated against the slot flags)
+//! epoch    u64      prune-cache epoch
+//! versions k × u64  per-cluster remove-direction versions
+//! totals   6 × f64  global drift totals
+//! stats    k × { size u64, psi m × f64, phi m × f64, mean_sum m × f64,
+//!                psi_tot f64, phi_tot f64, s_sq_tot f64, drift 6 × f64 }
+//! n_slots  u64      storage slots ever created (live-window high-water mark)
+//! slots    n_slots × { live u8, label u64 if live }
+//! gens     n_slots × u32
+//! n_free   u64      free-list length (== n_slots − live)
+//! free     n_free × u32   freed slots, LIFO order preserved
+//! rows     live × { mu m × f64, mu2 m × f64 }   ascending slot order
+//! ```
+
+use crate::incremental::{IncrementalUcpc, MomentStore, StreamBackend};
+use crate::objective::{ClusterDrift, ClusterStats};
+use crate::pruning::{DriftTotals, PruneCache, PruneCounters, PruningConfig};
+use std::fmt;
+use ucpc_uncertain::{MomentArena, Moments, SlabArena};
+
+const MAGIC: &[u8; 8] = b"UCPCSNAP";
+const VERSION: u32 = 1;
+
+/// Errors from [`IncrementalUcpc::restore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the `UCPCSNAP` magic.
+    BadMagic,
+    /// The buffer's format version is not one this build reads.
+    UnsupportedVersion(u32),
+    /// The buffer ended before the declared state was complete.
+    Truncated,
+    /// The buffer decodes to an inconsistent state (bad tag, slot count,
+    /// label range, free-list shape, or trailing bytes).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "snapshot does not start with the UCPCSNAP magic"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "snapshot format version {v} is not supported (expected {VERSION})"
+                )
+            }
+            Self::Truncated => write!(f, "snapshot buffer is truncated"),
+            Self::Corrupt(what) => write!(f, "snapshot is corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapshotError::Corrupt("count overflows usize"))
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, SnapshotError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+}
+
+fn write_drift(w: &mut Writer, d: ClusterDrift) {
+    w.f64(d.add_const);
+    w.f64(d.add_size);
+    w.f64(d.add_mean);
+    w.f64(d.rem_const);
+    w.f64(d.rem_size);
+    w.f64(d.rem_mean);
+}
+
+fn read_drift(r: &mut Reader<'_>) -> Result<ClusterDrift, SnapshotError> {
+    Ok(ClusterDrift {
+        add_const: r.f64()?,
+        add_size: r.f64()?,
+        add_mean: r.f64()?,
+        rem_const: r.f64()?,
+        rem_size: r.f64()?,
+        rem_mean: r.f64()?,
+    })
+}
+
+impl IncrementalUcpc {
+    /// Serializes the complete logical state into a versioned byte buffer.
+    /// See the [module docs](crate::snapshot) for the format and the
+    /// bit-identity argument.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer {
+            buf: Vec::with_capacity(
+                64 + self.k * (8 + (3 * self.m + 9) * 8)
+                    + self.labels.len() * 13
+                    + self.live * self.m * 16,
+            ),
+        };
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(VERSION);
+        w.u8(match self.backend() {
+            StreamBackend::Objects => 0,
+            StreamBackend::Slab => 1,
+        });
+        w.u8(match self.pruning {
+            PruningConfig::Off => 0,
+            PruningConfig::Bounds => 1,
+        });
+        w.u64(self.m as u64);
+        w.u64(self.k as u64);
+        w.u64(self.live as u64);
+        w.u64(self.epoch);
+        for &v in &self.versions {
+            w.u64(v);
+        }
+        w.f64s(&self.totals.to_array());
+        for s in &self.stats {
+            w.u64(s.size() as u64);
+            w.f64s(s.psi());
+            w.f64s(s.phi());
+            w.f64s(s.mean_sum());
+            let (psi_tot, phi_tot, s_sq_tot) = s.scalar_aggregates();
+            w.f64(psi_tot);
+            w.f64(phi_tot);
+            w.f64(s_sq_tot);
+            write_drift(&mut w, s.drift());
+        }
+        let n_slots = self.labels.len();
+        w.u64(n_slots as u64);
+        for l in &self.labels {
+            match l {
+                Some(c) => {
+                    w.u8(1);
+                    w.u64(*c as u64);
+                }
+                None => w.u8(0),
+            }
+        }
+        match &self.store {
+            MomentStore::Objects {
+                objects,
+                free,
+                gens,
+            } => {
+                for &g in gens {
+                    w.u32(g);
+                }
+                w.u64(free.len() as u64);
+                for &s in free {
+                    w.u32(s);
+                }
+                for mo in objects.iter().flatten() {
+                    w.f64s(mo.mu());
+                    w.f64s(mo.mu2());
+                }
+            }
+            MomentStore::Slab { slab } => {
+                for slot in 0..n_slots {
+                    w.u32(slab.generation(slot));
+                }
+                let free = slab.free_slots();
+                w.u64(free.len() as u64);
+                for &s in free {
+                    w.u32(s);
+                }
+                for slot in 0..n_slots {
+                    if slab.is_live(slot) {
+                        let v = slab.view(slot);
+                        w.f64s(v.mu);
+                        w.f64s(v.mu2);
+                    }
+                }
+            }
+        }
+        w.buf
+    }
+
+    /// Reassembles an engine from a [`Self::snapshot`] buffer,
+    /// bit-identical to the engine that produced it. The prune cache
+    /// restarts empty (entries regrow invalid — always sound); the
+    /// pruning counters restart at zero.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let backend = match r.u8()? {
+            0 => StreamBackend::Objects,
+            1 => StreamBackend::Slab,
+            _ => return Err(SnapshotError::Corrupt("unknown backend tag")),
+        };
+        let pruning = match r.u8()? {
+            0 => PruningConfig::Off,
+            1 => PruningConfig::Bounds,
+            _ => return Err(SnapshotError::Corrupt("unknown pruning tag")),
+        };
+        let m = r.usize()?;
+        let k = r.usize()?;
+        if k == 0 {
+            return Err(SnapshotError::Corrupt("k must be at least 1"));
+        }
+        let live = r.usize()?;
+        let epoch = r.u64()?;
+        let mut versions = Vec::with_capacity(k);
+        for _ in 0..k {
+            versions.push(r.u64()?);
+        }
+        let totals_arr: [f64; 6] = r.f64s(6)?.try_into().expect("fixed-length read");
+        let totals = DriftTotals::from_array(totals_arr);
+        let mut stats = Vec::with_capacity(k);
+        for _ in 0..k {
+            let size = r.usize()?;
+            let psi = r.f64s(m)?;
+            let phi = r.f64s(m)?;
+            let mean_sum = r.f64s(m)?;
+            let psi_tot = r.f64()?;
+            let phi_tot = r.f64()?;
+            let s_sq_tot = r.f64()?;
+            let drift = read_drift(&mut r)?;
+            stats.push(ClusterStats::from_raw_parts(
+                psi, phi, mean_sum, size, psi_tot, phi_tot, s_sq_tot, drift,
+            ));
+        }
+        let n_slots = r.usize()?;
+        let mut labels: Vec<Option<usize>> = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            match r.u8()? {
+                0 => labels.push(None),
+                1 => {
+                    let c = r.usize()?;
+                    if c >= k {
+                        return Err(SnapshotError::Corrupt("label out of range"));
+                    }
+                    labels.push(Some(c));
+                }
+                _ => return Err(SnapshotError::Corrupt("unknown slot flag")),
+            }
+        }
+        let live_slots = labels.iter().filter(|l| l.is_some()).count();
+        if live_slots != live {
+            return Err(SnapshotError::Corrupt(
+                "live count does not match slot flags",
+            ));
+        }
+        let mut gens = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            gens.push(r.u32()?);
+        }
+        let n_free = r.usize()?;
+        if n_free != n_slots - live {
+            return Err(SnapshotError::Corrupt("free-list length mismatch"));
+        }
+        let mut free = Vec::with_capacity(n_free);
+        let mut freed_seen = vec![false; n_slots];
+        for _ in 0..n_free {
+            let s = r.u32()?;
+            let slot = s as usize;
+            if slot >= n_slots || labels[slot].is_some() || freed_seen[slot] {
+                return Err(SnapshotError::Corrupt("free-list entry invalid"));
+            }
+            freed_seen[slot] = true;
+            free.push(s);
+        }
+        let store = match backend {
+            StreamBackend::Objects => {
+                let mut objects: Vec<Option<Moments>> = Vec::with_capacity(n_slots);
+                for l in &labels {
+                    if l.is_some() {
+                        let mu = r.f64s(m)?;
+                        let mu2 = r.f64s(m)?;
+                        objects.push(Some(Moments::from_mu_mu2(mu, mu2)));
+                    } else {
+                        objects.push(None);
+                    }
+                }
+                MomentStore::Objects {
+                    objects,
+                    free,
+                    gens,
+                }
+            }
+            StreamBackend::Slab => {
+                let mut arena = MomentArena::with_capacity(n_slots, m);
+                let mut occupied = Vec::with_capacity(n_slots);
+                for l in &labels {
+                    if l.is_some() {
+                        let mu = r.f64s(m)?;
+                        let mu2 = r.f64s(m)?;
+                        // The same canonical per-dimension fold the original
+                        // insertion used — bit-identical row reconstruction.
+                        arena.push_row_with(m, |d| (mu[d], mu2[d]));
+                        occupied.push(true);
+                    } else {
+                        // Freed rows are never read; zeros make the
+                        // snapshot-of-restore byte-identical.
+                        arena.push_row_with(m, |_| (0.0, 0.0));
+                        occupied.push(false);
+                    }
+                }
+                MomentStore::Slab {
+                    slab: SlabArena::from_parts(arena, occupied, free, gens),
+                }
+            }
+        };
+        if r.pos != bytes.len() {
+            return Err(SnapshotError::Corrupt("trailing bytes"));
+        }
+        Ok(Self {
+            m,
+            k,
+            stats,
+            store,
+            labels,
+            live,
+            pruning,
+            epoch,
+            versions,
+            totals,
+            cache: PruneCache::new(0, k),
+            counters: PruneCounters::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucpc_uncertain::{UncertainObject, UnivariatePdf};
+
+    fn obj(c: f64) -> UncertainObject {
+        UncertainObject::new(vec![
+            UnivariatePdf::normal(c, 0.2),
+            UnivariatePdf::uniform_centered(c, 0.6),
+        ])
+    }
+
+    fn churned(backend: StreamBackend) -> IncrementalUcpc {
+        let mut inc = IncrementalUcpc::with_backend(2, 3, backend).unwrap();
+        inc.set_pruning(PruningConfig::Bounds);
+        let mut live = Vec::new();
+        for i in 0..12 {
+            live.push(inc.insert(&obj((i % 4) as f64 * 3.0)).unwrap());
+        }
+        inc.stabilize(4);
+        for _ in 0..5 {
+            let victim = live.remove(1);
+            inc.remove(victim).unwrap();
+            live.push(inc.insert(&obj(1.5)).unwrap());
+        }
+        inc.stabilize(4);
+        inc
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        for backend in [StreamBackend::Objects, StreamBackend::Slab] {
+            let inc = churned(backend);
+            let bytes = inc.snapshot();
+            let back = IncrementalUcpc::restore(&bytes).unwrap();
+            assert_eq!(back.backend(), backend);
+            assert_eq!(back.len(), inc.len());
+            assert_eq!(back.live_labels(), inc.live_labels());
+            assert_eq!(
+                back.objective().to_bits(),
+                inc.objective().to_bits(),
+                "objective must round-trip bitwise ({backend:?})"
+            );
+            // Snapshotting the restored engine reproduces the exact bytes.
+            assert_eq!(back.snapshot(), bytes, "snapshot(restore(s)) == s");
+        }
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let inc = churned(StreamBackend::Slab);
+        let bytes = inc.snapshot();
+        assert_eq!(
+            IncrementalUcpc::restore(b"not a snapshot at all...").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 99;
+        assert_eq!(
+            IncrementalUcpc::restore(&wrong_version).unwrap_err(),
+            SnapshotError::UnsupportedVersion(99)
+        );
+        assert_eq!(
+            IncrementalUcpc::restore(&bytes[..bytes.len() - 1]).unwrap_err(),
+            SnapshotError::Truncated
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            IncrementalUcpc::restore(&trailing).unwrap_err(),
+            SnapshotError::Corrupt("trailing bytes")
+        );
+    }
+}

@@ -213,6 +213,7 @@ impl Ucpc {
                     Some(s) => s.decide(
                         i,
                         0,
+                        0,
                         &stats,
                         totals,
                         &versions,
@@ -281,7 +282,7 @@ impl Ucpc {
                                     moved_this_pass = true;
                                 } else {
                                     s.store(
-                                        i, 0, &stats, totals, &versions, src, dst, delta, second,
+                                        i, 0, 0, &stats, totals, &versions, src, dst, delta, second,
                                     );
                                 }
                             }

@@ -67,4 +67,4 @@ pub use moments::Moments;
 pub use object::UncertainObject;
 pub use pdf::{PdfFamily, UnivariatePdf};
 pub use region::{BoxRegion, Interval};
-pub use slab::SlabArena;
+pub use slab::{ObjectHandle, SlabArena, StaleHandle};

@@ -50,7 +50,7 @@ fn main() {
         // Expire the oldest reports beyond the window.
         while window.len() > window_size {
             let (id, _) = window.pop_front().expect("non-empty");
-            engine.remove(id);
+            engine.remove(id).expect("window handles are live");
         }
         // A few relocation passes keep the partition near a local optimum.
         let moved = engine.stabilize(3);

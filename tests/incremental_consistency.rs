@@ -22,7 +22,8 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ucpc::core::incremental::{IncrementalUcpc, ObjectId, StreamBackend};
+use std::collections::HashMap;
+use ucpc::core::incremental::{IncrementalUcpc, ObjectHandle, StreamBackend};
 use ucpc::core::objective::ClusterStats;
 use ucpc::core::PruningConfig;
 use ucpc::uncertain::simd::{self, Backend};
@@ -37,10 +38,16 @@ fn object(rng: &mut StdRng) -> UncertainObject {
 }
 
 /// Rebuilds per-cluster statistics from the live objects and labels.
-fn rebuild(live: &IncrementalUcpc, objects: &[UncertainObject]) -> Vec<ClusterStats> {
+/// Slots are recycled, so objects are recovered through a handle-keyed map
+/// rather than by slot index ((slot, generation) pairs are unique within a
+/// run).
+fn rebuild(
+    live: &IncrementalUcpc,
+    by_handle: &HashMap<ObjectHandle, UncertainObject>,
+) -> Vec<ClusterStats> {
     let mut stats = vec![ClusterStats::empty(2); live.k()];
     for (id, c) in live.live_labels() {
-        stats[c].add(objects[id.index()].moments());
+        stats[c].add(by_handle[&id].moments());
     }
     stats
 }
@@ -56,20 +63,24 @@ fn aggregates_match_rebuild_after_interleaved_removals_and_passes() {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut live = IncrementalUcpc::with_backend(2, 3, backend).unwrap();
             live.set_pruning(PruningConfig::Bounds);
-            let mut log: Vec<UncertainObject> = Vec::new();
+            let mut log: HashMap<ObjectHandle, UncertainObject> = HashMap::new();
             let mut ids = Vec::new();
 
             for step in 0..150 {
                 match rng.gen_range(0..10u8) {
                     0..=5 => {
                         let o = object(&mut rng);
-                        ids.push(live.insert(&o).unwrap());
-                        log.push(o);
+                        let h = live.insert(&o).unwrap();
+                        ids.push(h);
+                        log.insert(h, o);
                     }
                     6..=7 => {
                         if !ids.is_empty() {
+                            // The picked handle may already be stale (its
+                            // slot possibly recycled); the checked error is
+                            // exactly the no-op the old bool API promised.
                             let id = ids[rng.gen_range(0..ids.len())];
-                            live.remove(id);
+                            let _ = live.remove(id);
                         }
                     }
                     _ => {
@@ -129,7 +140,7 @@ fn removal_then_stabilize_cannot_reuse_stale_bounds() {
         ids.push(live.insert(&obj(c)).unwrap());
     }
     live.stabilize(10); // warm caches at the settled partition
-    let settled: Vec<(ObjectId, usize)> = live.live_labels();
+    let settled: Vec<(ObjectHandle, usize)> = live.live_labels();
     let right = settled
         .iter()
         .find(|&&(id, _)| id == ids[4])
@@ -138,8 +149,8 @@ fn removal_then_stabilize_cannot_reuse_stale_bounds() {
 
     // Remove the two far-right anchors; 5.5 should now prefer whichever
     // side wins on the remaining data — recompute, don't trust the cache.
-    assert!(live.remove(ids[3]));
-    assert!(live.remove(ids[4]));
+    live.remove(ids[3]).unwrap();
+    live.remove(ids[4]).unwrap();
     live.stabilize(10);
 
     let after = live.live_labels();
@@ -163,8 +174,8 @@ fn removal_then_stabilize_cannot_reuse_stale_bounds() {
         twin_ids.push(twin.insert(&obj(c)).unwrap());
     }
     twin.stabilize(10);
-    assert!(twin.remove(twin_ids[3]));
-    assert!(twin.remove(twin_ids[4]));
+    twin.remove(twin_ids[3]).unwrap();
+    twin.remove(twin_ids[4]).unwrap();
     twin.stabilize(10);
     assert_eq!(live.live_labels(), twin.live_labels());
     assert!((live.objective() - twin.objective()).abs() <= 1e-10);
@@ -180,10 +191,15 @@ enum Op {
     Stabilize(usize),
 }
 
-fn replay(backend: StreamBackend, pruning: PruningConfig, script: &[Op]) -> IncrementalUcpc {
+fn replay(
+    backend: StreamBackend,
+    pruning: PruningConfig,
+    script: &[Op],
+) -> (IncrementalUcpc, HashMap<ObjectHandle, UncertainObject>) {
     let mut live = IncrementalUcpc::with_backend(2, 3, backend).unwrap();
     live.set_pruning(pruning);
-    let mut ids: Vec<ObjectId> = Vec::new();
+    let mut ids: Vec<ObjectHandle> = Vec::new();
+    let mut by_handle: HashMap<ObjectHandle, UncertainObject> = HashMap::new();
     for op in script {
         match *op {
             Op::Insert(c, s) => {
@@ -191,16 +207,19 @@ fn replay(backend: StreamBackend, pruning: PruningConfig, script: &[Op]) -> Incr
                     UnivariatePdf::normal(c, s),
                     UnivariatePdf::uniform_centered(-c * 0.5, s + 0.1),
                 ]);
-                ids.push(live.insert(&o).unwrap());
+                let h = live.insert(&o).unwrap();
+                ids.push(h);
+                by_handle.insert(h, o);
             }
             Op::Remove(r) => {
-                let alive: Vec<ObjectId> = ids
+                let alive: Vec<ObjectHandle> = ids
                     .iter()
                     .copied()
                     .filter(|&id| live.label_of(id).is_some())
                     .collect();
                 if !alive.is_empty() {
-                    assert!(live.remove(alive[r % alive.len()]));
+                    live.remove(alive[r % alive.len()])
+                        .expect("picked handle is live");
                 }
             }
             Op::Stabilize(p) => {
@@ -208,7 +227,7 @@ fn replay(backend: StreamBackend, pruning: PruningConfig, script: &[Op]) -> Incr
             }
         }
     }
-    live
+    (live, by_handle)
 }
 
 /// Byte-level equality of two drivers' partitions and statistics.
@@ -261,7 +280,7 @@ fn slab_backend_is_byte_identical_to_objects_backend() {
             simd::force_backend(simd_backend).expect("backend available");
             for pruning in [PruningConfig::Off, PruningConfig::Bounds] {
                 for backend in [StreamBackend::Objects, StreamBackend::Slab] {
-                    let run = replay(backend, pruning, &script);
+                    let (run, _) = replay(backend, pruning, &script);
                     if let Some(r) = &reference {
                         assert_identical(
                             r,
@@ -284,14 +303,50 @@ fn slab_backend_is_byte_identical_to_objects_backend() {
 }
 
 #[test]
+fn stale_handle_errors_are_identical_across_backends() {
+    // Satellite regression: the reference backend used to silently no-op a
+    // remove of an already-removed id. Both backends must now return the
+    // identical checked error — for a double remove and for a handle whose
+    // slot has been recycled to a later arrival.
+    use ucpc::core::ClusterError;
+    let obj = |c: f64| {
+        UncertainObject::new(vec![
+            UnivariatePdf::normal(c, 0.1),
+            UnivariatePdf::uniform_centered(c, 0.5),
+        ])
+    };
+    let mut errors: Vec<Vec<ClusterError>> = Vec::new();
+    for backend in [StreamBackend::Objects, StreamBackend::Slab] {
+        let mut live = IncrementalUcpc::with_backend(2, 2, backend).unwrap();
+        let a = live.insert(&obj(0.0)).unwrap();
+        let b = live.insert(&obj(9.0)).unwrap();
+        live.remove(a).unwrap();
+        let double = live.remove(a).expect_err("double remove is an error");
+        // Recycle a's slot; the old handle must still be stale.
+        let c = live.insert(&obj(0.5)).unwrap();
+        assert_eq!(c.slot(), a.slot(), "slot recycled ({})", backend.name());
+        let recycled = live.remove(a).expect_err("recycled slot is stale");
+        assert!(matches!(double, ClusterError::StaleHandle { .. }));
+        assert_eq!(live.label_of(a), None);
+        assert!(live.label_of(b).is_some() && live.label_of(c).is_some());
+        assert_eq!(live.len(), 2, "stale removes must not change state");
+        errors.push(vec![double, recycled]);
+    }
+    assert_eq!(
+        errors[0], errors[1],
+        "backends must report identical stale-handle errors"
+    );
+}
+
+#[test]
 fn surgical_invalidation_skips_more_than_epoch_bumps() {
     // The whole point of the tracked-edit path: after edits, the slab
     // backend's cached bounds survive (widened), while the reference
     // backend rescans everything. Same script, same labels — strictly
     // better hit rate.
     let script = churn_script(99, 200);
-    let objects = replay(StreamBackend::Objects, PruningConfig::Bounds, &script);
-    let slab = replay(StreamBackend::Slab, PruningConfig::Bounds, &script);
+    let (objects, _) = replay(StreamBackend::Objects, PruningConfig::Bounds, &script);
+    let (slab, _) = replay(StreamBackend::Slab, PruningConfig::Bounds, &script);
     assert_identical(&objects, &slab, "hit-rate comparison script");
     let co = objects.pruning_counters();
     let cs = slab.pruning_counters();
@@ -319,8 +374,8 @@ proptest! {
     ) {
         let script = churn_script(seed, steps);
         let pruning = if pruned == 1 { PruningConfig::Bounds } else { PruningConfig::Off };
-        let objects = replay(StreamBackend::Objects, pruning, &script);
-        let slab = replay(StreamBackend::Slab, pruning, &script);
+        let (objects, _) = replay(StreamBackend::Objects, pruning, &script);
+        let (slab, by_handle) = replay(StreamBackend::Slab, pruning, &script);
 
         prop_assert_eq!(objects.live_labels(), slab.live_labels());
         prop_assert_eq!(objects.cluster_stats(), slab.cluster_stats());
@@ -329,18 +384,10 @@ proptest! {
             slab.objective().to_bits()
         );
 
-        // Both agree with a from-scratch statistics rebuild (replay the
-        // script once more just to recover the inserted objects).
-        let mut rng_like = Vec::new();
-        for op in &script {
-            if let Op::Insert(c, s) = *op {
-                rng_like.push(UncertainObject::new(vec![
-                    UnivariatePdf::normal(c, s),
-                    UnivariatePdf::uniform_centered(-c * 0.5, s + 0.1),
-                ]));
-            }
-        }
-        let rebuilt = rebuild(&slab, &rng_like);
+        // Both agree with a from-scratch statistics rebuild, recovering
+        // objects through the handle association (slots are recycled, so
+        // slot index is not a payload identity).
+        let rebuilt = rebuild(&slab, &by_handle);
         for (kept, fresh) in slab.cluster_stats().iter().zip(&rebuilt) {
             prop_assert_eq!(kept.size(), fresh.size());
             prop_assert!(close(kept.j(), fresh.j()));

@@ -123,7 +123,7 @@ proptest! {
                     }
                     if let Some((dst, best, second)) = shadow_scan(&stats, &arena, i, src) {
                         shards[i / write_chunk]
-                            .store(i, 0, &stats, totals, &versions, src, dst, best, second);
+                            .store(i, 0, 0, &stats, totals, &versions, src, dst, best, second);
                     }
                 }
             }
@@ -155,7 +155,7 @@ proptest! {
                 }
                 let v = arena.view(j);
                 let decision = shards[j / read_chunk]
-                    .decide(j, 0, &stats, totals, &versions, src, &v, TOLERANCE, scale);
+                    .decide(j, 0, 0, &stats, totals, &versions, src, &v, TOLERANCE, scale);
                 let truth = shadow_scan(&stats, &arena, j, src);
                 match decision {
                     PruneDecision::FullScan => {}
@@ -240,7 +240,7 @@ proptest! {
                 if let Some((dst, best, second)) = shadow_scan(&stats, &arena, i, src) {
                     cache
                         .view()
-                        .store(i, 0, &stats, totals, &versions, src, dst, best, second);
+                        .store(i, 0, 0, &stats, totals, &versions, src, dst, best, second);
                 }
             }
 
@@ -305,7 +305,7 @@ proptest! {
                 let decision =
                     cache
                         .view()
-                        .decide(j, 0, &stats, totals, &versions, src, &v, TOLERANCE, scale);
+                        .decide(j, 0, 0, &stats, totals, &versions, src, &v, TOLERANCE, scale);
                 let truth = shadow_scan(&stats, &arena, j, src);
                 match decision {
                     PruneDecision::FullScan => {}

@@ -1,0 +1,184 @@
+//! Snapshot/restore exactness suite.
+//!
+//! The contract under test: interrupting a streaming session mid-churn —
+//! snapshot, drop the engine, restore from bytes, continue the same edit
+//! script — produces **byte-for-byte** the labels, per-cluster statistic
+//! bits and objective bits of the uninterrupted run. Pinned across the full
+//! configuration matrix {objects, slab} × {pruning off, bounds} ×
+//! {scalar, detected SIMD}, deterministically and under a property test
+//! with random scripts and random cut points. Handles issued before the
+//! snapshot stay valid after restore (slot and generation are part of the
+//! serialized state), so callers keep their ids across a recovery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ucpc::core::incremental::{IncrementalUcpc, ObjectHandle, StreamBackend};
+use ucpc::core::PruningConfig;
+use ucpc::uncertain::simd::{self, Backend};
+use ucpc::uncertain::{UncertainObject, UnivariatePdf};
+
+/// One scripted streaming session, replayed identically with and without
+/// the mid-script snapshot/restore interruption.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(f64, f64),
+    /// Remove the `r`-th (mod live count) still-live handle.
+    Remove(usize),
+    Stabilize(usize),
+}
+
+fn churn_script(seed: u64, steps: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut script = Vec::with_capacity(steps + 8);
+    for _ in 0..8 {
+        script.push(Op::Insert(
+            rng.gen_range(-10.0..10.0),
+            rng.gen_range(0.05..0.8),
+        ));
+    }
+    for _ in 0..steps {
+        script.push(match rng.gen_range(0..10u8) {
+            0..=4 => Op::Insert(rng.gen_range(-10.0..10.0), rng.gen_range(0.05..0.8)),
+            5..=7 => Op::Remove(rng.gen_range(0..64)),
+            _ => Op::Stabilize(rng.gen_range(1..4)),
+        });
+    }
+    script
+}
+
+fn apply(live: &mut IncrementalUcpc, ids: &mut Vec<ObjectHandle>, op: &Op) {
+    match *op {
+        Op::Insert(c, s) => {
+            let o = UncertainObject::new(vec![
+                UnivariatePdf::normal(c, s),
+                UnivariatePdf::uniform_centered(-c * 0.5, s + 0.1),
+            ]);
+            ids.push(live.insert(&o).unwrap());
+        }
+        Op::Remove(r) => {
+            let alive: Vec<ObjectHandle> = ids
+                .iter()
+                .copied()
+                .filter(|&id| live.label_of(id).is_some())
+                .collect();
+            if !alive.is_empty() {
+                live.remove(alive[r % alive.len()])
+                    .expect("picked handle is live");
+            }
+        }
+        Op::Stabilize(p) => {
+            live.stabilize(p);
+        }
+    }
+}
+
+/// Runs `script` on a fresh engine; if `cut` is given, snapshots after
+/// `cut` ops, drops the engine, restores from bytes and continues — the
+/// pre-cut handles are reused verbatim across the interruption.
+fn run(
+    backend: StreamBackend,
+    pruning: PruningConfig,
+    script: &[Op],
+    cut: Option<usize>,
+) -> IncrementalUcpc {
+    let mut live = IncrementalUcpc::with_backend(2, 3, backend).unwrap();
+    live.set_pruning(pruning);
+    let mut ids: Vec<ObjectHandle> = Vec::new();
+    for (i, op) in script.iter().enumerate() {
+        if cut == Some(i) {
+            let bytes = live.snapshot();
+            drop(live);
+            live = IncrementalUcpc::restore(&bytes).expect("own snapshot restores");
+        }
+        apply(&mut live, &mut ids, op);
+    }
+    live
+}
+
+fn assert_identical(a: &IncrementalUcpc, b: &IncrementalUcpc, what: &str) {
+    assert_eq!(a.live_labels(), b.live_labels(), "labels diverged: {what}");
+    assert_eq!(
+        a.cluster_stats(),
+        b.cluster_stats(),
+        "cluster statistics diverged bitwise: {what}"
+    );
+    assert_eq!(
+        a.objective().to_bits(),
+        b.objective().to_bits(),
+        "objective bits diverged: {what}"
+    );
+}
+
+#[test]
+fn restore_mid_churn_continues_bit_identically_across_the_matrix() {
+    let restore = simd::active_backend();
+    let script = churn_script(7, 140);
+    for simd_backend in [Backend::Scalar, Backend::detect()] {
+        simd::force_backend(simd_backend).expect("backend available");
+        for pruning in [PruningConfig::Off, PruningConfig::Bounds] {
+            for backend in [StreamBackend::Objects, StreamBackend::Slab] {
+                let what = format!(
+                    "{} / {:?} / {}",
+                    backend.name(),
+                    pruning,
+                    simd_backend.name()
+                );
+                let uninterrupted = run(backend, pruning, &script, None);
+                for cut in [20, 74, 139] {
+                    let resumed = run(backend, pruning, &script, Some(cut));
+                    assert_identical(&uninterrupted, &resumed, &format!("{what}, cut {cut}"));
+                }
+            }
+        }
+    }
+    simd::force_backend(restore).expect("restore prior backend");
+}
+
+#[test]
+fn snapshot_of_restored_engine_reproduces_the_bytes() {
+    for backend in [StreamBackend::Objects, StreamBackend::Slab] {
+        for pruning in [PruningConfig::Off, PruningConfig::Bounds] {
+            let live = run(backend, pruning, &churn_script(21, 90), None);
+            let bytes = live.snapshot();
+            let back = IncrementalUcpc::restore(&bytes).expect("restores");
+            assert_eq!(back.backend(), backend);
+            assert_eq!(
+                back.snapshot(),
+                bytes,
+                "snapshot(restore(s)) must equal s ({} / {:?})",
+                backend.name(),
+                pruning
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random scripts, random cut points: the interrupted run is always
+    /// bit-identical to the uninterrupted one, on both backends and both
+    /// pruning configurations.
+    #[test]
+    fn random_cut_points_preserve_bit_identity(
+        seed in 0u64..1_000_000,
+        steps in 20usize..100,
+        cut_frac in 0.0f64..1.0,
+        pruned in 0u8..2,
+    ) {
+        let script = churn_script(seed, steps);
+        let cut = ((script.len() - 1) as f64 * cut_frac) as usize;
+        let pruning = if pruned == 1 { PruningConfig::Bounds } else { PruningConfig::Off };
+        for backend in [StreamBackend::Objects, StreamBackend::Slab] {
+            let uninterrupted = run(backend, pruning, &script, None);
+            let resumed = run(backend, pruning, &script, Some(cut));
+            prop_assert_eq!(uninterrupted.live_labels(), resumed.live_labels());
+            prop_assert_eq!(uninterrupted.cluster_stats(), resumed.cluster_stats());
+            prop_assert_eq!(
+                uninterrupted.objective().to_bits(),
+                resumed.objective().to_bits()
+            );
+        }
+    }
+}
