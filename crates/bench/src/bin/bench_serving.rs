@@ -1,0 +1,99 @@
+//! Measures the serving grid: the batched assignment-serving front door
+//! (`ucpc_core::serving::ServingUcpc`) under an open-loop placement
+//! stream, across micro-batch sizes, on a small shape and the acceptance
+//! shape (n=10k, m=32, k=20). Reports p50/p99 response latency and
+//! arrivals/sec per batch size; the committed gate
+//! (`BENCH_relocation.json`, `required_serving_speedup`) requires batched
+//! serving ≥ 1.5× the batch-size-1 throughput on the acceptance shape.
+//!
+//! Every repetition asserts the final partition byte-identical across
+//! batch sizes and equal to a serial `IncrementalUcpc` replay, so the
+//! measurement doubles as the end-to-end serving exactness check.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p ucpc-bench --bin bench_serving` — the full
+//!   measured grid (printed; splice into `BENCH_relocation.json` via
+//!   `bench_relocation`, which emits the same rows).
+//! * `cargo run --release -p ucpc-bench --bin bench_serving -- --check` —
+//!   CI mode: a reduced grid whose value is the byte-identity assert, not
+//!   the timings (debug-friendly sizes, no gate evaluation).
+
+use ucpc_bench::relocation::Shape;
+use ucpc_bench::serving::{serving_comparison, ServingSpec};
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    if check {
+        // CI leg: exactness across batch sizes on two shapes bracketing the
+        // SIMD dispatch threshold. The asserts live inside
+        // `serving_comparison`; reaching the prints means they held.
+        for shape in [
+            Shape { n: 400, m: 8, k: 5 },
+            Shape {
+                n: 600,
+                m: 32,
+                k: 8,
+            },
+        ] {
+            let spec = ServingSpec {
+                arrivals: 400,
+                commit_every: 3,
+                top_k: 4,
+            };
+            serving_comparison(shape, spec, 7, 1, &[1, 3, 16, 64]);
+            println!(
+                "serving --check ok: n={} m={} k={} byte-identical across batch sizes and serial",
+                shape.n, shape.m, shape.k
+            );
+        }
+        return;
+    }
+
+    let reps = 9;
+    // Placement-heavy open loop: 1 commit per 16 arrivals keeps the engine
+    // churning while the measured quantity stays what the gate names —
+    // batched *placement* throughput.
+    let spec = ServingSpec {
+        arrivals: 4000,
+        commit_every: 16,
+        top_k: 4,
+    };
+    println!(
+        "{:<22} {:>6} {:>12} {:>12} {:>14} {:>9}",
+        "serving (open loop)", "batch", "p50 ns", "p99 ns", "arrivals/s", "vs b=1"
+    );
+    for shape in [
+        Shape {
+            n: 2_000,
+            m: 16,
+            k: 8,
+        },
+        Shape {
+            n: 10_000,
+            m: 32,
+            k: 20,
+        },
+    ] {
+        let rows = serving_comparison(shape, spec, 7, reps, &[1, 8, 16, 32]);
+        let base = rows
+            .iter()
+            .find(|r| r.batch == 1)
+            .expect("batch-1 row present")
+            .arrivals_per_sec;
+        for row in &rows {
+            println!(
+                "n={:<6} m={:<3} k={:<4} {:>6} {:>12} {:>12} {:>14.0} {:>8.2}x",
+                shape.n,
+                shape.m,
+                shape.k,
+                row.batch,
+                row.p50_ns,
+                row.p99_ns,
+                row.arrivals_per_sec,
+                row.arrivals_per_sec / base
+            );
+        }
+    }
+}

@@ -40,7 +40,11 @@
 //! `PdfAssignment::assign_into_arena` pipeline), and
 //! [`streaming::streaming_comparison`], the `IncrementalUcpc` churn loop
 //! over storage backends × pruning (slab free-list reuse + surgical
-//! invalidation vs the per-object reference path). Every comparison
+//! invalidation vs the per-object reference path), and
+//! [`serving::serving_comparison`], the batched assignment-serving front
+//! door (`ucpc_core::serving::ServingUcpc`) under an open-loop placement
+//! stream across micro-batch sizes, reporting p50/p99 response latency
+//! and arrivals/sec (the `bench_serving` binary). Every comparison
 //! doubles as an exactness check: any label divergence panics the bench.
 
 #![warn(missing_docs)]
@@ -49,4 +53,5 @@ pub mod args;
 pub mod harness;
 pub mod relocation;
 pub mod report;
+pub mod serving;
 pub mod streaming;

@@ -126,15 +126,19 @@ pub enum StreamBackend {
 }
 
 impl StreamBackend {
-    /// Reads the `UCPC_STREAMING` environment knob (`"slab"` ⇒
-    /// [`Self::Slab`], `"objects"` ⇒ [`Self::Objects`], anything else ⇒
-    /// `None`).
+    /// Reads the `UCPC_STREAMING` environment knob through the shared
+    /// warn-and-fall-back reader ([`ucpc_uncertain::env::read_knob`]): a
+    /// set but invalid value warns on stderr and yields `None` (callers
+    /// fall back to their default), instead of failing silently.
     pub fn from_env() -> Option<Self> {
-        match std::env::var("UCPC_STREAMING")
-            .ok()?
-            .to_lowercase()
-            .as_str()
-        {
+        ucpc_uncertain::env::read_knob("UCPC_STREAMING", "slab|objects", Self::parse)
+    }
+
+    /// Parses one knob value (`"slab"` ⇒ [`Self::Slab`], `"objects"` ⇒
+    /// [`Self::Objects`], anything else ⇒ `None`) — the pure worker behind
+    /// [`Self::from_env`], exposed for env-free unit tests.
+    pub fn parse(v: &str) -> Option<Self> {
+        match v {
             "slab" => Some(Self::Slab),
             "objects" => Some(Self::Objects),
             _ => None,
@@ -202,28 +206,35 @@ impl MomentStore {
         }
     }
 
-    /// Stores one arrival, recycling a freed slot when one exists, and
-    /// returns its generation-stamped handle.
-    fn insert(&mut self, mo: &Moments) -> ObjectHandle {
+    /// Stores one arrival from its kernel view, recycling a freed slot when
+    /// one exists, and returns its generation-stamped handle. Every field
+    /// behind the view is copied **verbatim** ([`Moments::from_view`] /
+    /// [`SlabArena::insert_view`]), so storing a staged copy of an object
+    /// writes exactly the bits storing the object directly would — the
+    /// property the serving layer's staging→commit hop rides on.
+    fn insert_view(&mut self, v: &MomentView<'_>) -> ObjectHandle {
         match self {
             Self::Objects {
                 objects,
                 free,
                 gens,
-            } => match free.pop() {
-                Some(slot) => {
-                    objects[slot as usize] = Some(mo.clone());
-                    ObjectHandle::new(slot, gens[slot as usize])
+            } => {
+                let mo = Moments::from_view(v);
+                match free.pop() {
+                    Some(slot) => {
+                        objects[slot as usize] = Some(mo);
+                        ObjectHandle::new(slot, gens[slot as usize])
+                    }
+                    None => {
+                        objects.push(Some(mo));
+                        gens.push(0);
+                        let slot = u32::try_from(objects.len() - 1)
+                            .expect("streaming slot space exhausted (u32)");
+                        ObjectHandle::new(slot, 0)
+                    }
                 }
-                None => {
-                    objects.push(Some(mo.clone()));
-                    gens.push(0);
-                    let slot = u32::try_from(objects.len() - 1)
-                        .expect("streaming slot space exhausted (u32)");
-                    ObjectHandle::new(slot, 0)
-                }
-            },
-            Self::Slab { slab } => slab.insert(mo),
+            }
+            Self::Slab { slab } => slab.insert_view(v),
         }
     }
 
@@ -449,22 +460,40 @@ impl IncrementalUcpc {
     /// a bit-identical `(cluster, delta)` (shadow-asserted in debug
     /// builds).
     pub fn insert(&mut self, object: &UncertainObject) -> Result<ObjectHandle, ClusterError> {
-        if object.dims() != self.m {
+        self.insert_moments(object.moments())
+    }
+
+    /// [`Self::insert`] for an arrival already reduced to its moments — the
+    /// pdf-free admission path (serving layers hold moments, not pdfs).
+    /// Identical placement, mutation sequence and handle issue as
+    /// `insert(&object)` for `object.moments() == mo`.
+    pub fn insert_moments(&mut self, mo: &Moments) -> Result<ObjectHandle, ClusterError> {
+        if mo.dims() != self.m {
             return Err(ClusterError::DimensionMismatch {
                 expected: self.m,
-                found: object.dims(),
+                found: mo.dims(),
                 index: self.labels.len(),
             });
         }
-        let mo = object.moments();
         let v = mo.view();
-        let (best, _) = if self.pruning.is_enabled() {
+        let best = self.price_insertion(&v);
+        Ok(self.commit_placed(&v, best))
+    }
+
+    /// The placement scan of [`Self::insert`], factored out so the serving
+    /// layer prices arrivals through the identical kernel: with pruning off
+    /// the dot3-batched [`best_insertion`] over all `k` clusters, with
+    /// pruning on the Cauchy–Schwarz-bounded [`best_insertion_bounded`]
+    /// scan, which returns a bit-identical cluster (shadow-asserted in
+    /// debug builds). Mutates only the pruning counters.
+    pub(crate) fn price_insertion(&mut self, v: &MomentView<'_>) -> usize {
+        let (best, _delta) = if self.pruning.is_enabled() {
             let scale = fp_scale(&self.stats);
-            let picked = best_insertion_bounded(&self.stats, &v, scale, &mut self.counters)
+            let picked = best_insertion_bounded(&self.stats, v, scale, &mut self.counters)
                 .expect("k >= 1 clusters");
             #[cfg(debug_assertions)]
             {
-                let shadow = best_insertion(&self.stats, &v).expect("k >= 1 clusters");
+                let shadow = best_insertion(&self.stats, v).expect("k >= 1 clusters");
                 debug_assert_eq!(
                     picked.0, shadow.0,
                     "bounded placement must pick the full scan's cluster"
@@ -477,11 +506,23 @@ impl IncrementalUcpc {
             }
             picked
         } else {
-            best_insertion(&self.stats, &v).expect("k >= 1 clusters")
+            best_insertion(&self.stats, v).expect("k >= 1 clusters")
         };
+        best
+    }
+
+    /// Applies an already-priced placement: the exact mutation sequence of
+    /// [`Self::insert`] after its scan — statistics update (tracked on the
+    /// slab backend, epoch-bumped on the reference backend), verbatim store
+    /// of the arrival's bits ([`MomentStore::insert_view`]), label write,
+    /// live count. The serving layer calls this per batched arrival, with
+    /// `best` produced by batch pricing that is bit-identical to
+    /// [`Self::price_insertion`]; the resulting engine state is therefore
+    /// byte-identical to a serial `insert` of the same arrival.
+    pub(crate) fn commit_placed(&mut self, v: &MomentView<'_>, best: usize) -> ObjectHandle {
         match self.store {
             MomentStore::Objects { .. } => {
-                self.stats[best].add_view(&v);
+                self.stats[best].add_view(v);
                 // The insertion mutated a cluster outside the drift-tracked
                 // path: invalidate every cached scan outcome.
                 self.epoch += 1;
@@ -493,13 +534,13 @@ impl IncrementalUcpc {
                 apply_tracked_insert(
                     &mut self.stats,
                     best,
-                    &v,
+                    v,
                     &mut self.totals,
                     &mut self.versions,
                 );
             }
         }
-        let h = self.store.insert(mo);
+        let h = self.store.insert_view(v);
         let slot = h.slot();
         if slot == self.labels.len() {
             self.labels.push(Some(best));
@@ -508,7 +549,7 @@ impl IncrementalUcpc {
             self.labels[slot] = Some(best);
         }
         self.live += 1;
-        Ok(h)
+        h
     }
 
     /// Removes a live object in O(m). A stale handle — already removed, or
@@ -703,6 +744,24 @@ mod tests {
 
     fn obj(c: f64) -> UncertainObject {
         UncertainObject::new(vec![UnivariatePdf::normal(c, 0.2)])
+    }
+
+    #[test]
+    fn streaming_knob_parses_both_backends_and_warns_on_typos() {
+        assert_eq!(StreamBackend::parse("slab"), Some(StreamBackend::Slab));
+        assert_eq!(
+            StreamBackend::parse("objects"),
+            Some(StreamBackend::Objects)
+        );
+        assert_eq!(StreamBackend::parse("arena"), None);
+        let (outcome, warning) = ucpc_uncertain::env::parse_knob(
+            "UCPC_STREAMING",
+            Some("arena"),
+            "slab|objects",
+            StreamBackend::parse,
+        );
+        assert_eq!(outcome.value(), None);
+        assert!(warning.unwrap().contains("UCPC_STREAMING=\"arena\""));
     }
 
     #[test]

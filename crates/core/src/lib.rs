@@ -80,6 +80,7 @@ pub mod parallel;
 pub mod pruning;
 pub mod restarts;
 pub mod scheduler;
+pub mod serving;
 pub mod snapshot;
 pub mod ucentroid;
 pub mod ucpc;
@@ -88,6 +89,7 @@ pub use framework::{ClusterError, Clustering, UncertainClusterer};
 pub use init::Initializer;
 pub use objective::ClusterStats;
 pub use pruning::{PruneCounters, PruningConfig};
+pub use serving::{PlacementAnswer, ServingConfig, ServingError, ServingResponse, ServingUcpc};
 pub use snapshot::SnapshotError;
 pub use ucentroid::UCentroid;
 pub use ucpc::{Ucpc, UcpcResult};

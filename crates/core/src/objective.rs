@@ -454,11 +454,43 @@ impl ClusterStats {
     /// batched and unbatched scans produce identical deltas.
     #[inline]
     pub fn delta_j_add_with_cross(&self, v: &MomentView<'_>, cross: f64) -> f64 {
-        let new_inv = 1.0 / (self.size + 1) as f64;
-        let psi = self.psi_tot + v.sum_var;
-        let s_sq = self.s_sq_tot + 2.0 * cross + v.sum_mu_sq;
-        let j_new = (psi - s_sq) * new_inv + self.phi_tot + v.sum_mu2;
-        j_new - self.j()
+        self.delta_j_add_from_parts(v.sum_var, v.sum_mu_sq, v.sum_mu2, cross)
+    }
+
+    /// [`Self::delta_j_add_with_cross`] with the object reduced to the three
+    /// scalars the formula actually reads (`Σvar`, `‖mu‖²`, `Σμ₂`) — the
+    /// hook for batch pricing loops that stage those scalars once per
+    /// arrival instead of materializing a [`MomentView`] per (cluster,
+    /// arrival) pair. This *is* the Corollary-1 delta: every other add-side
+    /// delta entry point delegates here, so all of them are bit-identical
+    /// by construction.
+    #[inline]
+    pub fn delta_j_add_from_parts(
+        &self,
+        sum_var: f64,
+        sum_mu_sq: f64,
+        sum_mu2: f64,
+        cross: f64,
+    ) -> f64 {
+        self.add_pricer().price(sum_var, sum_mu_sq, sum_mu2, cross)
+    }
+
+    /// The cluster's add-side pricing constants, hoisted for a batch loop:
+    /// `1/(|C|+1)` and the base objective `J(C)` cost one division each and
+    /// are identical for every arrival priced against the same statistics,
+    /// so a `B × k` pricing pass pays them once per cluster instead of once
+    /// per (cluster, arrival). [`Self::delta_j_add_from_parts`] delegates to
+    /// [`AddPricer::price`], keeping every add-side delta bit-identical by
+    /// construction.
+    #[inline]
+    pub fn add_pricer(&self) -> AddPricer {
+        AddPricer {
+            new_inv: 1.0 / (self.size + 1) as f64,
+            psi_tot: self.psi_tot,
+            s_sq_tot: self.s_sq_tot,
+            phi_tot: self.phi_tot,
+            j_base: self.j(),
+        }
     }
 
     /// An exact lower bound on [`Self::delta_j_add`] that needs **no dot
@@ -719,6 +751,35 @@ impl ClusterStats {
         }
         let total_psi: f64 = self.psi.iter().sum();
         total_psi / (self.size * self.size) as f64
+    }
+}
+
+/// Per-cluster constants of the Corollary-1 add delta, captured once by
+/// [`ClusterStats::add_pricer`] so a batch pricing loop pays the two
+/// divisions (`1/(|C|+1)` and the one inside `J(C)`) per cluster rather
+/// than per (cluster, arrival). [`AddPricer::price`] is *the*
+/// implementation of the delta — [`ClusterStats::delta_j_add_from_parts`]
+/// (and through it every add-side entry point) delegates here.
+#[derive(Debug, Clone, Copy)]
+pub struct AddPricer {
+    new_inv: f64,
+    psi_tot: f64,
+    s_sq_tot: f64,
+    phi_tot: f64,
+    j_base: f64,
+}
+
+impl AddPricer {
+    /// Objective change of adding an arrival reduced to its three scalars
+    /// plus the `⟨s, mu⟩` cross term — operation-for-operation the
+    /// Corollary-1 formula of [`ClusterStats::delta_j_add_from_parts`], so
+    /// hoisted and unhoisted evaluation produce identical bits.
+    #[inline]
+    pub fn price(&self, sum_var: f64, sum_mu_sq: f64, sum_mu2: f64, cross: f64) -> f64 {
+        let psi = self.psi_tot + sum_var;
+        let s_sq = self.s_sq_tot + 2.0 * cross + sum_mu_sq;
+        let j_new = (psi - s_sq) * self.new_inv + self.phi_tot + sum_mu2;
+        j_new - self.j_base
     }
 }
 

@@ -75,15 +75,23 @@ pub enum ParallelBackend {
 }
 
 impl ParallelBackend {
-    /// Reads the `UCPC_PARALLEL` environment knob (`"even"` ⇒
-    /// [`Self::Even`], `"steal"` ⇒ [`Self::Steal`], anything else ⇒
-    /// `None`).
-    pub fn from_env() -> Option<Self> {
-        match std::env::var("UCPC_PARALLEL").ok()?.to_lowercase().as_str() {
+    /// Parses one knob value (`"even"` ⇒ [`Self::Even`], `"steal"` ⇒
+    /// [`Self::Steal`], anything else ⇒ `None`) — the pure worker behind
+    /// [`Self::from_env`], exposed for env-free unit tests.
+    pub fn parse(v: &str) -> Option<Self> {
+        match v {
             "even" => Some(Self::Even),
             "steal" => Some(Self::Steal),
             _ => None,
         }
+    }
+
+    /// Reads the `UCPC_PARALLEL` environment knob through the shared
+    /// warn-and-fall-back reader ([`ucpc_uncertain::env::read_knob`]): a
+    /// set but invalid value warns on stderr and yields `None` (callers
+    /// fall back to their default), instead of failing silently.
+    pub fn from_env() -> Option<Self> {
+        ucpc_uncertain::env::read_knob("UCPC_PARALLEL", "even|steal", Self::parse)
     }
 
     /// The knob spelling of this backend.
@@ -602,6 +610,24 @@ impl UncertainClusterer for ParallelUcpc {
 mod tests {
     use super::*;
     use crate::ucpc::Ucpc;
+
+    #[test]
+    fn parallel_knob_parses_both_backends_and_warns_on_typos() {
+        assert_eq!(ParallelBackend::parse("even"), Some(ParallelBackend::Even));
+        assert_eq!(
+            ParallelBackend::parse("steal"),
+            Some(ParallelBackend::Steal)
+        );
+        assert_eq!(ParallelBackend::parse("stealing"), None);
+        let (outcome, warning) = ucpc_uncertain::env::parse_knob(
+            "UCPC_PARALLEL",
+            Some("Stealing"),
+            "even|steal",
+            ParallelBackend::parse,
+        );
+        assert_eq!(outcome.value(), None);
+        assert!(warning.unwrap().contains("UCPC_PARALLEL=\"Stealing\""));
+    }
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use ucpc_uncertain::UnivariatePdf;

@@ -165,15 +165,23 @@ pub enum PruningConfig {
 }
 
 impl PruningConfig {
-    /// Reads the `UCPC_PRUNING` environment knob (`"bounds"`/`"on"`/`"1"` ⇒
-    /// [`Self::Bounds`], `"off"`/`"0"` ⇒ [`Self::Off`], anything else ⇒
-    /// `None`).
-    pub fn from_env() -> Option<Self> {
-        match std::env::var("UCPC_PRUNING").ok()?.to_lowercase().as_str() {
+    /// Parses one knob value (`"bounds"`/`"on"`/`"1"` ⇒ [`Self::Bounds`],
+    /// `"off"`/`"0"` ⇒ [`Self::Off]`, anything else ⇒ `None`) — the pure
+    /// worker behind [`Self::from_env`], exposed for env-free unit tests.
+    pub fn parse(v: &str) -> Option<Self> {
+        match v {
             "bounds" | "on" | "1" => Some(Self::Bounds),
             "off" | "0" => Some(Self::Off),
             _ => None,
         }
+    }
+
+    /// Reads the `UCPC_PRUNING` environment knob through the shared
+    /// warn-and-fall-back reader ([`ucpc_uncertain::env::read_knob`]): a set
+    /// but invalid value warns on stderr and yields `None` (callers fall
+    /// back to their default), instead of failing silently.
+    pub fn from_env() -> Option<Self> {
+        ucpc_uncertain::env::read_knob("UCPC_PRUNING", "bounds|on|1|off|0", Self::parse)
     }
 
     /// Whether pruning is active.
@@ -892,6 +900,27 @@ impl PruneShard<'_> {
 mod tests {
     use super::*;
     use ucpc_uncertain::{MomentArena, UncertainObject, UnivariatePdf};
+
+    #[test]
+    fn pruning_knob_parses_all_spellings_and_warns_on_typos() {
+        for on in ["bounds", "on", "1"] {
+            assert_eq!(PruningConfig::parse(on), Some(PruningConfig::Bounds));
+        }
+        for off in ["off", "0"] {
+            assert_eq!(PruningConfig::parse(off), Some(PruningConfig::Off));
+        }
+        assert_eq!(PruningConfig::parse("bonds"), None);
+        // Routed through the shared reader, an invalid value must warn, not
+        // silently fall back (env-free: feed the raw string directly).
+        let (outcome, warning) = ucpc_uncertain::env::parse_knob(
+            "UCPC_PRUNING",
+            Some("bonds"),
+            "bounds|on|1|off|0",
+            PruningConfig::parse,
+        );
+        assert_eq!(outcome.value(), None);
+        assert!(warning.unwrap().contains("UCPC_PRUNING=\"bonds\""));
+    }
 
     fn objects(n: usize) -> Vec<UncertainObject> {
         (0..n)

@@ -1,0 +1,979 @@
+//! Batched assignment serving over [`IncrementalUcpc`] — the point-query
+//! front door: "here is a new uncertain object; which cluster, with what
+//! confidence?"
+//!
+//! # Shape
+//!
+//! [`ServingUcpc`] wraps a live [`IncrementalUcpc`] behind an ingest queue.
+//! Requests — placement queries, commits, removals, stabilizations — are
+//! *submitted* (admitted into the queue, arrival moments staged into a
+//! preallocated scratch arena, a [`Ticket`] issued) and later *flushed* as
+//! one micro-batch, either explicitly ([`ServingUcpc::flush`]) or through
+//! [`ServingUcpc::poll`] when the batch-size or deadline trigger fires.
+//! A flush runs the state machine admit → batch → price → apply → respond:
+//!
+//! 1. **price** — every staged arrival in the batch is priced against the
+//!    flush-start cluster statistics in two arena passes: a cluster-major
+//!    pass where one dispatched [`dot_block`] call per cluster loads that
+//!    cluster's `mean_sum` row once and fills a row of the `k × B` cross
+//!    matrix (inside, arrivals stream through the same fused [`dot3`]
+//!    batching the relocation scan uses), then an arrival-major pass that
+//!    evaluates each arrival's delta-`J` row through per-cluster hoisted
+//!    pricers ([`AddPricer`]) and folds its top-k answer while the row is
+//!    cache-hot — producing the full `B × k` delta matrix and every
+//!    arrival's ranked answer in one batch;
+//! 2. **apply** — requests are replayed in submission order: queries read
+//!    their delta row, commits place the arrival through
+//!    `IncrementalUcpc::commit_placed` (the exact serial mutation
+//!    sequence), removals and stabilizations run on the live engine;
+//! 3. **respond** — each request's answer ([`ServingResponse`]) is queued
+//!    in submission order for [`ServingUcpc::pop_response`], with placement
+//!    answers carrying the top-`k'` clusters by exact delta-`J` and the
+//!    best/second-best margin.
+//!
+//! Backpressure is saturating and checked: a submit against a full queue
+//! returns [`ServingError::QueueFull`] — it never blocks and never drops
+//! silently — and the caller sheds or retries after a flush.
+//!
+//! # Why batched pricing is bit-identical to serial
+//!
+//! The correctness bar is the one every backend of the engine has met: a
+//! committed batch of `B` arrivals must leave labels, `ClusterStats` and
+//! the objective **byte-identical** to `B` serial
+//! [`IncrementalUcpc::insert`] calls. That holds by construction:
+//!
+//! * **Deltas.** Serial placement scans fold
+//!   `delta = stats[c].delta_j_add(v)` over ascending `c` (the pruned scan,
+//!   [`best_insertion_bounded`], is shadow-asserted bit-identical to the
+//!   full scan). `delta_j_add(v)` is a *pure function* of the bits of
+//!   `stats[c]` and `v`, equal to `delta_j_add_with_cross(v, ⟨s_c, mu(v)⟩)`.
+//!   The batch pricer computes exactly that cross term — [`dot_block`]
+//!   yields per-arrival crosses contractually bit-identical to the single
+//!   [`dot`]`(s_c, mu_i)` the serial kernel evaluates (the SIMD module's
+//!   bit-identity contract), the hoisted [`AddPricer`] evaluates the same
+//!   Corollary-1 expression in the same operation order (the hoisting
+//!   moves only *when* the per-cluster divisions happen, not their
+//!   values), and short rows below
+//!   [`DISPATCH_THRESHOLD`] use the identical per-cluster `delta_j_add`
+//!   calls — so every entry of the `B × k` matrix carries the very bits the
+//!   serial scan would compute *against flush-start statistics*.
+//! * **Staleness.** Applying the batch in submission order mutates
+//!   statistics mid-batch, so a pre-priced delta is valid only while its
+//!   cluster is untouched. Every mutation marks its clusters dirty for the
+//!   remainder of the flush: a commit dirties the cluster it fed, a removal
+//!   dirties the cluster it drained, a stabilization that relocated
+//!   anything dirties all `k`. At apply time each arrival folds a *merged*
+//!   row — the pre-priced delta for clean clusters (whose statistics are
+//!   bitwise unchanged since flush start, so the delta is bitwise what
+//!   serial would compute right now) and a live `delta_j_add` recompute for
+//!   dirty ones — with the scan's exact strict-less, first-index-wins-ties
+//!   semantics. The folded argmin therefore matches the serial scan bit for
+//!   bit (debug builds shadow-assert this against a live full scan on every
+//!   commit).
+//! * **Storage.** The staged copy of an arrival is written and re-read
+//!   **verbatim** — [`MomentArena::overwrite_row`] on admission,
+//!   [`MomentStore::insert_view`] on commit copy every moment row and
+//!   scalar aggregate bit for bit, deriving nothing — and
+//!   `IncrementalUcpc::commit_placed` replays the serial insert's exact
+//!   mutation sequence (tracked statistics update, verbatim store, label
+//!   write, live count). Handles come from the same slot/generation
+//!   discipline, so even the issued [`ObjectHandle`]s coincide.
+//! * **Cadence.** Stabilization runs on a *commit counter*
+//!   ([`ServingConfig::stabilize_every`]), firing immediately after every
+//!   N-th commit — mid-batch when the batch spans the boundary — so the
+//!   stabilization points in the edit sequence are independent of how
+//!   arrivals were batched, and a serial replay reproduces them exactly.
+//!
+//! The differential harness (`tests/serving_differential.rs`) pins all of
+//! this across batch sizes × storage backends × pruning × SIMD backends.
+//!
+//! # Knobs
+//!
+//! [`ServingConfig::default`] honours `UCPC_BATCH` (micro-batch size) and
+//! `UCPC_STABILIZE` (stabilize after every N commits, `0`/`off` = never),
+//! both read through the shared warn-and-fall-back knob reader
+//! ([`ucpc_uncertain::env::read_knob`]).
+//!
+//! [`best_insertion_bounded`]: crate::pruning::best_insertion_bounded
+//! [`dot`]: ucpc_uncertain::simd::dot
+//! [`dot3`]: ucpc_uncertain::simd::dot3
+//! [`dot_block`]: ucpc_uncertain::simd::dot_block
+//! [`AddPricer`]: crate::objective::AddPricer
+//! [`DISPATCH_THRESHOLD`]: ucpc_uncertain::simd::DISPATCH_THRESHOLD
+//! [`MomentArena::overwrite_row`]: ucpc_uncertain::MomentArena::overwrite_row
+//! [`MomentStore::insert_view`]: crate::incremental::IncrementalUcpc
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crate::framework::ClusterError;
+use crate::incremental::{IncrementalUcpc, ObjectHandle, StreamBackend};
+use crate::objective::AddPricer;
+use ucpc_uncertain::simd::{dot_block, DISPATCH_THRESHOLD};
+use ucpc_uncertain::{MomentArena, Moments, UncertainObject};
+
+/// Monotonically increasing request identifier, issued at submission and
+/// echoed with the request's [`ServingResponse`]. Responses come back in
+/// ticket (= submission) order.
+pub type Ticket = u64;
+
+/// The most clusters a [`PlacementAnswer`] can rank. Answers are fixed-size
+/// so steady-state serving allocates nothing per request.
+pub const MAX_TOP_K: usize = 8;
+
+/// Checked submission failure of [`ServingUcpc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServingError {
+    /// The ingest queue is at capacity: the request was *not* admitted
+    /// (shed). Flush (or poll past a trigger) and resubmit — admission
+    /// never blocks and never drops an admitted request.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The arrival's dimensionality does not match the engine's.
+    DimensionMismatch {
+        /// Engine dimensionality `m`.
+        expected: usize,
+        /// The arrival's dimensionality.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull { capacity } => {
+                write!(f, "serving queue full ({capacity} pending requests)")
+            }
+            Self::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "arrival has {found} dimensions, engine expects {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+/// Top-`k'` placement answer for one arrival: the `len` best clusters by
+/// exact delta-`J` (ascending; ties keep the lower cluster index, matching
+/// the placement scan), plus the exact confidence margin
+/// `second_best − best` over **all** `k` clusters (`+∞` when `k == 1`:
+/// there is no runner-up to close the gap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementAnswer {
+    entries: [(usize, f64); MAX_TOP_K],
+    len: u8,
+    margin: f64,
+}
+
+impl PlacementAnswer {
+    /// The ranked `(cluster, delta_J)` entries, best first.
+    pub fn ranked(&self) -> &[(usize, f64)] {
+        &self.entries[..self.len as usize]
+    }
+
+    /// The winning cluster and its exact objective increase — bit-identical
+    /// to what the serial placement scan returns.
+    pub fn best(&self) -> (usize, f64) {
+        self.entries[0]
+    }
+
+    /// `delta_J(second_best) − delta_J(best)` over all `k` clusters —
+    /// the exact confidence margin of the assignment. `+∞` when `k == 1`.
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+}
+
+/// One flushed request's answer, paired with its [`Ticket`] by
+/// [`ServingUcpc::pop_response`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingResponse {
+    /// A placement query: ranked clusters and margin; nothing committed.
+    Placed(PlacementAnswer),
+    /// A commit: the arrival was inserted into `answer.best().0` and is
+    /// addressable by `handle`.
+    Committed {
+        /// Generation-stamped handle of the stored arrival.
+        handle: ObjectHandle,
+        /// The placement answer the commit acted on.
+        answer: PlacementAnswer,
+    },
+    /// A removal: `Ok` if the handle was live, the engine's checked
+    /// [`ClusterError::StaleHandle`] otherwise.
+    Removed(Result<(), ClusterError>),
+    /// An explicit stabilization: relocations applied.
+    Stabilized {
+        /// Relocations the pass(es) applied.
+        relocations: usize,
+    },
+}
+
+/// Configuration of a [`ServingUcpc`]. Plain data; fields are clamped to
+/// sane bounds at [`ServingUcpc`] construction (`batch ≥ 1`,
+/// `queue_capacity ≥ batch`, `1 ≤ top_k ≤ MAX_TOP_K`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Micro-batch size: [`ServingUcpc::poll`] flushes once this many
+    /// requests are pending. Env default: `UCPC_BATCH`, else 16.
+    pub batch: usize,
+    /// Pending-request capacity; a submit beyond it is shed with a checked
+    /// [`ServingError::QueueFull`]. Default: `4 × batch`.
+    pub queue_capacity: usize,
+    /// Deadline trigger: [`ServingUcpc::poll`] flushes a non-empty queue
+    /// whose *oldest* request has waited at least this long, so a trickle
+    /// of arrivals is never stranded waiting for a full batch. `None`
+    /// (default) disables the trigger — flushing is then size-driven or
+    /// explicit.
+    pub deadline: Option<Duration>,
+    /// Stabilize cadence: run [`IncrementalUcpc::stabilize`] immediately
+    /// after every N-th commit (counted across flushes, firing mid-batch
+    /// when needed, so results are independent of batch size). `0` = never.
+    /// Env default: `UCPC_STABILIZE`, else 0.
+    pub stabilize_every: usize,
+    /// Relocation passes per cadence-triggered stabilization.
+    pub stabilize_passes: usize,
+    /// Clusters ranked per [`PlacementAnswer`] (clamped to
+    /// [`MAX_TOP_K`] and to `k`).
+    pub top_k: usize,
+}
+
+impl ServingConfig {
+    /// Parses one `UCPC_BATCH` value: a positive integer, anything else ⇒
+    /// `None` — pure, exposed for env-free unit tests.
+    pub fn parse_batch(v: &str) -> Option<usize> {
+        v.parse::<usize>().ok().filter(|&b| b > 0)
+    }
+
+    /// Parses one `UCPC_STABILIZE` value: a non-negative integer or
+    /// `"off"` (= 0 = never), anything else ⇒ `None` — pure, exposed for
+    /// env-free unit tests.
+    pub fn parse_stabilize(v: &str) -> Option<usize> {
+        match v {
+            "off" => Some(0),
+            _ => v.parse::<usize>().ok(),
+        }
+    }
+}
+
+impl Default for ServingConfig {
+    /// Batch size from `UCPC_BATCH` (default 16), stabilize cadence from
+    /// `UCPC_STABILIZE` (default 0 = never), both through the shared
+    /// warn-and-fall-back knob reader; queue capacity `4 × batch`, no
+    /// deadline, 2 stabilize passes, full [`MAX_TOP_K`] ranking.
+    fn default() -> Self {
+        let batch =
+            ucpc_uncertain::env::read_knob("UCPC_BATCH", "a positive integer", Self::parse_batch)
+                .unwrap_or(16);
+        let stabilize_every = ucpc_uncertain::env::read_knob(
+            "UCPC_STABILIZE",
+            "a non-negative integer or off",
+            Self::parse_stabilize,
+        )
+        .unwrap_or(0);
+        Self {
+            batch,
+            queue_capacity: batch * 4,
+            deadline: None,
+            stabilize_every,
+            stabilize_passes: 2,
+            top_k: MAX_TOP_K,
+        }
+    }
+}
+
+/// What one queued request does at apply time. Query/commit arrivals own
+/// one staging row each until their flush answers them.
+#[derive(Debug, Clone, Copy)]
+enum ReqKind {
+    Query { row: u32 },
+    Commit { row: u32 },
+    Remove(ObjectHandle),
+    Stabilize { passes: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    ticket: Ticket,
+    at: Instant,
+    kind: ReqKind,
+}
+
+/// The batched assignment-serving front door over a live
+/// [`IncrementalUcpc`] — see the [module docs](self) for the state machine
+/// and the bit-identity derivation.
+///
+/// ```
+/// use ucpc_core::serving::{ServingConfig, ServingResponse, ServingUcpc};
+/// use ucpc_uncertain::{UncertainObject, UnivariatePdf};
+///
+/// let cfg = ServingConfig { batch: 2, ..ServingConfig::default() };
+/// let mut serving = ServingUcpc::new(1, 2, cfg).unwrap();
+/// let o = |c: f64| UncertainObject::new(vec![UnivariatePdf::normal(c, 0.1)]);
+///
+/// let t0 = serving.submit_commit_object(&o(0.0)).unwrap();
+/// let t1 = serving.submit_query_object(&o(9.0)).unwrap();
+/// assert_eq!(serving.flush(), 2);
+///
+/// let (ticket, resp) = serving.pop_response().unwrap();
+/// assert_eq!(ticket, t0);
+/// assert!(matches!(resp, ServingResponse::Committed { .. }));
+/// let (ticket, resp) = serving.pop_response().unwrap();
+/// assert_eq!(ticket, t1);
+/// let ServingResponse::Placed(answer) = resp else { unreachable!() };
+/// assert_eq!(answer.ranked().len(), 2);
+/// assert!(answer.margin() >= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ServingUcpc {
+    engine: IncrementalUcpc,
+    cfg: ServingConfig,
+    /// Scratch rows for queued arrivals: `queue_capacity` rows, written in
+    /// place per admission ([`MomentArena::overwrite_row`], a verbatim
+    /// copy), recycled through `free_rows` — no allocation per request.
+    staging: MomentArena,
+    free_rows: Vec<u32>,
+    pending: VecDeque<Request>,
+    responses: VecDeque<(Ticket, ServingResponse)>,
+    /// Flush-scoped `B × k` delta matrix (row-major by arrival).
+    deltas: Vec<f64>,
+    /// Staging rows of the current flush's arrivals, in submission order.
+    priced_rows: Vec<u32>,
+    /// Flush-scoped per-arrival scalars `(Σvar, ‖mu‖², Σμ₂)`, staged once
+    /// so the pricing loop reads no [`MomentView`] per (cluster, arrival).
+    priced_scalars: Vec<(f64, f64, f64)>,
+    /// Per-cluster cross-term scratch for [`dot_block`] (`B` entries).
+    crosses: Vec<f64>,
+    /// Flush-scoped per-cluster pricers ([`AddPricer`]) — the hoisted
+    /// constants each cluster's delta evaluation shares across the batch.
+    pricers: Vec<AddPricer>,
+    /// Flush-scoped precomputed answers, one per priced arrival, folded in
+    /// a single tight pass over the delta matrix while it is cache-hot.
+    /// Valid for an arrival unless a mutation preceded it in the batch
+    /// (`any_dirty`), in which case [`Self::answer_for`] re-folds merged.
+    answers: Vec<PlacementAnswer>,
+    /// Per-cluster dirty stamp: `dirty[c] == flush_seq` means cluster `c`
+    /// mutated during the current flush and its pre-priced deltas are
+    /// stale.
+    dirty: Vec<u64>,
+    /// Whether *any* cluster mutated during the current flush — lets
+    /// [`Self::answer_for`] skip the per-cluster dirty merge entirely on
+    /// flushes that committed nothing.
+    any_dirty: bool,
+    flush_seq: u64,
+    next_ticket: Ticket,
+    commits_since_stabilize: usize,
+    /// Construction time, stamped on requests instead of a per-admission
+    /// clock read whenever no deadline trigger is configured.
+    epoch: Instant,
+}
+
+impl ServingUcpc {
+    /// A serving layer over a fresh engine of `m` dimensions and `k`
+    /// clusters on the env-default storage backend.
+    pub fn new(m: usize, k: usize, cfg: ServingConfig) -> Result<Self, ClusterError> {
+        Ok(Self::over(IncrementalUcpc::new(m, k)?, cfg))
+    }
+
+    /// [`Self::new`] with an explicit storage backend.
+    pub fn with_backend(
+        m: usize,
+        k: usize,
+        backend: StreamBackend,
+        cfg: ServingConfig,
+    ) -> Result<Self, ClusterError> {
+        Ok(Self::over(
+            IncrementalUcpc::with_backend(m, k, backend)?,
+            cfg,
+        ))
+    }
+
+    /// Wraps an existing live engine (its current partition is served
+    /// as-is). Config fields are clamped: `batch ≥ 1`,
+    /// `queue_capacity ≥ batch`, `1 ≤ top_k ≤ MAX_TOP_K`. All queue-scoped
+    /// buffers are preallocated here; steady-state serving allocates only
+    /// what the engine itself would under serial edits.
+    pub fn over(engine: IncrementalUcpc, mut cfg: ServingConfig) -> Self {
+        cfg.batch = cfg.batch.max(1);
+        cfg.queue_capacity = cfg.queue_capacity.max(cfg.batch);
+        cfg.top_k = cfg.top_k.clamp(1, MAX_TOP_K);
+        let cap = cfg.queue_capacity;
+        let m = engine.m;
+        let k = engine.k;
+        let mut staging = MomentArena::with_capacity(cap, m);
+        for _ in 0..cap {
+            staging.push_row_with(m, |_| (0.0, 0.0));
+        }
+        Self {
+            engine,
+            staging,
+            free_rows: (0..cap as u32).rev().collect(),
+            pending: VecDeque::with_capacity(cap),
+            responses: VecDeque::with_capacity(cap),
+            deltas: Vec::with_capacity(cap * k),
+            priced_rows: Vec::with_capacity(cap),
+            priced_scalars: Vec::with_capacity(cap),
+            crosses: Vec::with_capacity(cap),
+            pricers: Vec::new(),
+            answers: Vec::with_capacity(cap),
+            dirty: vec![0; k],
+            any_dirty: false,
+            flush_seq: 0,
+            next_ticket: 0,
+            cfg,
+            commits_since_stabilize: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The wrapped engine (read-only; flushed state only — pending requests
+    /// are not yet reflected).
+    pub fn engine(&self) -> &IncrementalUcpc {
+        &self.engine
+    }
+
+    /// Unwraps the serving layer. Pending (unflushed) requests are
+    /// discarded; flush first to apply them.
+    pub fn into_engine(self) -> IncrementalUcpc {
+        self.engine
+    }
+
+    /// The active configuration (after construction-time clamping).
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// Requests admitted but not yet flushed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Answers flushed but not yet popped.
+    pub fn response_len(&self) -> usize {
+        self.responses.len()
+    }
+
+    fn admit(&mut self, mo: &Moments) -> Result<u32, ServingError> {
+        if self.pending.len() >= self.cfg.queue_capacity {
+            return Err(ServingError::QueueFull {
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        if mo.dims() != self.engine.m {
+            return Err(ServingError::DimensionMismatch {
+                expected: self.engine.m,
+                found: mo.dims(),
+            });
+        }
+        let row = self
+            .free_rows
+            .pop()
+            .expect("staging rows cover queue capacity");
+        // Verbatim copy: the staged row carries exactly the arrival's bits.
+        self.staging.overwrite_row(row as usize, mo);
+        Ok(row)
+    }
+
+    fn enqueue(&mut self, kind: ReqKind) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        // `at` only feeds the deadline trigger; without one, a clock read
+        // per admission is pure overhead — stamp the construction epoch.
+        let at = if self.cfg.deadline.is_some() {
+            Instant::now()
+        } else {
+            self.epoch
+        };
+        self.pending.push_back(Request { ticket, at, kind });
+        ticket
+    }
+
+    fn check_admission(&self) -> Result<(), ServingError> {
+        if self.pending.len() >= self.cfg.queue_capacity {
+            return Err(ServingError::QueueFull {
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Queues a placement query for an arrival given by its moments:
+    /// answered at the next flush with a [`ServingResponse::Placed`],
+    /// nothing committed. This is the allocation-free admission path.
+    pub fn submit_query(&mut self, mo: &Moments) -> Result<Ticket, ServingError> {
+        let row = self.admit(mo)?;
+        Ok(self.enqueue(ReqKind::Query { row }))
+    }
+
+    /// [`Self::submit_query`] for a pdf-form arrival (its precomputed
+    /// moments are staged; the pdfs never reach the engine).
+    pub fn submit_query_object(&mut self, o: &UncertainObject) -> Result<Ticket, ServingError> {
+        self.submit_query(o.moments())
+    }
+
+    /// Queues an arrival for placement *and insertion*: answered at the
+    /// next flush with a [`ServingResponse::Committed`] carrying the stored
+    /// object's handle. Committed state is byte-identical to a serial
+    /// [`IncrementalUcpc::insert`] at the same point of the edit sequence
+    /// (module docs).
+    pub fn submit_commit(&mut self, mo: &Moments) -> Result<Ticket, ServingError> {
+        let row = self.admit(mo)?;
+        Ok(self.enqueue(ReqKind::Commit { row }))
+    }
+
+    /// [`Self::submit_commit`] for a pdf-form arrival.
+    pub fn submit_commit_object(&mut self, o: &UncertainObject) -> Result<Ticket, ServingError> {
+        self.submit_commit(o.moments())
+    }
+
+    /// Queues a removal of a committed object; answered at the next flush
+    /// with [`ServingResponse::Removed`] (a stale handle is a checked
+    /// in-band error there, not an admission failure).
+    pub fn submit_remove(&mut self, h: ObjectHandle) -> Result<Ticket, ServingError> {
+        self.check_admission()?;
+        Ok(self.enqueue(ReqKind::Remove(h)))
+    }
+
+    /// Queues an explicit stabilization (up to `passes` relocation passes
+    /// at its position in the request order); answered with
+    /// [`ServingResponse::Stabilized`].
+    pub fn submit_stabilize(&mut self, passes: usize) -> Result<Ticket, ServingError> {
+        self.check_admission()?;
+        Ok(self.enqueue(ReqKind::Stabilize { passes }))
+    }
+
+    /// Flushes now if a trigger fires: the batch-size trigger
+    /// (`pending ≥ batch`) or the deadline trigger (the oldest pending
+    /// request has waited `≥ deadline` as of `now`). Returns the number of
+    /// responses produced (0 if no trigger fired). Callers drive this from
+    /// their event loop; `now` is passed in so pacing is testable.
+    pub fn poll(&mut self, now: Instant) -> usize {
+        let Some(front) = self.pending.front() else {
+            return 0;
+        };
+        let size_due = self.pending.len() >= self.cfg.batch;
+        let deadline_due = self
+            .cfg
+            .deadline
+            .is_some_and(|d| now.saturating_duration_since(front.at) >= d);
+        if size_due || deadline_due {
+            self.flush()
+        } else {
+            0
+        }
+    }
+
+    /// Flushes every pending request as one micro-batch (price → apply →
+    /// respond; module docs) regardless of triggers. Returns the number of
+    /// responses produced.
+    pub fn flush(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        self.flush_seq += 1;
+        self.any_dirty = false;
+        self.price_pending();
+        let n = self.pending.len();
+        let mut arrival = 0usize;
+        for _ in 0..n {
+            let req = self.pending.pop_front().expect("n pending requests");
+            let response = match req.kind {
+                ReqKind::Query { row } => {
+                    let answer = self.answer_for(arrival, row);
+                    arrival += 1;
+                    self.free_rows.push(row);
+                    ServingResponse::Placed(answer)
+                }
+                ReqKind::Commit { row } => {
+                    let answer = self.answer_for(arrival, row);
+                    arrival += 1;
+                    let best = answer.best().0;
+                    #[cfg(debug_assertions)]
+                    {
+                        // The merged fold must agree with a live full scan —
+                        // the direct check of the dirty-stamp argument.
+                        let v = self.staging.view(row as usize);
+                        let shadow = crate::pruning::best_insertion(&self.engine.stats, &v)
+                            .expect("k >= 1 clusters");
+                        debug_assert_eq!(
+                            (best, answer.best().1.to_bits()),
+                            (shadow.0, shadow.1.to_bits()),
+                            "merged batch fold diverged from the serial scan"
+                        );
+                    }
+                    let handle = {
+                        let v = self.staging.view(row as usize);
+                        self.engine.commit_placed(&v, best)
+                    };
+                    self.dirty[best] = self.flush_seq;
+                    self.any_dirty = true;
+                    self.free_rows.push(row);
+                    self.commits_since_stabilize += 1;
+                    if self.cfg.stabilize_every != 0
+                        && self.commits_since_stabilize >= self.cfg.stabilize_every
+                    {
+                        self.commits_since_stabilize = 0;
+                        if self.engine.stabilize(self.cfg.stabilize_passes) > 0 {
+                            self.dirty.fill(self.flush_seq);
+                            self.any_dirty = true;
+                        }
+                    }
+                    ServingResponse::Committed { handle, answer }
+                }
+                ReqKind::Remove(h) => {
+                    let cluster = self.engine.label_of(h);
+                    let result = self.engine.remove(h);
+                    if result.is_ok() {
+                        let c = cluster.expect("removed object had a label");
+                        self.dirty[c] = self.flush_seq;
+                        self.any_dirty = true;
+                    }
+                    ServingResponse::Removed(result)
+                }
+                ReqKind::Stabilize { passes } => {
+                    let relocations = self.engine.stabilize(passes);
+                    if relocations > 0 {
+                        self.dirty.fill(self.flush_seq);
+                        self.any_dirty = true;
+                    }
+                    ServingResponse::Stabilized { relocations }
+                }
+            };
+            self.responses.push_back((req.ticket, response));
+        }
+        n
+    }
+
+    /// The oldest unread `(ticket, response)`, in submission order.
+    pub fn pop_response(&mut self) -> Option<(Ticket, ServingResponse)> {
+        self.responses.pop_front()
+    }
+
+    /// Phase 1 of a flush: the `B × k` delta matrix of every staged arrival
+    /// against flush-start statistics, cluster-major with arrival-blocked
+    /// [`dot3`] so each cluster's `mean_sum` row is loaded once per three
+    /// arrivals. Every entry is bit-identical to
+    /// `stats[c].delta_j_add(&arrival)` (module docs).
+    fn price_pending(&mut self) {
+        self.priced_rows.clear();
+        self.priced_scalars.clear();
+        for req in &self.pending {
+            if let ReqKind::Query { row } | ReqKind::Commit { row } = req.kind {
+                self.priced_rows.push(row);
+                let v = self.staging.view(row as usize);
+                self.priced_scalars
+                    .push((v.sum_var, v.sum_mu_sq, v.sum_mu2));
+            }
+        }
+        let b = self.priced_rows.len();
+        let k = self.engine.k;
+        self.deltas.clear();
+        self.deltas.resize(b * k, 0.0);
+        let top = self.cfg.top_k.min(k);
+        let Self {
+            engine,
+            staging,
+            priced_rows,
+            priced_scalars,
+            deltas,
+            crosses,
+            pricers,
+            answers,
+            ..
+        } = self;
+        let stats = &engine.stats;
+        answers.clear();
+        if staging.dims() >= DISPATCH_THRESHOLD {
+            // Phase a — cluster-major cross terms: one dispatched
+            // [`dot_block`] call per cluster prices every staged arrival
+            // against that cluster's `mean_sum` row (loaded once), filling
+            // one contiguous row of the `k × B` cross matrix. Each cross is
+            // bit-identical to the `dot(s, mu)` that `delta_j_add` itself
+            // issues (the `dot_block` contract). The per-cluster pricers
+            // ([`AddPricer`]) are built here too, so the divisions inside
+            // `delta_j_add_from_parts` are paid once per cluster per flush,
+            // not once per (cluster, arrival) — same bits either way.
+            crosses.clear();
+            crosses.resize(k * b, 0.0);
+            pricers.clear();
+            pricers.extend(stats.iter().map(|s| s.add_pricer()));
+            for (c, stat) in stats.iter().enumerate() {
+                dot_block(
+                    stat.mean_sum(),
+                    staging.mu_flat(),
+                    priced_rows,
+                    &mut crosses[c * b..(c + 1) * b],
+                );
+            }
+            // Phase b — arrival-major evaluation and fold: each arrival's
+            // scalar aggregates load once (not once per cluster), its delta
+            // row is written sequentially, and the answer folds immediately
+            // while that row is register/L1-hot — the vectorized-executor
+            // move applied end to end: batch the fold, not just the dots.
+            // An answer stays valid until a mutation earlier in the batch
+            // dirties statistics (`any_dirty`); those arrivals re-fold
+            // merged in [`Self::answer_for`].
+            for a in 0..b {
+                let (sum_var, sum_mu_sq, sum_mu2) = priced_scalars[a];
+                let row = &mut deltas[a * k..(a + 1) * k];
+                for (c, pricer) in pricers.iter().enumerate() {
+                    row[c] = pricer.price(sum_var, sum_mu_sq, sum_mu2, crosses[c * b + a]);
+                }
+                answers.push(fold_row(row, top));
+            }
+        } else {
+            // Short rows never reach a SIMD backend (no loads to amortize):
+            // per-cluster delta_j_add, the same regime as the serial scan.
+            for a in 0..b {
+                let v = staging.view(priced_rows[a] as usize);
+                let row = &mut deltas[a * k..(a + 1) * k];
+                for (c, stat) in stats.iter().enumerate() {
+                    row[c] = stat.delta_j_add(&v);
+                }
+                answers.push(fold_row(row, top));
+            }
+        }
+    }
+
+    /// Phase 2 answer for the `arrival`-th priced arrival. On an untouched
+    /// flush this is the precomputed fold; after any mutation it re-folds
+    /// the merged row — pre-priced deltas for clean clusters, live
+    /// `delta_j_add` for dirty ones — with identical semantics.
+    fn answer_for(&self, arrival: usize, row: u32) -> PlacementAnswer {
+        if !self.any_dirty {
+            return self.answers[arrival];
+        }
+        let stats = &self.engine.stats;
+        let k = stats.len();
+        let top = self.cfg.top_k.min(k);
+        let deltas = &self.deltas[arrival * k..arrival * k + k];
+        let v = self.staging.view(row as usize);
+        fold_with(k, top, |c| {
+            if self.dirty[c] == self.flush_seq {
+                stats[c].delta_j_add(&v)
+            } else {
+                deltas[c]
+            }
+        })
+    }
+}
+
+/// [`fold_with`] over a contiguous pre-priced delta row.
+fn fold_row(deltas: &[f64], top: usize) -> PlacementAnswer {
+    fold_with(deltas.len(), top, |c| deltas[c])
+}
+
+/// Folds one arrival's `k` deltas into a [`PlacementAnswer`]: best/second
+/// with the scan's exact strict-less, first-index-wins-ties `consider`
+/// semantics, plus the top-`top` ranked insertion (ties keep the lower
+/// cluster index). Pure in `delta_of` — the single fold implementation the
+/// batch pass and the dirty-merged re-fold both instantiate.
+fn fold_with(k: usize, top: usize, delta_of: impl FnMut(usize) -> f64) -> PlacementAnswer {
+    // Monomorphize the insertion network on its width so the inner
+    // compare-exchange chain fully unrolls into selects.
+    match top.clamp(2, MAX_TOP_K) {
+        2 => fold_net::<2>(k, top, delta_of),
+        3 => fold_net::<3>(k, top, delta_of),
+        4 => fold_net::<4>(k, top, delta_of),
+        5 => fold_net::<5>(k, top, delta_of),
+        6 => fold_net::<6>(k, top, delta_of),
+        7 => fold_net::<7>(k, top, delta_of),
+        _ => fold_net::<MAX_TOP_K>(k, top, delta_of),
+    }
+}
+
+/// The fold proper, as a branchless insertion network of width `W`
+/// (`W = max(top, 2)`, so the best/second margin falls out of slots 0/1).
+///
+/// Each cluster's delta ripples down the sorted slot array via
+/// compare-exchange steps written select-style: real delta orderings are
+/// adversarial for a branch predictor (the ranked-insertion formulation
+/// measurably stalled on misses), while selects cost the same few cycles
+/// regardless of order. Strict-less comparison keeps ties on the earlier
+/// cluster index — an equal delta never displaces a seated one and seating
+/// order is ascending `c` — which is exactly the placement scan's
+/// first-index-wins-ties semantics.
+fn fold_net<const W: usize>(
+    k: usize,
+    top: usize,
+    mut delta_of: impl FnMut(usize) -> f64,
+) -> PlacementAnswer {
+    let mut d = [f64::INFINITY; W];
+    let mut ci = [usize::MAX; W];
+    for c in 0..k {
+        let mut delta = delta_of(c);
+        let mut cc = c;
+        for i in 0..W {
+            let take = delta < d[i];
+            let next_d = if take { d[i] } else { delta };
+            let next_c = if take { ci[i] } else { cc };
+            d[i] = if take { delta } else { d[i] };
+            ci[i] = if take { cc } else { ci[i] };
+            delta = next_d;
+            cc = next_c;
+        }
+    }
+    let len = top.min(k);
+    let mut entries = [(0usize, 0.0f64); MAX_TOP_K];
+    for i in 0..len.min(W) {
+        entries[i] = (ci[i], d[i]);
+    }
+    PlacementAnswer {
+        entries,
+        len: len as u8,
+        margin: d[1] - d[0],
+    }
+}
+
+#[cfg(test)]
+impl ServingUcpc {
+    /// Test hook: mutate the config after construction (unit tests only).
+    fn config_mut_for_tests(&mut self) -> &mut ServingConfig {
+        &mut self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn obj(c: f64) -> UncertainObject {
+        UncertainObject::new(vec![
+            UnivariatePdf::normal(c, 0.2),
+            UnivariatePdf::uniform_centered(-c, 0.5),
+        ])
+    }
+
+    fn cfg(batch: usize) -> ServingConfig {
+        ServingConfig {
+            batch,
+            queue_capacity: batch * 2,
+            deadline: None,
+            stabilize_every: 0,
+            stabilize_passes: 2,
+            top_k: MAX_TOP_K,
+        }
+    }
+
+    #[test]
+    fn batch_knob_accepts_positive_integers_only() {
+        assert_eq!(ServingConfig::parse_batch("64"), Some(64));
+        assert_eq!(
+            ServingConfig::parse_batch("0"),
+            None,
+            "empty batches never flush"
+        );
+        assert_eq!(ServingConfig::parse_batch("-1"), None);
+        assert_eq!(ServingConfig::parse_batch("lots"), None);
+        let (outcome, warning) = ucpc_uncertain::env::parse_knob(
+            "UCPC_BATCH",
+            Some("lots"),
+            "a positive integer",
+            ServingConfig::parse_batch,
+        );
+        assert_eq!(outcome.value(), None);
+        assert!(warning.unwrap().contains("UCPC_BATCH=\"lots\""));
+    }
+
+    #[test]
+    fn stabilize_knob_accepts_counts_and_off() {
+        assert_eq!(ServingConfig::parse_stabilize("100"), Some(100));
+        assert_eq!(ServingConfig::parse_stabilize("0"), Some(0));
+        assert_eq!(ServingConfig::parse_stabilize("off"), Some(0));
+        assert_eq!(ServingConfig::parse_stabilize("-3"), None);
+        assert_eq!(ServingConfig::parse_stabilize("never"), None);
+    }
+
+    #[test]
+    fn config_is_clamped_at_construction() {
+        let serving = ServingUcpc::new(
+            2,
+            3,
+            ServingConfig {
+                batch: 0,
+                queue_capacity: 0,
+                deadline: None,
+                stabilize_every: 0,
+                stabilize_passes: 1,
+                top_k: 100,
+            },
+        )
+        .unwrap();
+        assert_eq!(serving.config().batch, 1);
+        assert_eq!(serving.config().queue_capacity, 1);
+        assert_eq!(serving.config().top_k, MAX_TOP_K);
+    }
+
+    #[test]
+    fn responses_come_back_in_submission_order() {
+        let mut serving = ServingUcpc::new(2, 2, cfg(8)).unwrap();
+        let t0 = serving.submit_commit_object(&obj(0.0)).unwrap();
+        let t1 = serving.submit_query_object(&obj(5.0)).unwrap();
+        let t2 = serving.submit_stabilize(1).unwrap();
+        assert_eq!(serving.pending_len(), 3);
+        assert_eq!(serving.flush(), 3);
+        assert_eq!(serving.pending_len(), 0);
+        let tickets: Vec<Ticket> = std::iter::from_fn(|| serving.pop_response())
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(tickets, vec![t0, t1, t2]);
+    }
+
+    #[test]
+    fn poll_fires_on_batch_size_and_deadline() {
+        let mut serving = ServingUcpc::new(
+            2,
+            2,
+            ServingConfig {
+                deadline: Some(Duration::from_millis(0)),
+                ..cfg(2)
+            },
+        )
+        .unwrap();
+        // Deadline 0: any pending request is immediately due.
+        serving.submit_query_object(&obj(1.0)).unwrap();
+        assert_eq!(serving.poll(Instant::now()), 1);
+        // No deadline: below batch size nothing fires, at batch size it does.
+        serving.config_mut_for_tests().deadline = None;
+        serving.submit_query_object(&obj(1.0)).unwrap();
+        assert_eq!(serving.poll(Instant::now()), 0);
+        serving.submit_query_object(&obj(2.0)).unwrap();
+        assert_eq!(serving.poll(Instant::now()), 2);
+        assert_eq!(serving.poll(Instant::now()), 0, "empty queue: no-op");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_checked_at_admission() {
+        let mut serving = ServingUcpc::new(3, 2, cfg(4)).unwrap();
+        let err = serving.submit_query_object(&obj(1.0)).unwrap_err();
+        assert_eq!(
+            err,
+            ServingError::DimensionMismatch {
+                expected: 3,
+                found: 2
+            }
+        );
+        assert_eq!(serving.pending_len(), 0, "rejected arrival holds nothing");
+    }
+
+    #[test]
+    fn commit_matches_direct_insert() {
+        let mut serving = ServingUcpc::new(2, 2, cfg(4)).unwrap();
+        let mut direct = IncrementalUcpc::new(2, 2).unwrap();
+        for c in [0.0, 0.5, 8.0, 8.5] {
+            serving.submit_commit_object(&obj(c)).unwrap();
+            direct.insert(&obj(c)).unwrap();
+        }
+        serving.flush();
+        assert_eq!(
+            serving.engine().objective().to_bits(),
+            direct.objective().to_bits()
+        );
+        assert_eq!(serving.engine().live_labels(), direct.live_labels());
+    }
+}

@@ -52,6 +52,7 @@
 pub mod arena;
 pub mod correlated;
 pub mod distance;
+pub mod env;
 pub mod math;
 pub mod moments;
 pub mod object;

@@ -189,26 +189,20 @@ pub fn active_backend() -> Backend {
     }
 }
 
-/// First-use resolution: honour `UCPC_SIMD`, fall back to detection. A race
-/// between threads at most repeats the (idempotent) resolution.
+/// First-use resolution: honour `UCPC_SIMD` (parsed through the shared
+/// warn-and-fall-back knob reader, [`crate::env::read_knob`]), fall back to
+/// detection. A race between threads at most repeats the (idempotent)
+/// resolution.
 #[cold]
 fn init_backend() -> Backend {
-    let chosen = match std::env::var("UCPC_SIMD").ok().map(|v| v.to_lowercase()) {
-        None => Backend::detect(),
-        Some(v) => match v.as_str() {
-            "auto" | "" => Backend::detect(),
-            "scalar" => Backend::Scalar,
-            "avx2" => Backend::Avx2,
-            "neon" => Backend::Neon,
-            other => {
-                eprintln!(
-                    "UCPC_SIMD={other:?} is not one of scalar|avx2|neon|auto; \
-                     using auto detection"
-                );
-                Backend::detect()
-            }
-        },
-    };
+    let chosen = crate::env::read_knob("UCPC_SIMD", "scalar|avx2|neon|auto", |v| match v {
+        "auto" | "" => Some(Backend::detect()),
+        "scalar" => Some(Backend::Scalar),
+        "avx2" => Some(Backend::Avx2),
+        "neon" => Some(Backend::Neon),
+        _ => None,
+    })
+    .unwrap_or_else(Backend::detect);
     let chosen = if chosen.is_available() {
         chosen
     } else {
@@ -304,6 +298,70 @@ pub fn dot3(x: &[f64], a: &[f64], b: &[f64], c: &[f64]) -> [f64; 3] {
         #[cfg(target_arch = "aarch64")]
         Backend::Neon => unsafe { neon::dot3(x, a, b, c) },
         _ => scalar::dot3(x, a, b, c),
+    }
+}
+
+/// Fused dot products of one shared row `x` against a *block* of rows of a
+/// flat row-major matrix: `out[i] = ⟨x, mu[idx[i]·m .. idx[i]·m+m]⟩` with
+/// `m = x.len()`.
+///
+/// This is the batch-pricing primitive behind the serving front door: a
+/// micro-batch prices `B` staged arrivals against each cluster's
+/// `mean_sum` row, and calling [`dot`] (or even [`dot3`]) per pair pays
+/// the dispatch branch and the non-inlinable `#[target_feature]` call
+/// frame `B` times per cluster — at placement sizes (`m ≈ 32`) that
+/// overhead rivals the FMA work itself. `dot_block` dispatches **once**
+/// and composes the backend's own `dot3`/`dot` bodies inside a single
+/// target-feature frame (same enabled features ⇒ the triple-dot bodies
+/// inline), so the shared `x` row stays in registers across the block.
+///
+/// Every component is bit-identical to the corresponding single
+/// [`dot(x, row)`](dot) call — the composition reuses the exact per-dot
+/// lane structure, so batched and per-request pricing can never diverge
+/// by a bit (the serving differential harness pins this end to end).
+///
+/// `idx` entries may repeat and appear in any order; each must satisfy
+/// `(idx[i]+1)·m ≤ mu.len()` (checked by the row slicing).
+#[inline]
+pub fn dot_block(x: &[f64], mu: &[f64], idx: &[u32], out: &mut [f64]) {
+    assert_eq!(idx.len(), out.len(), "dot_block needs one output per row");
+    let m = x.len();
+    if m < DISPATCH_THRESHOLD {
+        for (o, &r) in out.iter_mut().zip(idx) {
+            let r = r as usize;
+            *o = unfused_core(x, &mu[r * m..r * m + m]);
+        }
+        return;
+    }
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { avx2::dot_block(x, mu, idx, out) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { neon::dot_block(x, mu, idx, out) },
+        _ => scalar::dot_block(x, mu, idx, out),
+    }
+}
+
+/// [`dot_block`] through one explicit backend (which must be available).
+pub fn dot_block_with(backend: Backend, x: &[f64], mu: &[f64], idx: &[u32], out: &mut [f64]) {
+    assert_eq!(idx.len(), out.len(), "dot_block needs one output per row");
+    assert!(backend.is_available(), "backend not available on this CPU");
+    let m = x.len();
+    if m < DISPATCH_THRESHOLD {
+        for (o, &r) in out.iter_mut().zip(idx) {
+            let r = r as usize;
+            *o = unfused_core(x, &mu[r * m..r * m + m]);
+        }
+        return;
+    }
+    match backend {
+        Backend::Scalar => scalar::dot_block(x, mu, idx, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { avx2::dot_block(x, mu, idx, out) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { neon::dot_block(x, mu, idx, out) },
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("availability checked above"),
     }
 }
 
@@ -459,6 +517,16 @@ mod scalar {
     pub(super) fn dot3(x: &[f64], a: &[f64], b: &[f64], c: &[f64]) -> [f64; 3] {
         [dot(x, a), dot(x, b), dot(x, c)]
     }
+
+    /// Per-row [`dot`] over the block — no call overhead to amortize in
+    /// scalar code, and delegation keeps the bits structural.
+    pub(super) fn dot_block(x: &[f64], mu: &[f64], idx: &[u32], out: &mut [f64]) {
+        let m = x.len();
+        for (o, &r) in out.iter_mut().zip(idx) {
+            let r = r as usize;
+            *o = dot(x, &mu[r * m..r * m + m]);
+        }
+    }
 }
 
 /// AVX2 + FMA backend: 4 × 4-lane `_mm256_fmadd_pd` accumulators.
@@ -612,6 +680,35 @@ mod avx2 {
         }
         out
     }
+
+    /// Block pricing: triples through [`dot3`], remainder through [`dot`] —
+    /// all inside one `#[target_feature]` frame, so the triple-dot bodies
+    /// inline (matching features) and the dispatch/call overhead is paid
+    /// once per block instead of once per row.
+    ///
+    /// # Safety
+    /// As for [`dot`].
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot_block(x: &[f64], mu: &[f64], idx: &[u32], out: &mut [f64]) {
+        let m = x.len();
+        let b = idx.len();
+        let row = |i: usize| {
+            let r = idx[i] as usize;
+            &mu[r * m..r * m + m]
+        };
+        let mut i = 0usize;
+        while i + 3 <= b {
+            let d = dot3(x, row(i), row(i + 1), row(i + 2));
+            out[i] = d[0];
+            out[i + 1] = d[1];
+            out[i + 2] = d[2];
+            i += 3;
+        }
+        while i < b {
+            out[i] = dot(x, row(i));
+            i += 1;
+        }
+    }
 }
 
 /// NEON backend: 8 × 2-lane `vfmaq_f64` accumulators covering the same 16
@@ -684,6 +781,21 @@ mod neon {
     pub(super) unsafe fn dot3(x: &[f64], a: &[f64], b: &[f64], c: &[f64]) -> [f64; 3] {
         [dot(x, a), dot(x, b), dot(x, c)]
     }
+
+    /// Block pricing: per-row [`dot`] inside one `#[target_feature]` frame
+    /// (the row dots inline — matching features), paying dispatch and call
+    /// overhead once per block instead of once per row.
+    ///
+    /// # Safety
+    /// As for [`dot`].
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot_block(x: &[f64], mu: &[f64], idx: &[u32], out: &mut [f64]) {
+        let m = x.len();
+        for (o, &r) in out.iter_mut().zip(idx) {
+            let r = r as usize;
+            *o = dot(x, &mu[r * m..r * m + m]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -746,6 +858,37 @@ mod tests {
                         "{} dot3[{d}] at length {n}",
                         backend.name()
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_block_is_bit_identical_to_per_row_dots_on_every_backend() {
+        for backend in Backend::available() {
+            // m brackets the dispatch threshold and exercises 16-block,
+            // quad, and tail lanes; block sizes cover the empty block, the
+            // sub-triple remainder, and full triples; indices are scattered
+            // and repeat.
+            for m in [2usize, 8, 16, 32, 33, 48] {
+                let rows = 9usize;
+                let mu: Vec<f64> = (0..rows * m).map(|i| (i as f64) * 0.29 - 6.3).collect();
+                let x: Vec<f64> = (0..m).map(|i| 1.7 - (i as f64) * 0.13).collect();
+                let idx_pool: Vec<u32> = vec![4, 0, 8, 2, 2, 7, 1, 5, 3, 6, 0];
+                for b in 0..idx_pool.len() {
+                    let idx = &idx_pool[..b];
+                    let mut out = vec![0.0f64; b];
+                    dot_block_with(backend, &x, &mu, idx, &mut out);
+                    for (i, &r) in idx.iter().enumerate() {
+                        let r = r as usize;
+                        let single = dot_with(backend, &x, &mu[r * m..r * m + m]);
+                        assert_eq!(
+                            out[i].to_bits(),
+                            single.to_bits(),
+                            "{} dot_block[{i}] (row {r}) at m={m}, b={b}",
+                            backend.name()
+                        );
+                    }
                 }
             }
         }
