@@ -34,7 +34,7 @@ use ucpc_bench::relocation::{
     blob_workload, kernel_pass, median_ns, naive_pass, parallel_comparison, pruning_comparison,
     simd_comparison, skewed_workload, workload, Shape, GRID,
 };
-use ucpc_bench::serving::{serving_comparison, ServingSpec};
+use ucpc_bench::serving::{serving_comparison, wal_comparison, ServingSpec};
 use ucpc_bench::streaming::{streaming_comparison, ChurnSpec};
 
 fn main() {
@@ -349,6 +349,52 @@ fn main() {
         }
     }
 
+    // WAL overhead grid: the same open-loop stream served with the
+    // write-ahead log detached vs logging every commit into an in-memory
+    // sink, interleaved best-of-reps. Byte-identity vs the serial replay
+    // is asserted for both legs, and recovery from (streaming checkpoint,
+    // full log) is asserted bit-identical to the final partition — the
+    // measurement doubles as an end-to-end durability check.
+    let mut wal_rows = Vec::new();
+    println!(
+        "\n{:<22} {:>6} {:>14} {:>14} {:>10}",
+        "wal (open loop)", "batch", "off arr/s", "on arr/s", "overhead"
+    );
+    for shape in [
+        Shape {
+            n: 2_000,
+            m: 16,
+            k: 8,
+        },
+        acceptance_shape,
+    ] {
+        let row = wal_comparison(shape, serving_spec, 7, serving_reps, 16);
+        println!(
+            "n={:<6} m={:<3} k={:<4} {:>6} {:>14.0} {:>14.0} {:>9.1}%",
+            shape.n,
+            shape.m,
+            shape.k,
+            row.batch,
+            row.off_arrivals_per_sec,
+            row.on_arrivals_per_sec,
+            row.overhead_frac * 100.0
+        );
+        wal_rows.push(format!(
+            concat!(
+                "    {{\"n\": {}, \"m\": {}, \"k\": {}, \"batch\": {}, ",
+                "\"off_arrivals_per_sec\": {:.0}, \"on_arrivals_per_sec\": {:.0}, ",
+                "\"overhead_frac\": {:.4}}}"
+            ),
+            shape.n,
+            shape.m,
+            shape.k,
+            row.batch,
+            row.off_arrivals_per_sec,
+            row.on_arrivals_per_sec,
+            row.overhead_frac
+        ));
+    }
+
     let acceptance = GRID
         .iter()
         .position(|s| s.n == 10_000 && s.m == 32 && s.k == 20)
@@ -375,7 +421,11 @@ fn main() {
             "(1 commit per 16 arrivals, top-4 answers) through the batched ",
             "assignment-serving front door across micro-batch sizes, interleaved ",
             "best-of-reps, final partition asserted byte-identical across batch sizes ",
-            "and equal to a serial replay on every repetition\",\n",
+            "and equal to a serial replay on every repetition; and the WAL overhead grid — ",
+            "the same stream with the checksummed write-ahead log detached vs logging every ",
+            "commit (in-memory sink), interleaved best-of-reps, with recovery from ",
+            "(streaming v2 checkpoint, full log) asserted bit-identical to the final ",
+            "partition on every emission\",\n",
             "  \"units\": \"nanoseconds (median of {reps} kernel / {preps} end-to-end / ",
             "{pareps} parallel / {sreps} streaming repetitions, best of {servreps} ",
             "interleaved serving repetitions, release profile)\",\n",
@@ -402,7 +452,13 @@ fn main() {
             // shared host moves both sides of that ratio; the serving grid
             // interleaves repetitions round-robin across batch sizes so a
             // slow window taxes every batch size alike.
-            "\"required_streaming_speedup\": 1.5, \"required_serving_speedup\": 1.5}},\n",
+            // Durability gate: logging every commit through the WAL into
+            // an in-memory sink must cost < 15% of the WAL-off arrivals/sec
+            // at the acceptance shape (the fsync policy is the deployment's
+            // cost, not the encoder's; the gate prices framing + CRC +
+            // group commit). Checked by `bench_serving --check`.
+            "\"required_streaming_speedup\": 1.5, \"required_serving_speedup\": 1.5, ",
+            "\"required_wal_overhead\": 0.15}},\n",
             "  \"acceptance_row_index\": {acceptance},\n",
             "  \"simd_backend\": \"{backend}\",\n",
             "  \"host_parallelism\": {host},\n",
@@ -412,7 +468,8 @@ fn main() {
             "  \"pruning_grid\": [\n{prows}\n  ],\n",
             "  \"parallel_grid\": [\n{parows}\n  ],\n",
             "  \"streaming_grid\": [\n{strows}\n  ],\n",
-            "  \"serving_grid\": [\n{servrows}\n  ]\n",
+            "  \"serving_grid\": [\n{servrows}\n  ],\n",
+            "  \"wal_grid\": [\n{walrows}\n  ]\n",
             "}}\n",
         ),
         reps = reps,
@@ -430,6 +487,7 @@ fn main() {
         parows = parallel_rows.join(",\n"),
         strows = streaming_rows.join(",\n"),
         servrows = serving_rows.join(",\n"),
+        walrows = wal_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write benchmark baseline");
     println!("wrote {out_path}");

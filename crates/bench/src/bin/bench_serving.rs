@@ -10,20 +10,34 @@
 //! batch sizes and equal to a serial `IncrementalUcpc` replay, so the
 //! measurement doubles as the end-to-end serving exactness check.
 //!
+//! The WAL overhead leg serves the same stream with the write-ahead log
+//! detached vs logging every commit; its gate (`required_wal_overhead`)
+//! requires logging to cost < 15% of the WAL-off arrivals/sec at the
+//! acceptance shape, and recovery from (streaming v2 checkpoint, full
+//! log) is asserted bit-identical to the final partition on every run.
+//!
 //! Usage:
 //!
 //! * `cargo run --release -p ucpc-bench --bin bench_serving` — the full
 //!   measured grid (printed; splice into `BENCH_relocation.json` via
 //!   `bench_relocation`, which emits the same rows).
+//! * `cargo run --release -p ucpc-bench --bin bench_serving -- --wal` —
+//!   only the WAL overhead grid, as `BENCH_relocation.json` `wal_grid`
+//!   rows.
 //! * `cargo run --release -p ucpc-bench --bin bench_serving -- --check` —
-//!   CI mode: a reduced grid whose value is the byte-identity assert, not
-//!   the timings (debug-friendly sizes, no gate evaluation).
+//!   CI mode: a reduced grid whose value is the byte-identity and
+//!   recovery asserts plus the WAL overhead gate; batching timings are
+//!   not evaluated.
 
 use ucpc_bench::relocation::Shape;
-use ucpc_bench::serving::{serving_comparison, ServingSpec};
+use ucpc_bench::serving::{serving_comparison, wal_comparison, ServingSpec};
+
+/// The committed `required_wal_overhead` gate (see `BENCH_relocation.json`).
+const REQUIRED_WAL_OVERHEAD: f64 = 0.15;
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    let wal_only = std::env::args().any(|a| a == "--wal");
 
     if check {
         // CI leg: exactness across batch sizes on two shapes bracketing the
@@ -46,6 +60,75 @@ fn main() {
             println!(
                 "serving --check ok: n={} m={} k={} byte-identical across batch sizes and serial",
                 shape.n, shape.m, shape.k
+            );
+        }
+        // WAL leg: off-vs-on identity, end-to-end recovery, and the
+        // overhead gate at a reduced shape with the gate's own commit
+        // intensity (1 commit per 16 arrivals): framing + CRC cost a few
+        // tens of ns per request against a placement scan — far enough
+        // under the 15% gate that shared-runner noise stays clear of it.
+        let shape = Shape {
+            n: 600,
+            m: 32,
+            k: 8,
+        };
+        let spec = ServingSpec {
+            arrivals: 1600,
+            commit_every: 16,
+            top_k: 4,
+        };
+        let row = wal_comparison(shape, spec, 7, 3, 16);
+        assert!(
+            row.overhead_frac < REQUIRED_WAL_OVERHEAD,
+            "WAL overhead {:.1}% breaches the {:.0}% gate (off {:.0}/s, on {:.0}/s)",
+            row.overhead_frac * 100.0,
+            REQUIRED_WAL_OVERHEAD * 100.0,
+            row.off_arrivals_per_sec,
+            row.on_arrivals_per_sec
+        );
+        println!(
+            "wal --check ok: n={} m={} k={} recovery bit-identical, overhead {:.1}% < {:.0}%",
+            shape.n,
+            shape.m,
+            shape.k,
+            row.overhead_frac * 100.0,
+            REQUIRED_WAL_OVERHEAD * 100.0
+        );
+        return;
+    }
+
+    if wal_only {
+        let spec = ServingSpec {
+            arrivals: 4000,
+            commit_every: 16,
+            top_k: 4,
+        };
+        for shape in [
+            Shape {
+                n: 2_000,
+                m: 16,
+                k: 8,
+            },
+            Shape {
+                n: 10_000,
+                m: 32,
+                k: 20,
+            },
+        ] {
+            let row = wal_comparison(shape, spec, 7, 5, 16);
+            println!(
+                concat!(
+                    "    {{\"n\": {}, \"m\": {}, \"k\": {}, \"batch\": {}, ",
+                    "\"off_arrivals_per_sec\": {:.0}, \"on_arrivals_per_sec\": {:.0}, ",
+                    "\"overhead_frac\": {:.4}}}"
+                ),
+                shape.n,
+                shape.m,
+                shape.k,
+                row.batch,
+                row.off_arrivals_per_sec,
+                row.on_arrivals_per_sec,
+                row.overhead_frac
             );
         }
         return;

@@ -24,6 +24,7 @@ use std::time::Instant;
 use ucpc_core::incremental::{IncrementalUcpc, StreamBackend};
 use ucpc_core::pruning::PruningConfig;
 use ucpc_core::serving::{ServingConfig, ServingUcpc};
+use ucpc_core::wal::{recover, SharedVecIo, WalFsync};
 use ucpc_uncertain::{Moments, UncertainObject, UnivariatePdf};
 
 use crate::relocation::Shape;
@@ -122,7 +123,13 @@ fn settled_engine(w: &ServingWorkload) -> IncrementalUcpc {
 }
 
 /// Runs the request stream through the serving layer at one batch size.
-pub fn serve_once(w: &ServingWorkload, batch: usize) -> ServingOutcome {
+/// With `wal_sink`, every commit is logged through the write-ahead log
+/// into the shared sink — the WAL-on leg of [`wal_comparison`].
+pub fn serve_once(
+    w: &ServingWorkload,
+    batch: usize,
+    wal_sink: Option<SharedVecIo>,
+) -> ServingOutcome {
     let mut serving = ServingUcpc::over(
         settled_engine(w),
         ServingConfig {
@@ -135,8 +142,15 @@ pub fn serve_once(w: &ServingWorkload, batch: usize) -> ServingOutcome {
             stabilize_every: 0,
             stabilize_passes: 2,
             top_k: w.spec.top_k,
+            wal: false,
+            wal_fsync: WalFsync::Flush,
         },
     );
+    if let Some(sink) = wal_sink {
+        serving
+            .attach_wal(sink)
+            .expect("in-memory sink cannot fault");
+    }
     let total = w.stream.len();
     let mut submitted_at: Vec<Instant> = Vec::with_capacity(total);
     let mut latencies_ns: Vec<u128> = vec![0; total];
@@ -229,7 +243,7 @@ pub fn serving_comparison(
     let mut bests: Vec<Option<ServingOutcome>> = (0..batches.len()).map(|_| None).collect();
     for _ in 0..reps {
         for (slot, &batch) in batches.iter().enumerate() {
-            let outcome = serve_once(&w, batch);
+            let outcome = serve_once(&w, batch, None);
             assert_eq!(
                 outcome.labels, ref_labels,
                 "serving labels diverged from serial at batch {batch}"
@@ -265,6 +279,90 @@ pub fn serving_comparison(
     rows
 }
 
+/// One row of the WAL-overhead grid: the same stream served with logging
+/// off and on, interleaved.
+#[derive(Debug, Clone, Copy)]
+pub struct WalRow {
+    /// The shape measured.
+    pub shape: Shape,
+    /// Micro-batch size.
+    pub batch: usize,
+    /// Best throughput with the WAL detached.
+    pub off_arrivals_per_sec: f64,
+    /// Best throughput logging every commit through the WAL.
+    pub on_arrivals_per_sec: f64,
+    /// Fractional throughput lost to logging: `(off - on) / off`.
+    pub overhead_frac: f64,
+}
+
+/// Measures WAL-on vs WAL-off serving throughput at one batch size,
+/// `reps` repetitions each, interleaved off/on so ambient noise taxes
+/// both legs alike. Asserts on every repetition that both legs end
+/// byte-identical to the serial reference, and — once per call — that
+/// [`recover`] from (streaming checkpoint of the settled window, the
+/// WAL-on leg's log) rebuilds the exact final partition: the grid doubles
+/// as an end-to-end durability check.
+pub fn wal_comparison(
+    shape: Shape,
+    spec: ServingSpec,
+    seed: u64,
+    reps: usize,
+    batch: usize,
+) -> WalRow {
+    let w = serving_workload(shape, spec, seed);
+    let (ref_labels, ref_bits) = serial_reference(&w);
+    let checkpoint = settled_engine(&w).snapshot_v2();
+    let mut best_off: Option<u128> = None;
+    let mut best_on: Option<u128> = None;
+    let mut log_bytes: Option<Vec<u8>> = None;
+    for _ in 0..reps.max(1) {
+        for logging in [false, true] {
+            let sink = logging.then(SharedVecIo::new);
+            let outcome = serve_once(&w, batch, sink.clone());
+            assert_eq!(
+                outcome.labels, ref_labels,
+                "serving labels diverged from serial (wal={logging})"
+            );
+            assert_eq!(
+                outcome.objective_bits, ref_bits,
+                "serving objective bits diverged from serial (wal={logging})"
+            );
+            let best = if logging { &mut best_on } else { &mut best_off };
+            if best.is_none_or(|b| outcome.total_ns < b) {
+                *best = Some(outcome.total_ns);
+            }
+            if let Some(sink) = sink {
+                log_bytes.get_or_insert_with(|| sink.bytes());
+            }
+        }
+    }
+    let rec = recover(&checkpoint, log_bytes.as_deref().unwrap_or(&[]))
+        .expect("checkpoint + intact log must recover");
+    assert!(rec.damage.is_none(), "uncut log reported damage");
+    let rec_labels: Vec<usize> = rec
+        .engine
+        .live_labels()
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
+    assert_eq!(rec_labels, ref_labels, "recovered labels diverged");
+    assert_eq!(
+        rec.engine.objective().to_bits(),
+        ref_bits,
+        "recovered objective bits diverged"
+    );
+    let rate = |ns: u128| w.stream.len() as f64 / (ns as f64 * 1e-9);
+    let off = rate(best_off.expect("reps >= 1"));
+    let on = rate(best_on.expect("reps >= 1"));
+    WalRow {
+        shape,
+        batch,
+        off_arrivals_per_sec: off,
+        on_arrivals_per_sec: on,
+        overhead_frac: (off - on) / off,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +385,24 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.arrivals_per_sec > 0.0));
         assert!(rows.iter().all(|r| r.p50_ns <= r.p99_ns));
+    }
+
+    #[test]
+    fn wal_grid_recovers_and_measures_both_legs() {
+        let shape = Shape {
+            n: 300,
+            m: 16,
+            k: 4,
+        };
+        let spec = ServingSpec {
+            arrivals: 120,
+            commit_every: 3,
+            top_k: 4,
+        };
+        // Serial identity and end-to-end recovery asserted inside.
+        let row = wal_comparison(shape, spec, 13, 1, 16);
+        assert!(row.off_arrivals_per_sec > 0.0);
+        assert!(row.on_arrivals_per_sec > 0.0);
+        assert!(row.overhead_frac < 1.0);
     }
 }

@@ -84,12 +84,19 @@ pub mod serving;
 pub mod snapshot;
 pub mod ucentroid;
 pub mod ucpc;
+pub mod wal;
 
 pub use framework::{ClusterError, Clustering, UncertainClusterer};
 pub use init::Initializer;
 pub use objective::ClusterStats;
 pub use pruning::{PruneCounters, PruningConfig};
-pub use serving::{PlacementAnswer, ServingConfig, ServingError, ServingResponse, ServingUcpc};
+pub use serving::{
+    Clock, PlacementAnswer, ServingConfig, ServingError, ServingResponse, ServingUcpc, SystemClock,
+};
 pub use snapshot::SnapshotError;
 pub use ucentroid::UCentroid;
 pub use ucpc::{Ucpc, UcpcResult};
+pub use wal::{
+    apply_record, recover, scan_wal, DurableIo, IoFault, Recovery, SharedVecIo, VecIo, WalError,
+    WalFsync, WalRecord, WalScan, WalWriter,
+};

@@ -87,11 +87,32 @@
 //! The differential harness (`tests/serving_differential.rs`) pins all of
 //! this across batch sizes × storage backends × pruning × SIMD backends.
 //!
+//! # Durability
+//!
+//! With a write-ahead log attached ([`ServingUcpc::attach_wal`], or the
+//! `UCPC_WAL=on` auto-attach), every mutation in a flush — commit,
+//! effective removal, explicit *and cadence-triggered* stabilization — is
+//! appended to the log **before** it is applied, and the flush ends with
+//! one group-commit sync. The invariant is *applied iff logged*: a
+//! mutation whose frame cannot be written answers
+//! [`ServingResponse::Failed`] and leaves the engine untouched, and after
+//! the first fault the writer stays poisoned (the file tail is
+//! indeterminate, so later frames could be unreachable) until the caller
+//! rotates logs. [`ServingUcpc::checkpoint_into`] is that rotation:
+//! stream a chunked v2 snapshot, sync it, start a fresh log.
+//! [`crate::wal::recover`]`(snapshot, wal)` then rebuilds an engine
+//! byte-identical to the never-crashed run at every crash point — the
+//! derivation lives in the [`crate::wal`] module docs, and
+//! `tests/wal_recovery.rs` pins it at every frame boundary and mid-frame
+//! cut.
+//!
 //! # Knobs
 //!
-//! [`ServingConfig::default`] honours `UCPC_BATCH` (micro-batch size) and
+//! [`ServingConfig::default`] honours `UCPC_BATCH` (micro-batch size),
 //! `UCPC_STABILIZE` (stabilize after every N commits, `0`/`off` = never),
-//! both read through the shared warn-and-fall-back knob reader
+//! `UCPC_WAL` (`on` auto-attaches an in-memory write-ahead log) and
+//! `UCPC_WAL_FSYNC` (`off`/`flush`/`every` sync policy), all read through
+//! the shared warn-and-fall-back knob reader
 //! ([`ucpc_uncertain::env::read_knob`]).
 //!
 //! [`best_insertion_bounded`]: crate::pruning::best_insertion_bounded
@@ -109,8 +130,31 @@ use std::time::{Duration, Instant};
 use crate::framework::ClusterError;
 use crate::incremental::{IncrementalUcpc, ObjectHandle, StreamBackend};
 use crate::objective::AddPricer;
+use crate::wal::{DurableIo, VecIo, WalError, WalFsync, WalWriter};
 use ucpc_uncertain::simd::{dot_block, DISPATCH_THRESHOLD};
 use ucpc_uncertain::{MomentArena, Moments, UncertainObject};
+
+/// The serving layer's write-ahead logger: a [`WalWriter`] over a boxed
+/// sink, so the same field serves an in-memory [`VecIo`] (tests, the
+/// `UCPC_WAL=on` auto-attach) and a [`FileIo`](crate::wal::FileIo).
+pub type BoxedWal = WalWriter<Box<dyn DurableIo>>;
+
+/// Time source for the deadline flush trigger — pluggable so the deadline
+/// path gets exact tests instead of sleep-based ones.
+pub trait Clock: std::fmt::Debug {
+    /// The current instant.
+    fn now(&self) -> Instant;
+}
+
+/// The real time source: [`Instant::now`]. The default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
 
 /// Monotonically increasing request identifier, issued at submission and
 /// echoed with the request's [`ServingResponse`]. Responses come back in
@@ -211,6 +255,16 @@ pub enum ServingResponse {
         /// Relocations the pass(es) applied.
         relocations: usize,
     },
+    /// The request's mutation could not be written to the attached
+    /// write-ahead log, so it was **not applied** — log-before-apply means
+    /// the engine only ever holds state the log can reproduce. After the
+    /// first fault the writer is poisoned ([`WalError::Poisoned`]), so
+    /// every later mutation fails the same way until the caller rotates
+    /// the log ([`ServingUcpc::checkpoint_into`]) or detaches it.
+    Failed {
+        /// The logging failure.
+        error: WalError,
+    },
 }
 
 /// Configuration of a [`ServingUcpc`]. Plain data; fields are clamped to
@@ -240,6 +294,14 @@ pub struct ServingConfig {
     /// Clusters ranked per [`PlacementAnswer`] (clamped to
     /// [`MAX_TOP_K`] and to `k`).
     pub top_k: usize,
+    /// Whether construction auto-attaches a write-ahead log (an in-memory
+    /// [`VecIo`] sink; attach a file-backed sink explicitly via
+    /// [`ServingUcpc::attach_wal`] for real durability). Env default:
+    /// `UCPC_WAL`, else off.
+    pub wal: bool,
+    /// Fsync policy for the attached log. Env default: `UCPC_WAL_FSYNC`,
+    /// else [`WalFsync::Flush`] (one sync per flush — group commit).
+    pub wal_fsync: WalFsync,
 }
 
 impl ServingConfig {
@@ -258,11 +320,23 @@ impl ServingConfig {
             _ => v.parse::<usize>().ok(),
         }
     }
+
+    /// Parses one `UCPC_WAL` value (`on`/`1`/`off`/`0`), anything else ⇒
+    /// `None` — pure, exposed for env-free unit tests.
+    pub fn parse_wal(v: &str) -> Option<bool> {
+        match v {
+            "on" | "1" => Some(true),
+            "off" | "0" => Some(false),
+            _ => None,
+        }
+    }
 }
 
 impl Default for ServingConfig {
     /// Batch size from `UCPC_BATCH` (default 16), stabilize cadence from
-    /// `UCPC_STABILIZE` (default 0 = never), both through the shared
+    /// `UCPC_STABILIZE` (default 0 = never), write-ahead logging from
+    /// `UCPC_WAL` (default off) with its fsync policy from
+    /// `UCPC_WAL_FSYNC` (default `flush`), all through the shared
     /// warn-and-fall-back knob reader; queue capacity `4 × batch`, no
     /// deadline, 2 stabilize passes, full [`MAX_TOP_K`] ranking.
     fn default() -> Self {
@@ -275,6 +349,11 @@ impl Default for ServingConfig {
             Self::parse_stabilize,
         )
         .unwrap_or(0);
+        let wal =
+            ucpc_uncertain::env::read_knob("UCPC_WAL", "on|off", Self::parse_wal).unwrap_or(false);
+        let wal_fsync =
+            ucpc_uncertain::env::read_knob("UCPC_WAL_FSYNC", "off|flush|every", WalFsync::parse)
+                .unwrap_or_default();
         Self {
             batch,
             queue_capacity: batch * 4,
@@ -282,6 +361,8 @@ impl Default for ServingConfig {
             stabilize_every,
             stabilize_passes: 2,
             top_k: MAX_TOP_K,
+            wal,
+            wal_fsync,
         }
     }
 }
@@ -370,6 +451,13 @@ pub struct ServingUcpc {
     /// Construction time, stamped on requests instead of a per-admission
     /// clock read whenever no deadline trigger is configured.
     epoch: Instant,
+    /// Time source for deadline stamps ([`SystemClock`] by default;
+    /// injectable via [`Self::set_clock`] so deadline tests are exact).
+    clock: Box<dyn Clock>,
+    /// The attached write-ahead log, if any: every mutation is logged
+    /// here *before* it is applied, and [`Self::flush`] group-commits once
+    /// at the end (module docs, "Durability").
+    wal: Option<BoxedWal>,
 }
 
 impl ServingUcpc {
@@ -408,6 +496,14 @@ impl ServingUcpc {
         for _ in 0..cap {
             staging.push_row_with(m, |_| (0.0, 0.0));
         }
+        let wal = cfg.wal.then(|| {
+            WalWriter::create(
+                Box::new(VecIo::new()) as Box<dyn DurableIo>,
+                m,
+                cfg.wal_fsync,
+            )
+            .expect("in-memory sink cannot fault")
+        });
         Self {
             engine,
             staging,
@@ -427,7 +523,73 @@ impl ServingUcpc {
             cfg,
             commits_since_stabilize: 0,
             epoch: Instant::now(),
+            clock: Box::new(SystemClock),
+            wal,
         }
+    }
+
+    /// Replaces the deadline-trigger time source (tests inject a manual
+    /// clock here; production keeps the default [`SystemClock`]).
+    pub fn set_clock(&mut self, clock: Box<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// [`Self::poll`] at the attached clock's current time.
+    pub fn poll_now(&mut self) -> usize {
+        let now = self.clock.now();
+        self.poll(now)
+    }
+
+    /// Attaches a write-ahead log over `io`, writing its header now. Every
+    /// subsequent mutation is logged before it is applied. Replaces (and
+    /// drops) any previously attached log — rotate with
+    /// [`Self::checkpoint_into`] instead to keep history contiguous.
+    pub fn attach_wal<I: DurableIo + 'static>(&mut self, io: I) -> Result<(), WalError> {
+        let writer = WalWriter::create(
+            Box::new(io) as Box<dyn DurableIo>,
+            self.engine.m,
+            self.cfg.wal_fsync,
+        )?;
+        self.wal = Some(writer);
+        Ok(())
+    }
+
+    /// Detaches and returns the write-ahead log, if one was attached.
+    /// Subsequent mutations are no longer logged.
+    pub fn detach_wal(&mut self) -> Option<BoxedWal> {
+        self.wal.take()
+    }
+
+    /// The attached write-ahead log, if any — e.g. to check
+    /// [`WalWriter::poisoned`] or read back a [`VecIo`] buffer.
+    pub fn wal(&self) -> Option<&BoxedWal> {
+        self.wal.as_ref()
+    }
+
+    /// Checkpoint + log-rotate, the durability maintenance step: streams a
+    /// v2 snapshot of the **flushed** engine state into `snapshot_io`
+    /// (chunked — never materializes the full state; see
+    /// [`IncrementalUcpc::write_snapshot`]), syncs it, then starts a fresh
+    /// write-ahead log on `wal_io` and returns the retired writer (whose
+    /// sink holds exactly the frames the snapshot has absorbed). Pending
+    /// (unflushed) requests are untouched — they will log to the new WAL
+    /// when flushed. On any fault the engine, the old log, and the
+    /// attachment state are all unchanged.
+    pub fn checkpoint_into<S: DurableIo, W: DurableIo + 'static>(
+        &mut self,
+        snapshot_io: &mut S,
+        wal_io: W,
+    ) -> Result<Option<BoxedWal>, WalError> {
+        self.engine
+            .write_snapshot(snapshot_io)
+            .map_err(WalError::Snapshot)?;
+        snapshot_io.sync().map_err(WalError::Io)?;
+        let fresh = WalWriter::create(
+            Box::new(wal_io) as Box<dyn DurableIo>,
+            self.engine.m,
+            self.cfg.wal_fsync,
+        )?;
+        Ok(self.wal.replace(fresh))
     }
 
     /// The wrapped engine (read-only; flushed state only — pending requests
@@ -484,7 +646,7 @@ impl ServingUcpc {
         // `at` only feeds the deadline trigger; without one, a clock read
         // per admission is pure overhead — stamp the construction epoch.
         let at = if self.cfg.deadline.is_some() {
-            Instant::now()
+            self.clock.now()
         } else {
             self.epoch
         };
@@ -591,6 +753,22 @@ impl ServingUcpc {
                 ReqKind::Commit { row } => {
                     let answer = self.answer_for(arrival, row);
                     arrival += 1;
+                    // Log before apply: an arrival the WAL cannot hold is
+                    // never committed — the engine only ever contains
+                    // state the log can reproduce.
+                    let logged = match &mut self.wal {
+                        Some(w) => {
+                            let v = self.staging.view(row as usize);
+                            w.log_commit(v.mu, v.mu2)
+                        }
+                        None => Ok(()),
+                    };
+                    if let Err(error) = logged {
+                        self.free_rows.push(row);
+                        self.responses
+                            .push_back((req.ticket, ServingResponse::Failed { error }));
+                        continue;
+                    }
                     let best = answer.best().0;
                     #[cfg(debug_assertions)]
                     {
@@ -616,16 +794,39 @@ impl ServingUcpc {
                     if self.cfg.stabilize_every != 0
                         && self.commits_since_stabilize >= self.cfg.stabilize_every
                     {
-                        self.commits_since_stabilize = 0;
-                        if self.engine.stabilize(self.cfg.stabilize_passes) > 0 {
-                            self.dirty.fill(self.flush_seq);
-                            self.any_dirty = true;
+                        // The cadence stabilization is a mutation too: log
+                        // it (so recovery replays it at the same point)
+                        // before running it. If logging fails the pass is
+                        // skipped and the counter stands — neither log nor
+                        // engine saw it, so they still agree.
+                        let logged = match &mut self.wal {
+                            Some(w) => w.log_stabilize(self.cfg.stabilize_passes as u64),
+                            None => Ok(()),
+                        };
+                        if logged.is_ok() {
+                            self.commits_since_stabilize = 0;
+                            if self.engine.stabilize(self.cfg.stabilize_passes) > 0 {
+                                self.dirty.fill(self.flush_seq);
+                                self.any_dirty = true;
+                            }
                         }
                     }
                     ServingResponse::Committed { handle, answer }
                 }
                 ReqKind::Remove(h) => {
                     let cluster = self.engine.label_of(h);
+                    // Only an *effective* remove reaches the log: replaying
+                    // a stale-handle remove would be a false corruption at
+                    // recovery, so it must never be a WAL frame.
+                    if cluster.is_some() {
+                        if let Some(w) = &mut self.wal {
+                            if let Err(error) = w.log_remove(h) {
+                                self.responses
+                                    .push_back((req.ticket, ServingResponse::Failed { error }));
+                                continue;
+                            }
+                        }
+                    }
                     let result = self.engine.remove(h);
                     if result.is_ok() {
                         let c = cluster.expect("removed object had a label");
@@ -635,6 +836,15 @@ impl ServingUcpc {
                     ServingResponse::Removed(result)
                 }
                 ReqKind::Stabilize { passes } => {
+                    let logged = match &mut self.wal {
+                        Some(w) => w.log_stabilize(passes as u64),
+                        None => Ok(()),
+                    };
+                    if let Err(error) = logged {
+                        self.responses
+                            .push_back((req.ticket, ServingResponse::Failed { error }));
+                        continue;
+                    }
                     let relocations = self.engine.stabilize(passes);
                     if relocations > 0 {
                         self.dirty.fill(self.flush_seq);
@@ -644,6 +854,14 @@ impl ServingUcpc {
                 }
             };
             self.responses.push_back((req.ticket, response));
+        }
+        // Group commit: one sync makes the whole flush's frames durable
+        // (under WalFsync::Flush). A failure poisons the writer — later
+        // mutations come back ServingResponse::Failed — but this flush's
+        // responses are already queued; durability-sensitive callers check
+        // WalWriter::poisoned before trusting them.
+        if let Some(w) = &mut self.wal {
+            let _ = w.group_commit();
         }
         n
     }
@@ -857,6 +1075,8 @@ mod tests {
             stabilize_every: 0,
             stabilize_passes: 2,
             top_k: MAX_TOP_K,
+            wal: false,
+            wal_fsync: WalFsync::Flush,
         }
     }
 
@@ -901,6 +1121,8 @@ mod tests {
                 stabilize_every: 0,
                 stabilize_passes: 1,
                 top_k: 100,
+                wal: false,
+                wal_fsync: WalFsync::Flush,
             },
         )
         .unwrap();
@@ -959,6 +1181,185 @@ mod tests {
             }
         );
         assert_eq!(serving.pending_len(), 0, "rejected arrival holds nothing");
+    }
+
+    #[test]
+    fn wal_knob_accepts_on_off_and_fsync_policies() {
+        assert_eq!(ServingConfig::parse_wal("on"), Some(true));
+        assert_eq!(ServingConfig::parse_wal("1"), Some(true));
+        assert_eq!(ServingConfig::parse_wal("off"), Some(false));
+        assert_eq!(ServingConfig::parse_wal("0"), Some(false));
+        assert_eq!(ServingConfig::parse_wal("yes"), None);
+        assert_eq!(WalFsync::parse("off"), Some(WalFsync::Off));
+        assert_eq!(WalFsync::parse("flush"), Some(WalFsync::Flush));
+        assert_eq!(WalFsync::parse("every"), Some(WalFsync::Every));
+        assert_eq!(WalFsync::parse("always"), None);
+        let (outcome, warning) = ucpc_uncertain::env::parse_knob(
+            "UCPC_WAL",
+            Some("yes"),
+            "on|off",
+            ServingConfig::parse_wal,
+        );
+        assert_eq!(outcome.value(), None);
+        assert!(warning.unwrap().contains("UCPC_WAL=\"yes\""));
+    }
+
+    /// Manual clock for exact deadline tests: no sleeping, no flakiness.
+    #[derive(Debug, Clone)]
+    struct FakeClock(std::rc::Rc<std::cell::Cell<Instant>>);
+
+    impl Clock for FakeClock {
+        fn now(&self) -> Instant {
+            self.0.get()
+        }
+    }
+
+    #[test]
+    fn deadline_trigger_is_exact_under_an_injected_clock() {
+        let start = Instant::now();
+        let hand = std::rc::Rc::new(std::cell::Cell::new(start));
+        let mut serving = ServingUcpc::new(
+            2,
+            2,
+            ServingConfig {
+                deadline: Some(Duration::from_secs(5)),
+                ..cfg(100)
+            },
+        )
+        .unwrap();
+        serving.set_clock(Box::new(FakeClock(hand.clone())));
+        serving.submit_query_object(&obj(1.0)).unwrap();
+        // One tick short of the deadline: nothing fires.
+        hand.set(start + Duration::from_secs(5) - Duration::from_nanos(1));
+        assert_eq!(serving.poll_now(), 0);
+        // Exactly at the deadline: the flush fires.
+        hand.set(start + Duration::from_secs(5));
+        assert_eq!(serving.poll_now(), 1);
+        // The stamp comes from the injected clock too: a request admitted
+        // at a later hand position is due exactly 5s after *that*.
+        let t1 = start + Duration::from_secs(100);
+        hand.set(t1);
+        serving.submit_query_object(&obj(2.0)).unwrap();
+        hand.set(t1 + Duration::from_secs(4));
+        assert_eq!(serving.poll_now(), 0);
+        hand.set(t1 + Duration::from_secs(5));
+        assert_eq!(serving.poll_now(), 1);
+    }
+
+    #[test]
+    fn wal_on_changes_no_bits_and_logs_every_mutation() {
+        let mut logged = ServingUcpc::new(
+            2,
+            2,
+            ServingConfig {
+                wal: true,
+                ..cfg(8)
+            },
+        )
+        .unwrap();
+        let mut plain = ServingUcpc::new(2, 2, cfg(8)).unwrap();
+        let mut handles = Vec::new();
+        for s in [&mut logged, &mut plain] {
+            for c in [0.0, 0.5, 8.0, 8.5] {
+                s.submit_commit_object(&obj(c)).unwrap();
+            }
+            s.flush();
+            let mut hs = Vec::new();
+            while let Some((_, r)) = s.pop_response() {
+                if let ServingResponse::Committed { handle, .. } = r {
+                    hs.push(handle);
+                }
+            }
+            handles.push(hs);
+        }
+        assert_eq!(handles[0], handles[1], "logging must not perturb handles");
+        assert_eq!(
+            logged.engine().objective().to_bits(),
+            plain.engine().objective().to_bits()
+        );
+        assert_eq!(logged.wal().unwrap().frames(), 4);
+        assert!(plain.wal().is_none());
+    }
+
+    #[test]
+    fn enospc_mid_flush_fails_checked_and_skips_the_apply() {
+        let mut serving = ServingUcpc::new(2, 2, cfg(8)).unwrap();
+        // Header + one commit frame, then the wall: the second commit's
+        // frame cannot fit.
+        let header_and_one = crate::wal::WAL_HEADER_LEN + 4 + 1 + 2 * 2 * 8 + 4;
+        serving.attach_wal(VecIo::limited(header_and_one)).unwrap();
+        serving.submit_commit_object(&obj(0.0)).unwrap();
+        serving.submit_commit_object(&obj(8.0)).unwrap();
+        serving.submit_stabilize(1).unwrap();
+        serving.flush();
+        let (_, first) = serving.pop_response().unwrap();
+        assert!(matches!(first, ServingResponse::Committed { .. }));
+        let (_, second) = serving.pop_response().unwrap();
+        assert!(
+            matches!(
+                second,
+                ServingResponse::Failed {
+                    error: WalError::Io(_)
+                }
+            ),
+            "{second:?}"
+        );
+        // Poisoned: the stabilize after it fails too, and the engine holds
+        // exactly the one logged commit.
+        let (_, third) = serving.pop_response().unwrap();
+        assert!(
+            matches!(
+                third,
+                ServingResponse::Failed {
+                    error: WalError::Poisoned(_)
+                }
+            ),
+            "{third:?}"
+        );
+        assert_eq!(serving.engine().len(), 1, "unlogged commit must not apply");
+        assert!(serving.wal().unwrap().poisoned().is_some());
+    }
+
+    #[test]
+    fn checkpoint_rotates_the_log_and_recovers_bitwise() {
+        let mut serving = ServingUcpc::new(
+            2,
+            2,
+            ServingConfig {
+                wal: true,
+                ..cfg(8)
+            },
+        )
+        .unwrap();
+        for c in [0.0, 0.5, 8.0] {
+            serving.submit_commit_object(&obj(c)).unwrap();
+        }
+        serving.flush();
+        let mut snap_io = VecIo::new();
+        let fresh_log = crate::wal::SharedVecIo::new();
+        let retired = serving
+            .checkpoint_into(&mut snap_io, fresh_log.clone())
+            .unwrap()
+            .expect("a log was attached");
+        assert_eq!(
+            retired.frames(),
+            3,
+            "retired log holds pre-checkpoint frames"
+        );
+        assert_eq!(snap_io.syncs(), 1, "checkpoint syncs the snapshot");
+        // Post-checkpoint traffic lands in the fresh log only.
+        serving.submit_commit_object(&obj(8.5)).unwrap();
+        serving.flush();
+        assert_eq!(serving.wal().unwrap().frames(), 1);
+        // Crash now: snapshot + rotated WAL rebuild the exact engine.
+        let rec = crate::wal::recover(snap_io.bytes(), &fresh_log.bytes()).unwrap();
+        assert_eq!(rec.frames_applied, 1);
+        assert!(rec.damage.is_none());
+        assert_eq!(
+            rec.engine.snapshot(),
+            serving.engine().snapshot(),
+            "recovered state is bit-identical to the live engine"
+        );
     }
 
     #[test]

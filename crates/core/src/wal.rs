@@ -1,0 +1,1211 @@
+//! Checksummed write-ahead log of serving mutations, and crash recovery.
+//!
+//! A process crash between snapshots loses every edit since the last
+//! checkpoint. This module closes that hole with the classic database
+//! discipline, built to the repo's exactness bar: **log before apply**,
+//! recover by **replaying the logged suffix on top of the last snapshot**,
+//! and prove the recovered engine *byte-identical* — labels, handles,
+//! [`ClusterStats`](crate::objective::ClusterStats) bits, objective — to
+//! the engine that never crashed (`tests/wal_recovery.rs` pins this at
+//! every possible crash point).
+//!
+//! # Why replay is bit-exact
+//!
+//! Three facts, each already load-bearing elsewhere in the workspace,
+//! compose into the recovery guarantee:
+//!
+//! 1. **Moments round-trip through their defining bits.** Every arrival is
+//!    logged as its `(mu, mu_2)` vectors in raw little-endian IEEE-754 bits
+//!    (exactly like `UCPCSNAP`). All [`Moments`] construction funnels
+//!    through [`Moments::from_mu_mu2`], a pure function of those bits — so
+//!    rebuilding the arrival at recovery reproduces its variance row and
+//!    every scalar aggregate bit for bit.
+//! 2. **Placement is a pure function of engine state and arrival bits.**
+//!    The serving layer's batched commit is shadow-asserted bit-identical
+//!    to the serial [`IncrementalUcpc::insert_moments`] scan at the same
+//!    point of the edit sequence (see [`crate::serving`]). Replay *runs*
+//!    the serial scan — on an engine whose state is bit-identical by
+//!    induction — so it picks the same cluster and mutates the same bits,
+//!    and even the issued [`ObjectHandle`]s coincide (same slot/generation
+//!    discipline).
+//! 3. **Cadence is logged, not re-derived.** Every stabilization the
+//!    serving layer runs — explicit *or* cadence-triggered — writes its own
+//!    [`WalRecord::Stabilize`] frame before running, so recovery never has
+//!    to reconstruct the batching/cadence configuration: the log *is* the
+//!    mutation sequence.
+//!
+//! # Format
+//!
+//! Integers are little-endian; `f64` is [`f64::to_bits`] little-endian.
+//!
+//! ```text
+//! header   "UCPCWAL\0"  8 × u8
+//!          version      u32    1
+//!          m            u64    dimensions (validated against the engine)
+//!          crc          u32    CRC-32 (IEEE) of the 20 bytes above
+//! frame    len          u32    payload length in bytes
+//!          payload      len × u8
+//!          crc          u32    CRC-32 (IEEE) of len ‖ payload
+//! payload  tag 1 Commit     mu m × f64, mu2 m × f64
+//!          tag 2 Remove     slot u32, gen u32
+//!          tag 3 Stabilize  passes u64
+//! ```
+//!
+//! # Torn tails, corruption, and poisoning
+//!
+//! [`scan_wal`] walks frames until the first one that is torn (runs past
+//! the end of the buffer) or fails its checksum, then stops: everything
+//! before is the **valid prefix**, everything after is damage. [`recover`]
+//! replays the valid prefix and reports the damage as a checked
+//! [`WalError::Corrupt`] carrying the salvage point (`valid_bytes`) — a
+//! crash mid-append is expected, not an error in the log's past.
+//!
+//! A *write* failure is different: after a failed or short append the tail
+//! of the log is indeterminate, so any further append could sit after
+//! garbage and be silently unreachable at recovery. [`WalWriter`] therefore
+//! **poisons itself permanently** on the first I/O fault — every later
+//! append returns [`WalError::Poisoned`] — preserving the invariant that a
+//! mutation is applied *iff* its frame is durably readable.
+//!
+//! All I/O goes through the pluggable [`DurableIo`] trait; [`VecIo`] is the
+//! in-memory implementation with byte-exact fault injection (ENOSPC at any
+//! offset, short writes, failing fsync) and [`FileIo`] is the `std::fs`
+//! one.
+
+use crate::framework::ClusterError;
+use crate::incremental::{IncrementalUcpc, ObjectHandle};
+use crate::snapshot::SnapshotError;
+use std::fmt;
+use std::io::Write as _;
+use ucpc_uncertain::Moments;
+
+/// Magic prefix of a WAL byte stream.
+pub const WAL_MAGIC: &[u8; 8] = b"UCPCWAL\0";
+/// Current WAL format version; readers reject any other.
+pub const WAL_VERSION: u32 = 1;
+/// Size of the fixed WAL header (magic + version + m + crc).
+pub const WAL_HEADER_LEN: usize = 8 + 4 + 8 + 4;
+
+const TAG_COMMIT: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_STABILIZE: u8 = 3;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — table built at compile time
+// so the checksum needs no external crate and no runtime init.
+// ---------------------------------------------------------------------------
+
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte through k additional zero bytes, so eight table lookups
+// retire eight input bytes per iteration. The WAL sits on the serving
+// layer's commit path and checksums every moment row, so the ~8x over the
+// byte-at-a-time loop is what keeps the `required_wal_overhead` gate
+// comfortable.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut k = 1usize;
+    while k < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum guarding every WAL frame and
+/// every snapshot-v2 chunk.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Appends `vals` to `p` as LE IEEE-754 bit patterns — the format every
+/// commit frame and snapshot row section specifies. On little-endian
+/// targets the in-memory representation *is* that byte stream (`f64` has
+/// no padding and `u8` has alignment 1), so the copy is one `memcpy`
+/// instead of a per-element loop — this sits on the serving commit path.
+pub(crate) fn extend_f64_bits(p: &mut Vec<u8>, vals: &[f64]) {
+    #[cfg(target_endian = "little")]
+    {
+        let bytes =
+            unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * 8) };
+        p.extend_from_slice(bytes);
+    }
+    #[cfg(target_endian = "big")]
+    {
+        for &v in vals {
+            p.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DurableIo — the pluggable byte sink
+// ---------------------------------------------------------------------------
+
+/// A checked I/O fault from a [`DurableIo`] sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoFault {
+    /// The device is out of space; `at` is the byte offset where the
+    /// append hit the wall.
+    NoSpace {
+        /// Byte offset of the failed append.
+        at: u64,
+    },
+    /// The write or sync failed outright.
+    Failed {
+        /// Byte offset at the time of the failure.
+        at: u64,
+        /// What failed.
+        what: &'static str,
+    },
+    /// The sink accepted zero bytes without reporting an error.
+    WriteZero,
+}
+
+impl fmt::Display for IoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSpace { at } => write!(f, "out of space at byte offset {at}"),
+            Self::Failed { at, what } => write!(f, "{what} at byte offset {at}"),
+            Self::WriteZero => write!(f, "sink accepted zero bytes"),
+        }
+    }
+}
+
+impl std::error::Error for IoFault {}
+
+/// An append-only durable byte sink: the seam between the WAL / streaming
+/// snapshot writers and the world, pluggable so tests can inject torn
+/// tails, short writes, and ENOSPC at any byte offset.
+///
+/// Contract: [`DurableIo::write`] appends a *prefix* of `buf` and returns
+/// how many bytes it accepted (a short count models a torn write);
+/// [`DurableIo::sync`] makes everything accepted so far durable.
+pub trait DurableIo: fmt::Debug {
+    /// Appends a prefix of `buf`, returning the number of bytes accepted.
+    fn write(&mut self, buf: &[u8]) -> Result<usize, IoFault>;
+
+    /// Forces everything accepted so far to durable storage.
+    fn sync(&mut self) -> Result<(), IoFault>;
+
+    /// Appends all of `buf`, looping over short writes. A fault mid-loop
+    /// leaves a torn tail in the sink — callers treat that as fatal for
+    /// the stream (see [`WalWriter`] poisoning).
+    fn write_all(&mut self, mut buf: &[u8]) -> Result<(), IoFault> {
+        while !buf.is_empty() {
+            let n = self.write(buf)?;
+            if n == 0 {
+                return Err(IoFault::WriteZero);
+            }
+            buf = buf.get(n..).unwrap_or(&[]);
+        }
+        Ok(())
+    }
+}
+
+impl<T: DurableIo + ?Sized> DurableIo for Box<T> {
+    fn write(&mut self, buf: &[u8]) -> Result<usize, IoFault> {
+        (**self).write(buf)
+    }
+    fn sync(&mut self) -> Result<(), IoFault> {
+        (**self).sync()
+    }
+}
+
+/// In-memory [`DurableIo`] with byte-exact fault injection: an optional
+/// capacity limit (ENOSPC at that exact offset), an optional maximum chunk
+/// per `write` call (forces short writes), and optional sync failure.
+/// The buffer keeps whatever was accepted before a fault — exactly the
+/// torn tail a real device would leave.
+#[derive(Debug, Clone, Default)]
+pub struct VecIo {
+    buf: Vec<u8>,
+    limit: Option<usize>,
+    max_chunk: Option<usize>,
+    fail_syncs: bool,
+    syncs: u64,
+}
+
+impl VecIo {
+    /// An unbounded, fault-free in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink that accepts exactly `limit` bytes and then reports
+    /// [`IoFault::NoSpace`] — ENOSPC at a chosen byte offset.
+    pub fn limited(limit: usize) -> Self {
+        Self {
+            limit: Some(limit),
+            ..Self::default()
+        }
+    }
+
+    /// A sink that accepts at most `max_chunk` bytes per `write` call —
+    /// every multi-byte append becomes a sequence of short writes.
+    pub fn chunked(max_chunk: usize) -> Self {
+        Self {
+            max_chunk: Some(max_chunk.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Makes every subsequent [`DurableIo::sync`] fail.
+    pub fn failing_syncs(mut self) -> Self {
+        self.fail_syncs = true;
+        self
+    }
+
+    /// Everything accepted so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the sink, yielding the accepted bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of successful [`DurableIo::sync`] calls — lets tests pin the
+    /// group-commit policy (one sync per flush, not per frame).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+impl DurableIo for VecIo {
+    fn write(&mut self, buf: &[u8]) -> Result<usize, IoFault> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let room = match self.limit {
+            Some(limit) => limit.saturating_sub(self.buf.len()),
+            None => usize::MAX,
+        };
+        if room == 0 {
+            return Err(IoFault::NoSpace {
+                at: self.buf.len() as u64,
+            });
+        }
+        let n = buf
+            .len()
+            .min(room)
+            .min(self.max_chunk.unwrap_or(usize::MAX));
+        self.buf.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn sync(&mut self) -> Result<(), IoFault> {
+        if self.fail_syncs {
+            return Err(IoFault::Failed {
+                at: self.buf.len() as u64,
+                what: "injected sync failure",
+            });
+        }
+        self.syncs += 1;
+        Ok(())
+    }
+}
+
+/// An in-memory [`DurableIo`] writing through a shared handle: clones
+/// observe the same buffer, so a harness can hand one clone to
+/// [`WalWriter::create`] (even boxed behind `dyn DurableIo`) and keep
+/// reading the accumulated log bytes through another — the seam the
+/// crash-point differential tests cut at. An optional capacity limit
+/// injects ENOSPC at that exact offset, leaving the torn tail readable.
+#[derive(Debug, Clone, Default)]
+pub struct SharedVecIo {
+    buf: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
+    limit: Option<usize>,
+}
+
+impl SharedVecIo {
+    /// An empty shared sink that never faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty shared sink returning [`IoFault::NoSpace`] once `limit`
+    /// bytes have been accepted.
+    pub fn limited(limit: usize) -> Self {
+        Self {
+            limit: Some(limit),
+            ..Self::default()
+        }
+    }
+
+    /// A copy of everything accepted so far.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.buf.lock().expect("sink mutex poisoned").clone()
+    }
+}
+
+impl DurableIo for SharedVecIo {
+    fn write(&mut self, buf: &[u8]) -> Result<usize, IoFault> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut held = self.buf.lock().expect("sink mutex poisoned");
+        let room = match self.limit {
+            Some(limit) => limit.saturating_sub(held.len()),
+            None => usize::MAX,
+        };
+        if room == 0 {
+            return Err(IoFault::NoSpace {
+                at: held.len() as u64,
+            });
+        }
+        let n = buf.len().min(room);
+        held.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn sync(&mut self) -> Result<(), IoFault> {
+        Ok(())
+    }
+}
+
+/// [`DurableIo`] over a real file (`std::fs`): appends with
+/// [`std::io::Write`], syncs with [`std::fs::File::sync_all`]. Errors lose
+/// their OS detail crossing into the static [`IoFault`] — the offset is
+/// what recovery needs.
+#[derive(Debug)]
+pub struct FileIo {
+    file: std::fs::File,
+    written: u64,
+}
+
+impl FileIo {
+    /// Creates (truncating) the file at `path` as an append sink.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self {
+            file: std::fs::File::create(path)?,
+            written: 0,
+        })
+    }
+}
+
+impl DurableIo for FileIo {
+    fn write(&mut self, buf: &[u8]) -> Result<usize, IoFault> {
+        match self.file.write(buf) {
+            Ok(n) => {
+                self.written += n as u64;
+                Ok(n)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::StorageFull => {
+                Err(IoFault::NoSpace { at: self.written })
+            }
+            Err(_) => Err(IoFault::Failed {
+                at: self.written,
+                what: "file write failed",
+            }),
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), IoFault> {
+        self.file.sync_all().map_err(|_| IoFault::Failed {
+            at: self.written,
+            what: "fsync failed",
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Checked failure of the WAL layer — appending, scanning, or recovering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The buffer does not start with the `UCPCWAL\0` magic: not a WAL.
+    BadMagic,
+    /// The header is intact but declares a version this build does not
+    /// read.
+    UnsupportedVersion(u32),
+    /// The log is damaged past `valid_bytes`: frames `0..frames` (the
+    /// valid prefix, ending at byte `valid_bytes`) are intact and
+    /// replayable; everything after is torn or corrupt. This is the
+    /// salvage point — [`recover`] applies the prefix and surfaces this
+    /// alongside, never silently.
+    Corrupt {
+        /// Byte offset of the end of the last intact frame (or header).
+        valid_bytes: u64,
+        /// Number of intact frames before the damage.
+        frames: u64,
+        /// What the scanner tripped on.
+        reason: &'static str,
+    },
+    /// An append or sync faulted; the log tail is now indeterminate.
+    Io(IoFault),
+    /// The writer was poisoned by an earlier fault (the payload): once any
+    /// append fails the tail is indeterminate, so no further mutation may
+    /// be logged — and therefore none may be applied.
+    Poisoned(IoFault),
+    /// The WAL's dimensionality does not match the engine restored from
+    /// the snapshot — the log belongs to a different stream.
+    DimensionMismatch {
+        /// Dimensionality of the snapshot engine.
+        expected: usize,
+        /// Dimensionality declared by the WAL header.
+        found: usize,
+    },
+    /// The snapshot half of [`recover`] failed.
+    Snapshot(SnapshotError),
+    /// A checksummed, well-formed frame did not apply cleanly (e.g. a
+    /// remove of a handle that was never live) — the log and snapshot
+    /// disagree about history.
+    Replay(ClusterError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "buffer does not start with the UCPCWAL magic"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "WAL format version {v} is not supported (expected {WAL_VERSION})"
+                )
+            }
+            Self::Corrupt {
+                valid_bytes,
+                frames,
+                reason,
+            } => write!(
+                f,
+                "WAL damaged after {frames} intact frames ({valid_bytes} bytes): {reason}"
+            ),
+            Self::Io(fault) => write!(f, "WAL append faulted: {fault}"),
+            Self::Poisoned(fault) => {
+                write!(f, "WAL poisoned by an earlier fault: {fault}")
+            }
+            Self::DimensionMismatch { expected, found } => write!(
+                f,
+                "WAL logs {found}-dimensional arrivals, snapshot engine has {expected}"
+            ),
+            Self::Snapshot(e) => write!(f, "snapshot half of recovery failed: {e}"),
+            Self::Replay(e) => write!(f, "WAL frame did not replay cleanly: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// When the WAL writer syncs its sink — the `UCPC_WAL_FSYNC` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalFsync {
+    /// Never sync (the OS decides); fastest, weakest.
+    Off,
+    /// One sync per [`WalWriter::group_commit`] — the group-commit policy
+    /// the serving layer invokes once per flush. The default.
+    #[default]
+    Flush,
+    /// Sync after every frame; strongest, slowest.
+    Every,
+}
+
+impl WalFsync {
+    /// Parses one `UCPC_WAL_FSYNC` value (`off`, `flush`, `every`),
+    /// anything else ⇒ `None` — pure, exposed for env-free unit tests.
+    pub fn parse(v: &str) -> Option<Self> {
+        match v {
+            "off" | "0" => Some(Self::Off),
+            "flush" => Some(Self::Flush),
+            "every" => Some(Self::Every),
+            _ => None,
+        }
+    }
+}
+
+/// Appends checksummed mutation frames to a [`DurableIo`] sink —
+/// log-before-apply's logging half.
+///
+/// Permanently poisons itself on the first I/O fault (module docs): every
+/// subsequent append or sync returns [`WalError::Poisoned`] with the
+/// original fault, so a caller honouring log-before-apply stops mutating
+/// exactly where the durable history stops.
+#[derive(Debug)]
+pub struct WalWriter<I: DurableIo> {
+    io: I,
+    fsync: WalFsync,
+    frames: u64,
+    bytes: u64,
+    poison: Option<IoFault>,
+    scratch: Vec<u8>,
+}
+
+impl<I: DurableIo> WalWriter<I> {
+    /// Starts a log for `m`-dimensional arrivals on `io`, writing the
+    /// checksummed header immediately.
+    pub fn create(io: I, m: usize, fsync: WalFsync) -> Result<Self, WalError> {
+        let mut w = Self {
+            io,
+            fsync,
+            frames: 0,
+            bytes: 0,
+            poison: None,
+            scratch: Vec::with_capacity(WAL_HEADER_LEN),
+        };
+        w.scratch.extend_from_slice(WAL_MAGIC);
+        w.scratch.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        w.scratch.extend_from_slice(&(m as u64).to_le_bytes());
+        let crc = crc32(&w.scratch);
+        w.scratch.extend_from_slice(&crc.to_le_bytes());
+        w.commit_scratch()?;
+        if w.fsync == WalFsync::Every {
+            w.sync_or_poison()?;
+        }
+        Ok(w)
+    }
+
+    /// The sink (e.g. to read back a [`VecIo`] buffer).
+    pub fn io(&self) -> &I {
+        &self.io
+    }
+
+    /// Consumes the writer, yielding the sink.
+    pub fn into_io(self) -> I {
+        self.io
+    }
+
+    /// Frames fully appended so far (the header is not a frame).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Bytes fully appended so far, header included — the offset a healthy
+    /// [`scan_wal`] will report as `valid_bytes`.
+    pub fn bytes_logged(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The fault that poisoned this writer, if any.
+    pub fn poisoned(&self) -> Option<&IoFault> {
+        self.poison.as_ref()
+    }
+
+    /// Logs a committed arrival as its raw moment bits.
+    /// `mu` and `mu2` must have the header's dimensionality.
+    pub fn log_commit(&mut self, mu: &[f64], mu2: &[f64]) -> Result<(), WalError> {
+        debug_assert_eq!(mu.len(), mu2.len());
+        self.append_frame(|p| {
+            p.push(TAG_COMMIT);
+            extend_f64_bits(p, mu);
+            extend_f64_bits(p, mu2);
+        })
+    }
+
+    /// Logs an (effective) removal by its generation-stamped handle.
+    pub fn log_remove(&mut self, h: ObjectHandle) -> Result<(), WalError> {
+        self.append_frame(|p| {
+            p.push(TAG_REMOVE);
+            p.extend_from_slice(&(h.slot() as u32).to_le_bytes());
+            p.extend_from_slice(&h.generation().to_le_bytes());
+        })
+    }
+
+    /// Logs a stabilization (explicit or cadence-triggered) about to run.
+    pub fn log_stabilize(&mut self, passes: u64) -> Result<(), WalError> {
+        self.append_frame(|p| {
+            p.push(TAG_STABILIZE);
+            p.extend_from_slice(&passes.to_le_bytes());
+        })
+    }
+
+    /// Group commit: makes every frame logged so far durable with one sync
+    /// (under [`WalFsync::Flush`]; a no-op under `Off`, already done under
+    /// `Every`). The serving layer calls this once per flush.
+    pub fn group_commit(&mut self) -> Result<(), WalError> {
+        if let Some(fault) = &self.poison {
+            return Err(WalError::Poisoned(fault.clone()));
+        }
+        if self.fsync == WalFsync::Flush {
+            self.sync_or_poison()?;
+        }
+        Ok(())
+    }
+
+    fn append_frame(&mut self, build: impl FnOnce(&mut Vec<u8>)) -> Result<(), WalError> {
+        if let Some(fault) = &self.poison {
+            return Err(WalError::Poisoned(fault.clone()));
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&[0u8; 4]);
+        build(&mut self.scratch);
+        let len = self.scratch.len() - 4;
+        debug_assert!(u32::try_from(len).is_ok(), "frame payload exceeds u32");
+        self.scratch[..4].copy_from_slice(&(len as u32).to_le_bytes());
+        let crc = crc32(&self.scratch);
+        self.scratch.extend_from_slice(&crc.to_le_bytes());
+        self.commit_scratch()?;
+        self.frames += 1;
+        if self.fsync == WalFsync::Every {
+            self.sync_or_poison()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the assembled scratch buffer whole, poisoning on any fault.
+    fn commit_scratch(&mut self) -> Result<(), WalError> {
+        match self.io.write_all(&self.scratch) {
+            Ok(()) => {
+                self.bytes += self.scratch.len() as u64;
+                Ok(())
+            }
+            Err(fault) => {
+                self.poison = Some(fault.clone());
+                Err(WalError::Io(fault))
+            }
+        }
+    }
+
+    fn sync_or_poison(&mut self) -> Result<(), WalError> {
+        match self.io.sync() {
+            Ok(()) => Ok(()),
+            Err(fault) => {
+                self.poison = Some(fault.clone());
+                Err(WalError::Io(fault))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+/// One decoded WAL frame — the unit of replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An arrival committed into the engine, as its defining moment bits.
+    Commit {
+        /// Expected-value vector, bit-exact.
+        mu: Vec<f64>,
+        /// Second-order moment vector, bit-exact.
+        mu2: Vec<f64>,
+    },
+    /// An effective removal (the handle was live when logged).
+    Remove(ObjectHandle),
+    /// A stabilization of up to `passes` relocation passes.
+    Stabilize {
+        /// Relocation passes requested.
+        passes: u64,
+    },
+}
+
+/// Result of [`scan_wal`]: the intact prefix of a log, plus where (and
+/// why) it stops being intact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// Dimensionality declared by the header, when the header was intact.
+    pub m: Option<usize>,
+    /// Decoded frames of the valid prefix, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset just past frame `i` — `frame_ends[i]` is the smallest
+    /// prefix of the log that still contains frames `0..=i` whole. The
+    /// crash-point harness cuts at exactly these offsets.
+    pub frame_ends: Vec<u64>,
+    /// Byte offset of the end of the valid prefix (header end if no frame
+    /// is intact, `0` if the header itself is torn).
+    pub valid_bytes: u64,
+    /// The damage past `valid_bytes`, if any — always
+    /// [`WalError::Corrupt`]. `None` means the log is clean to the end.
+    pub damage: Option<WalError>,
+}
+
+/// Walks a WAL byte stream, decoding the longest valid prefix.
+///
+/// Hard errors ([`WalError::BadMagic`], [`WalError::UnsupportedVersion`])
+/// mean the buffer is not a replayable log at all. Damage — a torn or
+/// checksum-failing header or frame — is *not* an error here: the scan
+/// stops at the salvage point and reports the damage in
+/// [`WalScan::damage`], because a torn tail is exactly what a crash
+/// mid-append leaves behind.
+pub fn scan_wal(bytes: &[u8]) -> Result<WalScan, WalError> {
+    let mut scan = WalScan {
+        m: None,
+        records: Vec::new(),
+        frame_ends: Vec::new(),
+        valid_bytes: 0,
+        damage: None,
+    };
+    if bytes.len() >= 8 && &bytes[..8] != WAL_MAGIC {
+        return Err(WalError::BadMagic);
+    }
+    if bytes.len() < WAL_HEADER_LEN {
+        scan.damage = Some(WalError::Corrupt {
+            valid_bytes: 0,
+            frames: 0,
+            reason: "torn header",
+        });
+        return Ok(scan);
+    }
+    let stored = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    if crc32(&bytes[..20]) != stored {
+        scan.damage = Some(WalError::Corrupt {
+            valid_bytes: 0,
+            frames: 0,
+            reason: "header checksum mismatch",
+        });
+        return Ok(scan);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(WalError::UnsupportedVersion(version));
+    }
+    let m_raw = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let Ok(m) = usize::try_from(m_raw) else {
+        return Err(WalError::Corrupt {
+            valid_bytes: 0,
+            frames: 0,
+            reason: "header dimensionality overflows usize",
+        });
+    };
+    scan.m = Some(m);
+    scan.valid_bytes = WAL_HEADER_LEN as u64;
+
+    let mut pos = WAL_HEADER_LEN;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Ok(scan);
+        }
+        let damage = |reason| {
+            Some(WalError::Corrupt {
+                valid_bytes: scan.valid_bytes,
+                frames: scan.records.len() as u64,
+                reason,
+            })
+        };
+        if remaining < 4 {
+            scan.damage = damage("torn frame length");
+            return Ok(scan);
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        // Torn check first: a frame that runs past the end is a crash
+        // mid-append, however implausible its length field.
+        let Some(frame_end) = pos
+            .checked_add(4)
+            .and_then(|p| p.checked_add(len))
+            .and_then(|p| p.checked_add(4))
+        else {
+            scan.damage = damage("torn frame");
+            return Ok(scan);
+        };
+        if frame_end > bytes.len() {
+            scan.damage = damage("torn frame");
+            return Ok(scan);
+        }
+        let payload = &bytes[pos + 4..pos + 4 + len];
+        let stored = u32::from_le_bytes(bytes[frame_end - 4..frame_end].try_into().expect("crc"));
+        if crc32(&bytes[pos..pos + 4 + len]) != stored {
+            scan.damage = damage("frame checksum mismatch");
+            return Ok(scan);
+        }
+        let Some(record) = decode_payload(payload, m) else {
+            scan.damage = damage("malformed frame payload");
+            return Ok(scan);
+        };
+        scan.records.push(record);
+        scan.frame_ends.push(frame_end as u64);
+        scan.valid_bytes = frame_end as u64;
+        pos = frame_end;
+    }
+}
+
+/// Decodes one checksummed frame payload; `None` if the tag or shape is
+/// wrong (allocation is bounded by the payload slice — no hostile length
+/// field reaches an allocator).
+fn decode_payload(payload: &[u8], m: usize) -> Option<WalRecord> {
+    let (&tag, body) = payload.split_first()?;
+    match tag {
+        TAG_COMMIT => {
+            if body.len() != m.checked_mul(16)? {
+                return None;
+            }
+            let f64_at = |i: usize| {
+                f64::from_bits(u64::from_le_bytes(
+                    body[i * 8..i * 8 + 8].try_into().expect("8 bytes"),
+                ))
+            };
+            let mu = (0..m).map(f64_at).collect();
+            let mu2 = (m..2 * m).map(f64_at).collect();
+            Some(WalRecord::Commit { mu, mu2 })
+        }
+        TAG_REMOVE => {
+            if body.len() != 8 {
+                return None;
+            }
+            let slot = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+            let gen = u32::from_le_bytes(body[4..].try_into().expect("4 bytes"));
+            Some(WalRecord::Remove(ObjectHandle::new(slot, gen)))
+        }
+        TAG_STABILIZE => {
+            if body.len() != 8 {
+                return None;
+            }
+            let passes = u64::from_le_bytes(body.try_into().expect("8 bytes"));
+            Some(WalRecord::Stabilize { passes })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// Outcome of [`recover`]: the rebuilt engine plus the salvage report.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The engine, bit-identical to the uninterrupted run at the point of
+    /// the last intact frame.
+    pub engine: IncrementalUcpc,
+    /// WAL frames replayed on top of the snapshot.
+    pub frames_applied: u64,
+    /// Byte offset of the end of the valid WAL prefix.
+    pub valid_bytes: u64,
+    /// Damage found past the valid prefix (always
+    /// [`WalError::Corrupt`]), `None` for a clean log. Recovery *applied*
+    /// the valid prefix either way — the caller decides whether a torn
+    /// tail is an expected crash artifact or cause for alarm.
+    pub damage: Option<WalError>,
+}
+
+/// Replays one decoded WAL record on a live engine — the single replay
+/// step [`recover`] folds, exposed so the crash-point harness can finish
+/// an interrupted log suffix on a recovered engine.
+///
+/// A commit rebuilds the arrival via [`Moments::from_mu_mu2`] (bit-exact
+/// from the logged bits) and inserts it through the serial scan — which
+/// the serving layer's batched commit is shadow-asserted equal to — so
+/// replay reproduces labels, handles, and statistics bits exactly.
+pub fn apply_record(engine: &mut IncrementalUcpc, rec: &WalRecord) -> Result<(), ClusterError> {
+    match rec {
+        WalRecord::Commit { mu, mu2 } => engine
+            .insert_moments(&Moments::from_mu_mu2(mu.clone(), mu2.clone()))
+            .map(|_| ()),
+        WalRecord::Remove(h) => engine.remove(*h),
+        WalRecord::Stabilize { passes } => {
+            engine.stabilize(usize::try_from(*passes).unwrap_or(usize::MAX));
+            Ok(())
+        }
+    }
+}
+
+/// Rebuilds an engine from its last checkpoint plus the WAL written since:
+/// restores the snapshot (v1 or v2), scans the log's valid prefix, and
+/// replays every intact frame. See the module docs for the byte-identity
+/// derivation and the salvage semantics.
+///
+/// An empty `wal` (crash before the log header was written) recovers to
+/// exactly the snapshot. A torn or corrupt tail truncates replay at the
+/// salvage point, reported in [`Recovery::damage`]. A log whose *intact*
+/// frames do not apply cleanly — or whose dimensionality disagrees with
+/// the snapshot — is a hard error: snapshot and log are not from the same
+/// history.
+pub fn recover(snapshot: &[u8], wal: &[u8]) -> Result<Recovery, WalError> {
+    let mut engine = IncrementalUcpc::restore(snapshot).map_err(WalError::Snapshot)?;
+    if wal.is_empty() {
+        return Ok(Recovery {
+            engine,
+            frames_applied: 0,
+            valid_bytes: 0,
+            damage: None,
+        });
+    }
+    let scan = scan_wal(wal)?;
+    if let Some(m) = scan.m {
+        if m != engine.m {
+            return Err(WalError::DimensionMismatch {
+                expected: engine.m,
+                found: m,
+            });
+        }
+    }
+    for rec in &scan.records {
+        apply_record(&mut engine, rec).map_err(WalError::Replay)?;
+    }
+    Ok(Recovery {
+        engine,
+        frames_applied: scan.records.len() as u64,
+        valid_bytes: scan.valid_bytes,
+        damage: scan.damage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::StreamBackend;
+    use ucpc_uncertain::{UncertainObject, UnivariatePdf};
+
+    fn obj(c: f64) -> UncertainObject {
+        UncertainObject::new(vec![
+            UnivariatePdf::normal(c, 0.2),
+            UnivariatePdf::uniform_centered(-c, 0.5),
+        ])
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn header_then_frames_scan_back_exactly() {
+        let mut w = WalWriter::create(VecIo::new(), 2, WalFsync::Flush).unwrap();
+        w.log_commit(&[1.5, -2.0], &[3.0, 4.25]).unwrap();
+        w.log_remove(ObjectHandle::new(7, 3)).unwrap();
+        w.log_stabilize(4).unwrap();
+        w.group_commit().unwrap();
+        assert_eq!(w.frames(), 3);
+        assert_eq!(w.io().syncs(), 1, "group commit syncs once per flush");
+        let bytes = w.into_io().into_bytes();
+        let scan = scan_wal(&bytes).unwrap();
+        assert_eq!(scan.m, Some(2));
+        assert_eq!(scan.damage, None);
+        assert_eq!(scan.valid_bytes, bytes.len() as u64);
+        assert_eq!(
+            scan.records,
+            vec![
+                WalRecord::Commit {
+                    mu: vec![1.5, -2.0],
+                    mu2: vec![3.0, 4.25],
+                },
+                WalRecord::Remove(ObjectHandle::new(7, 3)),
+                WalRecord::Stabilize { passes: 4 },
+            ]
+        );
+        assert_eq!(scan.frame_ends.len(), 3);
+        assert_eq!(*scan.frame_ends.last().unwrap(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn every_fsync_syncs_per_frame() {
+        let mut w = WalWriter::create(VecIo::new(), 1, WalFsync::Every).unwrap();
+        w.log_stabilize(1).unwrap();
+        w.log_stabilize(1).unwrap();
+        w.group_commit().unwrap();
+        // Header + 2 frames, and group_commit adds nothing under Every.
+        assert_eq!(w.io().syncs(), 3);
+        let mut w = WalWriter::create(VecIo::new(), 1, WalFsync::Off).unwrap();
+        w.log_stabilize(1).unwrap();
+        w.group_commit().unwrap();
+        assert_eq!(w.io().syncs(), 0);
+    }
+
+    #[test]
+    fn torn_tail_salvages_to_the_last_intact_frame() {
+        let mut w = WalWriter::create(VecIo::new(), 1, WalFsync::Off).unwrap();
+        w.log_commit(&[1.0], &[2.0]).unwrap();
+        w.log_commit(&[3.0], &[10.0]).unwrap();
+        let bytes = w.into_io().into_bytes();
+        let full = scan_wal(&bytes).unwrap();
+        let first_end = full.frame_ends[0] as usize;
+        // Cut mid-second-frame: every cut strictly between the two frame
+        // boundaries salvages exactly one record.
+        for cut in first_end + 1..bytes.len() {
+            let scan = scan_wal(&bytes[..cut]).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.valid_bytes, first_end as u64);
+            assert!(
+                matches!(scan.damage, Some(WalError::Corrupt { frames: 1, .. })),
+                "cut at {cut}: {:?}",
+                scan.damage
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_pass_the_checksum() {
+        let mut w = WalWriter::create(VecIo::new(), 1, WalFsync::Off).unwrap();
+        w.log_commit(&[1.0], &[2.0]).unwrap();
+        w.log_stabilize(2).unwrap();
+        let bytes = w.into_io().into_bytes();
+        let clean = scan_wal(&bytes).unwrap();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                match scan_wal(&flipped) {
+                    Ok(scan) => assert!(
+                        scan.records.len() < clean.records.len() || scan.damage.is_some(),
+                        "flip {byte}:{bit} silently accepted"
+                    ),
+                    // Flips inside the magic / version land here.
+                    Err(WalError::BadMagic | WalError::UnsupportedVersion(_)) => {}
+                    Err(e) => panic!("flip {byte}:{bit}: unexpected {e:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enospc_poisons_the_writer_permanently() {
+        // Room for the header and one frame, then the wall.
+        let mut probe = WalWriter::create(VecIo::new(), 1, WalFsync::Off).unwrap();
+        probe.log_commit(&[1.0], &[2.0]).unwrap();
+        let one_frame = probe.bytes_logged() as usize;
+
+        for limit in WAL_HEADER_LEN..one_frame {
+            let mut w = WalWriter::create(VecIo::limited(limit), 1, WalFsync::Off).unwrap();
+            let err = w.log_commit(&[1.0], &[2.0]).unwrap_err();
+            assert!(
+                matches!(err, WalError::Io(IoFault::NoSpace { .. })),
+                "{err:?}"
+            );
+            // Sticky: later appends fail without touching the sink.
+            let tail = w.io().bytes().len();
+            let err = w.log_stabilize(1).unwrap_err();
+            assert!(matches!(err, WalError::Poisoned(_)), "{err:?}");
+            assert_eq!(w.io().bytes().len(), tail, "poisoned append wrote bytes");
+            let err = w.group_commit().unwrap_err();
+            assert!(matches!(err, WalError::Poisoned(_)));
+            // The torn sink still salvages to the header.
+            let scan = scan_wal(w.io().bytes()).unwrap();
+            assert_eq!(scan.records.len(), 0);
+            assert_eq!(scan.valid_bytes, WAL_HEADER_LEN as u64);
+        }
+    }
+
+    #[test]
+    fn short_writes_are_transparent() {
+        let mut chunked = WalWriter::create(VecIo::chunked(3), 2, WalFsync::Off).unwrap();
+        let mut whole = WalWriter::create(VecIo::new(), 2, WalFsync::Off).unwrap();
+        for w in [&mut chunked, &mut whole] {
+            w.log_commit(&[1.0, 2.0], &[3.0, 8.0]).unwrap();
+            w.log_remove(ObjectHandle::new(0, 1)).unwrap();
+        }
+        assert_eq!(chunked.io().bytes(), whole.io().bytes());
+    }
+
+    #[test]
+    fn failing_sync_poisons_too() {
+        let mut w = WalWriter::create(VecIo::new().failing_syncs(), 1, WalFsync::Flush).unwrap();
+        w.log_stabilize(1).unwrap();
+        let err = w.group_commit().unwrap_err();
+        assert!(
+            matches!(err, WalError::Io(IoFault::Failed { .. })),
+            "{err:?}"
+        );
+        let err = w.log_stabilize(1).unwrap_err();
+        assert!(matches!(err, WalError::Poisoned(_)), "{err:?}");
+    }
+
+    #[test]
+    fn recover_replays_snapshot_plus_log() {
+        let mut reference = IncrementalUcpc::with_backend(2, 2, StreamBackend::Slab).unwrap();
+        let mut handles = Vec::new();
+        for c in [0.0, 0.5, 8.0] {
+            handles.push(reference.insert(&obj(c)).unwrap());
+        }
+        let checkpoint = reference.snapshot();
+        // Post-checkpoint traffic, logged as it happens.
+        let mut w = WalWriter::create(VecIo::new(), 2, WalFsync::Flush).unwrap();
+        let arrivals = [obj(8.5), obj(0.25)];
+        for a in &arrivals {
+            let mo = a.moments();
+            w.log_commit(mo.mu(), mo.mu2()).unwrap();
+            reference.insert(a).unwrap();
+        }
+        w.log_remove(handles[1]).unwrap();
+        reference.remove(handles[1]).unwrap();
+        w.log_stabilize(3).unwrap();
+        reference.stabilize(3);
+        w.group_commit().unwrap();
+
+        let rec = recover(&checkpoint, w.io().bytes()).unwrap();
+        assert_eq!(rec.frames_applied, 4);
+        assert_eq!(rec.damage, None);
+        assert_eq!(rec.engine.live_labels(), reference.live_labels());
+        assert_eq!(
+            rec.engine.objective().to_bits(),
+            reference.objective().to_bits()
+        );
+        assert_eq!(rec.engine.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn recover_tolerates_an_empty_log_and_rejects_mismatches() {
+        let mut e = IncrementalUcpc::new(2, 2).unwrap();
+        e.insert(&obj(1.0)).unwrap();
+        let snap = e.snapshot();
+        let rec = recover(&snap, &[]).unwrap();
+        assert_eq!(rec.frames_applied, 0);
+        assert_eq!(rec.engine.snapshot(), snap);
+
+        // Wrong dimensionality: the log is from a different stream.
+        let w = WalWriter::create(VecIo::new(), 5, WalFsync::Off).unwrap();
+        assert_eq!(
+            recover(&snap, w.io().bytes()).unwrap_err(),
+            WalError::DimensionMismatch {
+                expected: 2,
+                found: 5
+            }
+        );
+        // Not a WAL at all.
+        assert_eq!(
+            recover(&snap, b"definitely not a log").unwrap_err(),
+            WalError::BadMagic
+        );
+        // Corrupt snapshot half.
+        assert!(matches!(
+            recover(b"definitely not a snapshot", &[]).unwrap_err(),
+            WalError::Snapshot(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn replay_of_a_never_live_handle_is_a_checked_error() {
+        let mut e = IncrementalUcpc::new(2, 2).unwrap();
+        e.insert(&obj(1.0)).unwrap();
+        let snap = e.snapshot();
+        let mut w = WalWriter::create(VecIo::new(), 2, WalFsync::Off).unwrap();
+        w.log_remove(ObjectHandle::new(99, 7)).unwrap();
+        let err = recover(&snap, w.io().bytes()).unwrap_err();
+        assert!(matches!(err, WalError::Replay(_)), "{err:?}");
+    }
+}

@@ -79,6 +79,9 @@ fn steady_state_serving_allocates_nothing() {
             stabilize_every: 0,
             stabilize_passes: 2,
             top_k: 4,
+            // WAL fields from the environment: the CI `wal` leg reruns this
+            // suite with `UCPC_WAL=on` to prove logging changes no behaviour.
+            ..ServingConfig::default()
         },
     );
 

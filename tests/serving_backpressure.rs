@@ -31,6 +31,9 @@ fn config(batch: usize, queue_capacity: usize) -> ServingConfig {
         stabilize_every: 0,
         stabilize_passes: 2,
         top_k: 2,
+        // WAL fields from the environment: the CI `wal` leg reruns this
+        // suite with `UCPC_WAL=on` to prove logging changes no behaviour.
+        ..ServingConfig::default()
     }
 }
 

@@ -168,6 +168,9 @@ fn replay_serving(
         stabilize_every: STABILIZE_EVERY,
         stabilize_passes: STABILIZE_PASSES,
         top_k: TOP_K,
+        // WAL fields from the environment: the CI `wal` leg reruns this
+        // suite with `UCPC_WAL=on` to prove logging changes no behaviour.
+        ..ServingConfig::default()
     };
     let mut serving = ServingUcpc::over(engine, cfg);
     let mut ids: Vec<ObjectHandle> = Vec::new();

@@ -32,6 +32,9 @@ fn config(top_k: usize) -> ServingConfig {
         stabilize_every: 0,
         stabilize_passes: 2,
         top_k,
+        // WAL fields from the environment: the CI `wal` leg reruns this
+        // suite with `UCPC_WAL=on` to prove logging changes no behaviour.
+        ..ServingConfig::default()
     }
 }
 
