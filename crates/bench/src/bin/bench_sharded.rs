@@ -1,0 +1,117 @@
+//! Measures the sharded grid: the coordinator/participant replicated-log
+//! layer (`ucpc_core::sharded::ShardedUcpc`) driven through a seeded edit
+//! stream at shard counts {1, 2, 4, 8}, on a clean in-process transport
+//! and under a seeded mixed chaos schedule (drops + duplicates +
+//! reorders + bounded delays). Reports edits/sec, committed log rounds,
+//! transport retries, and throughput relative to the single-node
+//! `IncrementalUcpc` on the same stream — replication is a robustness
+//! feature, so the relative column is the price being paid, not a
+//! speedup gate.
+//!
+//! Every repetition asserts the final partition byte-identical to the
+//! single-node replay, so the measurement doubles as the end-to-end
+//! replication-exactness check.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p ucpc-bench --bin bench_sharded` — the
+//!   measured grid, printed as a table plus `BENCH_relocation.json`
+//!   `sharded_grid` rows ready to splice.
+//! * `cargo run --release -p ucpc-bench --bin bench_sharded -- --check`
+//!   — CI mode: a reduced grid whose value is the byte-identity asserts
+//!   (clean and chaotic) at every shard count; timings are not gated.
+//!
+//! `UCPC_CHAOS_SEED` reseeds the chaos schedule (the differential test
+//! suite honours the same knob), so CI can sweep fresh fault schedules
+//! without a code change.
+
+use ucpc_bench::relocation::Shape;
+use ucpc_bench::sharded::{sharded_comparison, ShardedSpec};
+use ucpc_core::fault::ChaosPlan;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let seed = ChaosPlan::clean(17).seed_from_env().seed;
+
+    if check {
+        // CI leg: exactness across shard counts and transports on a small
+        // shape. The asserts live inside `sharded_comparison`; reaching
+        // the print means they held.
+        let shape = Shape { n: 120, m: 6, k: 4 };
+        let spec = ShardedSpec {
+            edits: 160,
+            stabilize_every: 32,
+        };
+        let rows = sharded_comparison(shape, spec, seed, 1, &SHARD_COUNTS);
+        let retries: u64 = rows.iter().map(|r| r.retries).sum();
+        assert!(
+            retries > 0,
+            "the chaos legs must exercise retransmission (seed {seed})"
+        );
+        println!(
+            "sharded --check ok: n={} m={} k={} byte-identical to single-node at shards {:?}, \
+             clean and chaotic ({} retries, seed {})",
+            shape.n, shape.m, shape.k, SHARD_COUNTS, retries, seed
+        );
+        return;
+    }
+
+    let shape = Shape {
+        n: 1_000,
+        m: 16,
+        k: 8,
+    };
+    let spec = ShardedSpec {
+        edits: 1_200,
+        stabilize_every: 50,
+    };
+    let rows = sharded_comparison(shape, spec, seed, 5, &SHARD_COUNTS);
+
+    println!(
+        "{:<26} {:>7} {:>10} {:>12} {:>8} {:>9} {:>10}",
+        "sharded (replicated log)",
+        "shards",
+        "transport",
+        "edits/s",
+        "rounds",
+        "retries",
+        "vs 1-node"
+    );
+    for row in &rows {
+        println!(
+            "n={:<5} m={:<3} k={:<10} {:>7} {:>10} {:>12.0} {:>8} {:>9} {:>9.3}x",
+            row.shape.n,
+            row.shape.m,
+            row.shape.k,
+            row.shards,
+            row.transport,
+            row.edits_per_sec,
+            row.committed_rounds,
+            row.retries,
+            row.relative_to_single
+        );
+    }
+
+    println!("\nBENCH_relocation.json sharded_grid rows:");
+    for row in &rows {
+        println!(
+            concat!(
+                "    {{\"n\": {}, \"m\": {}, \"k\": {}, \"shards\": {}, ",
+                "\"transport\": \"{}\", \"edits_per_sec\": {:.0}, ",
+                "\"committed_rounds\": {}, \"retries\": {}, ",
+                "\"relative_to_single\": {:.3}}}"
+            ),
+            row.shape.n,
+            row.shape.m,
+            row.shape.k,
+            row.shards,
+            row.transport,
+            row.edits_per_sec,
+            row.committed_rounds,
+            row.retries,
+            row.relative_to_single
+        );
+    }
+}

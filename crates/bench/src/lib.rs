@@ -44,8 +44,13 @@
 //! [`serving::serving_comparison`], the batched assignment-serving front
 //! door (`ucpc_core::serving::ServingUcpc`) under an open-loop placement
 //! stream across micro-batch sizes, reporting p50/p99 response latency
-//! and arrivals/sec (the `bench_serving` binary). Every comparison
-//! doubles as an exactness check: any label divergence panics the bench.
+//! and arrivals/sec (the `bench_serving` binary), and
+//! [`sharded::sharded_comparison`], the coordinator/participant
+//! replicated-log layer (`ucpc_core::sharded::ShardedUcpc`) over a shard
+//! count × {clean, chaos} transport grid, reporting edit throughput
+//! relative to single-node and the retry volume a lossy fabric induces
+//! (the `bench_sharded` binary). Every comparison doubles as an exactness
+//! check: any label divergence panics the bench.
 
 #![warn(missing_docs)]
 
@@ -54,4 +59,5 @@ pub mod harness;
 pub mod relocation;
 pub mod report;
 pub mod serving;
+pub mod sharded;
 pub mod streaming;

@@ -1,0 +1,273 @@
+//! Sharded-engine workload: the coordinator/participant replicated-log
+//! layer ([`ShardedUcpc`]) driven through a seeded edit stream at a grid
+//! of shard counts, on a clean transport and under a mixed chaos schedule
+//! (drops + duplicates + reorders + bounded delays).
+//!
+//! The sharded engine exists for fault tolerance, not speedup — every
+//! propose/apply round is a lockstep message exchange, so adding shards
+//! adds coordination. What the grid pins down is the *cost* of that
+//! coordination (edits/sec relative to the single-node engine on the
+//! same stream) and the retry volume a lossy fabric induces. Every run
+//! asserts the final partition byte-identical to a serial
+//! [`IncrementalUcpc`] replay — the measurement doubles as the
+//! end-to-end replication-exactness check.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use ucpc_core::fault::ChaosPlan;
+use ucpc_core::incremental::IncrementalUcpc;
+use ucpc_core::sharded::ShardedUcpc;
+use ucpc_uncertain::{Moments, UncertainObject, UnivariatePdf};
+
+use crate::relocation::Shape;
+
+/// Sharded-stream parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedSpec {
+    /// Edits in the measured stream (inserts; every fourth edit past the
+    /// warm window also removes an earlier object).
+    pub edits: usize,
+    /// A stabilize round (2 passes) every this many edits (0 = never).
+    pub stabilize_every: usize,
+}
+
+impl Default for ShardedSpec {
+    fn default() -> Self {
+        Self {
+            edits: 600,
+            stabilize_every: 40,
+        }
+    }
+}
+
+/// A seeded clustered edit stream, same blob geometry as the serving
+/// workload: `shape.n` warm inserts, then `spec.edits` measured edits.
+pub struct ShardedWorkload {
+    /// Objects inserted before measurement starts.
+    pub warm: Vec<Moments>,
+    /// Arrivals inserted during the measured stream, in order.
+    pub stream: Vec<Moments>,
+    /// The modeled shape (`n` = warm-window size, `m`, `k`).
+    pub shape: Shape,
+    /// The stream parameters.
+    pub spec: ShardedSpec,
+}
+
+/// Builds the seeded workload.
+pub fn sharded_workload(shape: Shape, spec: ShardedSpec, seed: u64) -> ShardedWorkload {
+    let Shape { n, m, k } = shape;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..m).map(|_| rng.gen_range(-5.0..5.0)).collect())
+        .collect();
+    let mut draw = |i: usize| -> Moments {
+        let c = &centers[i % k];
+        UncertainObject::new(
+            (0..m)
+                .map(|j| {
+                    UnivariatePdf::normal(c[j] + rng.gen_range(-1.5..1.5), rng.gen_range(0.1..0.6))
+                })
+                .collect(),
+        )
+        .moments()
+        .clone()
+    };
+    ShardedWorkload {
+        warm: (0..n).map(&mut draw).collect(),
+        stream: (0..spec.edits).map(&mut draw).collect(),
+        shape,
+        spec,
+    }
+}
+
+/// Outcome of one sharded run over the measured stream.
+pub struct ShardedOutcome {
+    /// Wall time of the measured stream, ns.
+    pub total_ns: u128,
+    /// Replicated-log rounds committed over the whole run.
+    pub committed_rounds: u64,
+    /// Retransmissions the transport forced.
+    pub retries: u64,
+    /// Live labels after the stream, in slot order.
+    pub labels: Vec<usize>,
+    /// Final objective bits.
+    pub objective_bits: u64,
+}
+
+/// Drives one engine (sharded at `shards`, or the single-node reference
+/// when `shards == 0`) through the workload: warm inserts, then the
+/// measured stream with interleaved removes and stabilize rounds.
+fn drive(w: &ShardedWorkload, shards: usize, plan: Option<ChaosPlan>) -> ShardedOutcome {
+    let Shape { m, k, .. } = w.shape;
+    #[allow(clippy::large_enum_variant)] // one instance per run, never collected
+    enum Engine {
+        Single(IncrementalUcpc),
+        Sharded(ShardedUcpc),
+    }
+    let mut engine = if shards == 0 {
+        Engine::Single(IncrementalUcpc::new(m, k).expect("shape is valid"))
+    } else {
+        Engine::Sharded(match plan {
+            Some(p) => ShardedUcpc::with_chaos(m, k, shards, p).expect("shape is valid"),
+            None => ShardedUcpc::new(m, k, shards).expect("shape is valid"),
+        })
+    };
+    let mut handles = Vec::with_capacity(w.warm.len() + w.stream.len());
+    let insert = |e: &mut Engine, mo: &Moments| match e {
+        Engine::Single(s) => s.insert_moments(mo).expect("insert"),
+        Engine::Sharded(s) => s.insert_moments(mo).expect("insert"),
+    };
+    for mo in &w.warm {
+        handles.push(insert(&mut engine, mo));
+    }
+    match &mut engine {
+        Engine::Single(s) => s.stabilize(3),
+        Engine::Sharded(s) => s.stabilize(3),
+    };
+
+    let start = Instant::now();
+    for (i, mo) in w.stream.iter().enumerate() {
+        handles.push(insert(&mut engine, mo));
+        if i % 4 == 3 {
+            // Remove a deterministic earlier survivor: churn keeps the
+            // free-list and relocation paths hot without shrinking the
+            // window below the warm size.
+            let victim = handles.swap_remove((i * 7) % handles.len());
+            match &mut engine {
+                Engine::Single(s) => s.remove(victim).expect("remove"),
+                Engine::Sharded(s) => s.remove(victim).expect("remove"),
+            }
+        }
+        if w.spec.stabilize_every != 0 && (i + 1) % w.spec.stabilize_every == 0 {
+            match &mut engine {
+                Engine::Single(s) => s.stabilize(2),
+                Engine::Sharded(s) => s.stabilize(2),
+            };
+        }
+    }
+    let total_ns = start.elapsed().as_nanos();
+    match engine {
+        Engine::Single(s) => ShardedOutcome {
+            total_ns,
+            committed_rounds: 0,
+            retries: 0,
+            labels: s.live_labels().into_iter().map(|(_, c)| c).collect(),
+            objective_bits: s.objective().to_bits(),
+        },
+        Engine::Sharded(s) => ShardedOutcome {
+            total_ns,
+            committed_rounds: s.committed_rounds(),
+            retries: s.retries(),
+            labels: s.live_labels().into_iter().map(|(_, c)| c).collect(),
+            objective_bits: s.objective().to_bits(),
+        },
+    }
+}
+
+/// One row of the sharded grid.
+#[derive(Debug, Clone)]
+pub struct ShardedRow {
+    /// The shape measured.
+    pub shape: Shape,
+    /// Shard count of this row.
+    pub shards: usize,
+    /// `"clean"` or `"mixed"` (the seeded chaos schedule).
+    pub transport: &'static str,
+    /// Measured edit throughput over the stream.
+    pub edits_per_sec: f64,
+    /// Replicated-log rounds committed.
+    pub committed_rounds: u64,
+    /// Retransmissions the transport forced (0 on a clean fabric).
+    pub retries: u64,
+    /// Throughput relative to the single-node engine on the same stream
+    /// (< 1: the price of replication).
+    pub relative_to_single: f64,
+}
+
+/// Runs the edit stream single-node and at every shard count — clean
+/// transport plus a seeded mixed chaos schedule — `reps` repetitions each
+/// (best wall time kept), asserting on every repetition that the final
+/// partition is byte-identical to the single-node replay.
+pub fn sharded_comparison(
+    shape: Shape,
+    spec: ShardedSpec,
+    seed: u64,
+    reps: usize,
+    shard_counts: &[usize],
+) -> Vec<ShardedRow> {
+    let w = sharded_workload(shape, spec, seed);
+    let reference = drive(&w, 0, None);
+    let mut single_best = reference.total_ns;
+    for _ in 1..reps {
+        single_best = single_best.min(drive(&w, 0, None).total_ns);
+    }
+    let edits = w.stream.len() as f64;
+    let single_eps = edits / (single_best as f64 / 1e9);
+
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        for (transport, plan) in [
+            ("clean", None),
+            ("mixed", Some(ChaosPlan::mixed(seed ^ shards as u64))),
+        ] {
+            let mut best: Option<ShardedOutcome> = None;
+            for _ in 0..reps.max(1) {
+                let out = drive(&w, shards, plan);
+                assert_eq!(
+                    out.labels, reference.labels,
+                    "sharded labels diverged ({shards} shards, {transport})"
+                );
+                assert_eq!(
+                    out.objective_bits, reference.objective_bits,
+                    "sharded objective diverged ({shards} shards, {transport})"
+                );
+                if plan.is_none() {
+                    assert_eq!(out.retries, 0, "clean transport retried");
+                }
+                best = Some(match best {
+                    Some(b) if b.total_ns <= out.total_ns => b,
+                    _ => out,
+                });
+            }
+            let out = best.expect("reps >= 1");
+            let eps = edits / (out.total_ns as f64 / 1e9);
+            rows.push(ShardedRow {
+                shape,
+                shards,
+                transport,
+                edits_per_sec: eps,
+                committed_rounds: out.committed_rounds,
+                retries: out.retries,
+                relative_to_single: eps / single_eps,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_grid_is_exact_at_every_shard_count_and_transport() {
+        let shape = Shape { n: 60, m: 4, k: 3 };
+        let spec = ShardedSpec {
+            edits: 80,
+            stabilize_every: 20,
+        };
+        let rows = sharded_comparison(shape, spec, 11, 1, &[1, 2, 4]);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.edits_per_sec > 0.0);
+            assert!(row.committed_rounds > 0);
+            if row.transport == "clean" {
+                assert_eq!(row.retries, 0);
+            }
+        }
+        // The lossy fabric must actually exercise retransmission somewhere
+        // in the grid (a mixed schedule that never drops is miswired).
+        assert!(rows.iter().any(|r| r.transport == "mixed" && r.retries > 0));
+    }
+}

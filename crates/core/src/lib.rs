@@ -72,6 +72,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod framework;
 pub mod incremental;
 pub mod init;
@@ -81,10 +82,13 @@ pub mod pruning;
 pub mod restarts;
 pub mod scheduler;
 pub mod serving;
+pub mod sharded;
 pub mod snapshot;
 pub mod ucentroid;
 pub mod ucpc;
 pub mod wal;
+
+pub use fault::{ChaosPlan, Dice, IoFaultPlan, ManualClock};
 
 pub use framework::{ClusterError, Clustering, UncertainClusterer};
 pub use init::Initializer;
@@ -93,10 +97,11 @@ pub use pruning::{PruneCounters, PruningConfig};
 pub use serving::{
     Clock, PlacementAnswer, ServingConfig, ServingError, ServingResponse, ServingUcpc, SystemClock,
 };
+pub use sharded::{ChaosTransport, MpscTransport, ShardedUcpc, Transport};
 pub use snapshot::SnapshotError;
 pub use ucentroid::UCentroid;
 pub use ucpc::{Ucpc, UcpcResult};
 pub use wal::{
-    apply_record, recover, scan_wal, DurableIo, IoFault, Recovery, SharedVecIo, VecIo, WalError,
-    WalFsync, WalRecord, WalScan, WalWriter,
+    apply_record, recover, scan_wal, DurableIo, IoFault, Recovery, SharedVecIo, VecIo, WalDamage,
+    WalError, WalFsync, WalRecord, WalScan, WalWriter,
 };

@@ -1,0 +1,1776 @@
+//! Fault-tolerant sharded UCPC: a coordinator/participant layer that
+//! partitions the live window across in-process "nodes" while keeping
+//! labels, statistics bits and the objective **byte-identical to the
+//! single-node [`crate::incremental::IncrementalUcpc`]** at every shard
+//! count, under every injected fault schedule.
+//!
+//! # The replicated deterministic log
+//!
+//! Distribution does not get to change the arithmetic. The single-node
+//! engine's state is a fold over a sequence of exact `ClusterStats`
+//! transitions (`add_view` / `remove_view`), and the fold's result
+//! depends on the order bit-for-bit ([`ClusterStats::merge`] is
+//! commutative mathematically but, like any floating-point reduction,
+//! not bit-associative). So the protocol replicates the *sequence*, not
+//! the result:
+//!
+//! 1. The **coordinator** (node 0) owns the op order. It allocates
+//!    global slots through the same LIFO free-list + generation
+//!    discipline as the single-node moment store, so handle sequences
+//!    match [`crate::incremental::IncrementalUcpc`] exactly, and it
+//!    assigns each op batch a global sequence number.
+//! 2. The slot's **owner participant** runs the local propose phase: it
+//!    prices the ops against its full `ClusterStats` replica with the
+//!    exact kernels ([`crate::pruning::best_insertion`],
+//!    [`crate::pruning::best_candidate`]), appends the resulting
+//!    [`LogEntry`]s to its write-ahead shard log, applies them, and
+//!    replies.
+//! 3. The coordinator applies the entries to its own replica and
+//!    broadcasts them to every other participant; each logs and applies
+//!    them in the same global order and acknowledges. Only then does the
+//!    round commit and the next sequence number get used.
+//!
+//! Every entry ships the object's raw moment rows (`mu`, `mu2`), and
+//! every replica applies `add_view`/`remove_view` *itself*: the `S₂`
+//! update inside `add_view` depends on the target's current mean sum, so
+//! shipping precomputed deltas would not reproduce the bits — shipping
+//! the inputs and replaying the fold does.
+//!
+//! # Robustness
+//!
+//! Messages travel through a pluggable [`Transport`]: the in-process
+//! [`MpscTransport`], or the seeded [`ChaosTransport`] which drops,
+//! duplicates, reorders and delays envelopes per a
+//! [`crate::fault::ChaosPlan`]. The protocol tolerates all of it:
+//!
+//! * **Idempotence** — every message carries its round's sequence
+//!   number; participants track the highest applied sequence, re-ack
+//!   duplicates, and resend the cached reply for a retransmitted
+//!   `Execute` of the round they just ran.
+//! * **Retry with backoff** — the coordinator re-sends unanswered
+//!   requests on deadlines from the injectable [`crate::serving::Clock`]
+//!   (a [`crate::fault::ManualClock`] here, advanced only when the
+//!   transport has nothing to deliver, so schedules are deterministic).
+//! * **Epoch fencing** — each participant generation has an epoch; both
+//!   sides drop envelopes from a stale epoch, so a restarted shard never
+//!   consumes pre-crash traffic.
+//! * **Crash + recovery** — [`ShardedUcpc::crash`] drops a participant's
+//!   volatile state; its durable bytes (checkpoint + shard WAL, a
+//!   [`crate::wal::SharedVecIo`] surviving the crash) remain.
+//!   [`ShardedUcpc::restart`] rebuilds the shard from checkpoint + the
+//!   WAL's valid prefix, bumps its epoch, and runs a `Join`/`Catchup`
+//!   exchange that replays any committed rounds the durable state missed
+//!   — rejoining without perturbing the apply log.
+//!
+//! The differential chaos harness (`tests/sharded_differential.rs`) pins
+//! the headline: at shard counts {1, 2, 4, 8}, under clean and chaotic
+//! schedules, with mid-run crash/recovery, the final labels, stats bits
+//! and objective equal the single-node engine's bit-for-bit.
+
+use crate::fault::{ChaosPlan, Dice, ManualClock};
+use crate::framework::ClusterError;
+use crate::objective::{total_objective, ClusterStats};
+use crate::pruning::{best_candidate, best_insertion};
+use crate::serving::Clock;
+use crate::wal::{crc32, SharedVecIo};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Duration;
+use ucpc_uncertain::{Moments, ObjectHandle, SlabArena, UncertainObject};
+
+/// Relocation acceptance threshold — identical to the single-node
+/// engine's, so decision boundaries match bit-for-bit.
+const TOLERANCE: f64 = 1e-9;
+
+/// Contiguous slots per ownership block: slot `s` belongs to shard
+/// `(s / BLOCK) % shards`. Block ownership is what lets a stabilization
+/// pass batch runs of consecutive same-owner slots into one proposal
+/// round. Any deterministic mapping preserves bit-identity (the log
+/// order, not the placement of rows, fixes the arithmetic).
+const BLOCK: u32 = 8;
+
+/// Base retry timeout; doubles per attempt (capped) under the manual
+/// clock's millisecond ticks.
+const RETRY_BASE: Duration = Duration::from_millis(4);
+
+/// Clock advance per idle transport step.
+const TICK: Duration = Duration::from_millis(1);
+
+/// Retransmission budget per request before the driver declares the
+/// shard unreachable (a crashed participant that was never restarted).
+const MAX_ATTEMPTS: u32 = 64;
+
+/// The shard owning global slot `slot` under `shards` shards.
+fn owner_of_slot(slot: u32, shards: usize) -> usize {
+    ((slot / BLOCK) as usize) % shards
+}
+
+// ---------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------
+
+/// One proposal the coordinator asks a slot's owner to price.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Place a new arrival (already allocated global `slot`) into the
+    /// cluster minimizing the objective increase.
+    Insert {
+        /// Global slot the coordinator allocated for the arrival.
+        slot: u32,
+        /// First raw moments `E[X_j]` of the arrival.
+        mu: Vec<f64>,
+        /// Second raw moments `E[X_j²]` of the arrival.
+        mu2: Vec<f64>,
+    },
+    /// Remove the live object in `slot` from `cluster`.
+    Remove {
+        /// Global slot of the departing object.
+        slot: u32,
+        /// Its committed cluster (the coordinator's label replica).
+        cluster: usize,
+    },
+    /// Price a relocation of the object in `slot` out of `src`.
+    Relocate {
+        /// Global slot of the candidate object.
+        slot: u32,
+        /// Its committed cluster at batch-build time (stable within a
+        /// pass: only a slot's own relocation changes its label).
+        src: usize,
+    },
+}
+
+/// The deterministic outcome of one [`Op`], as appended to the
+/// replicated log. State-changing kinds carry the object's raw moment
+/// rows so every replica can replay the exact `add_view`/`remove_view`
+/// arithmetic itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// What happened.
+    pub op: LogOp,
+    /// `E[X_j]` row of the object (empty for [`LogOp::NoMove`]).
+    pub mu: Vec<f64>,
+    /// `E[X_j²]` row of the object (empty for [`LogOp::NoMove`]).
+    pub mu2: Vec<f64>,
+}
+
+impl LogEntry {
+    fn no_move(slot: u32) -> Self {
+        Self {
+            op: LogOp::NoMove { slot },
+            mu: Vec::new(),
+            mu2: Vec::new(),
+        }
+    }
+}
+
+/// The kind of a [`LogEntry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogOp {
+    /// The arrival in `slot` joined `cluster`.
+    Insert {
+        /// Global slot of the arrival.
+        slot: u32,
+        /// Cluster the owner's placement scan picked.
+        cluster: usize,
+    },
+    /// The object in `slot` left `cluster`.
+    Remove {
+        /// Global slot of the departure.
+        slot: u32,
+        /// Cluster it departed from.
+        cluster: usize,
+    },
+    /// The object in `slot` relocated from `src` to `dst`.
+    Move {
+        /// Global slot of the relocated object.
+        slot: u32,
+        /// Cluster it left.
+        src: usize,
+        /// Cluster it joined.
+        dst: usize,
+    },
+    /// The relocation scan kept `slot` where it was (logged by the owner
+    /// for byte-stable retransmissions, never broadcast as a mutation —
+    /// it mutates nothing).
+    NoMove {
+        /// Global slot the scan visited.
+        slot: u32,
+    },
+}
+
+/// A protocol message body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Coordinator → owner: price and apply `ops` as round `seq`.
+    Execute {
+        /// Global round sequence number.
+        seq: u64,
+        /// The round's proposal batch, all owned by the recipient.
+        ops: Vec<Op>,
+    },
+    /// Owner → coordinator: round `seq` produced `entries`.
+    Done {
+        /// Echoed round sequence number.
+        seq: u64,
+        /// The round's log entries, in op order.
+        entries: Vec<LogEntry>,
+    },
+    /// Coordinator → non-owner: append and apply round `seq`.
+    Apply {
+        /// Global round sequence number.
+        seq: u64,
+        /// The round's log entries.
+        entries: Vec<LogEntry>,
+    },
+    /// Participant → coordinator: round `seq` (or, after a `Catchup`,
+    /// everything up to `seq`) is durable and applied.
+    Ack {
+        /// Highest acknowledged sequence number.
+        seq: u64,
+    },
+    /// Restarted participant → coordinator: durable state reaches
+    /// `applied`; replay anything later.
+    Join {
+        /// Highest round the recovered durable state contains.
+        applied: u64,
+    },
+    /// Coordinator → rejoining participant: the committed rounds it
+    /// missed, in sequence order.
+    Catchup {
+        /// `(seq, entries)` for every committed round past the joiner's
+        /// watermark.
+        rounds: Vec<(u64, Vec<LogEntry>)>,
+    },
+}
+
+/// One addressed, epoch-fenced protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Sending node (0 = coordinator, `shard + 1` = participant).
+    pub from: usize,
+    /// Destination node.
+    pub to: usize,
+    /// The *participant* epoch this message belongs to (the recipient's
+    /// for coordinator→participant traffic, the sender's for replies);
+    /// either side drops mismatches, fencing off pre-crash stragglers.
+    pub epoch: u64,
+    /// Message body.
+    pub payload: Payload,
+}
+
+// ---------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------
+
+/// Message-passing fabric between the coordinator and the participants.
+///
+/// Delivery is pull-based: the driver calls [`Transport::recv`] per node
+/// until it returns `None`, and [`Transport::step`] to advance transport
+/// time when nothing was deliverable (a no-op for fabrics without
+/// delays). Implementations may drop, duplicate, reorder or delay
+/// envelopes arbitrarily — the protocol is built to tolerate it.
+pub trait Transport: fmt::Debug {
+    /// Accepts an envelope for (eventual, possibly unfaithful) delivery.
+    fn send(&mut self, env: Envelope);
+    /// Next deliverable envelope addressed to `node`, if any.
+    fn recv(&mut self, node: usize) -> Option<Envelope>;
+    /// Advances transport time by one tick (delayed deliveries mature).
+    fn step(&mut self) {}
+}
+
+/// The faithful in-process transport: one `std::sync::mpsc` channel per
+/// node, FIFO, lossless, delay-free.
+#[derive(Debug)]
+pub struct MpscTransport {
+    inboxes: Vec<(Sender<Envelope>, Receiver<Envelope>)>,
+}
+
+impl MpscTransport {
+    /// A fabric connecting `nodes` nodes (coordinator + participants).
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            inboxes: (0..nodes).map(|_| channel()).collect(),
+        }
+    }
+}
+
+impl Transport for MpscTransport {
+    fn send(&mut self, env: Envelope) {
+        if let Some((tx, _)) = self.inboxes.get(env.to) {
+            tx.send(env)
+                .expect("receiver half lives as long as the fabric");
+        }
+    }
+
+    fn recv(&mut self, node: usize) -> Option<Envelope> {
+        self.inboxes
+            .get(node)
+            .and_then(|(_, rx)| rx.try_recv().ok())
+    }
+}
+
+#[derive(Debug)]
+struct Queued {
+    /// Transport tick at which this copy becomes deliverable.
+    at: u64,
+    /// Delivery ordering key (reordering perturbs it backwards).
+    key: u64,
+    /// Arrival tiebreaker.
+    arrival: u64,
+    env: Envelope,
+}
+
+/// The adversarial transport: every send rolls seeded dice
+/// ([`crate::fault::Dice`]) against a [`ChaosPlan`] — drop the envelope,
+/// deliver it twice, delay a copy up to `max_delay` ticks, or perturb
+/// its ordering key so it overtakes (or is overtaken by) its neighbors.
+/// Identical plan + identical protocol traffic ⇒ identical schedule, so
+/// any failing chaos run replays bit-for-bit from its seed.
+#[derive(Debug)]
+pub struct ChaosTransport {
+    plan: ChaosPlan,
+    dice: Dice,
+    tick: u64,
+    counter: u64,
+    queues: Vec<Vec<Queued>>,
+}
+
+impl ChaosTransport {
+    /// A fabric for `nodes` nodes faulting per `plan`.
+    pub fn new(nodes: usize, plan: ChaosPlan) -> Self {
+        Self {
+            plan,
+            dice: Dice::new(plan.seed),
+            tick: 0,
+            counter: 0,
+            queues: (0..nodes).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Envelopes queued but not yet delivered (dropped ones excluded).
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    fn enqueue_copy(&mut self, env: Envelope) {
+        let delay = self.dice.pick(self.plan.max_delay + 1);
+        let mut key = self.counter;
+        if self.dice.chance(self.plan.reorder) {
+            // Pull the key backwards so this copy overtakes up to 8
+            // earlier same-tick sends (ties broken by arrival).
+            key = key.saturating_sub(1 + self.dice.pick(8));
+        }
+        let arrival = self.counter;
+        self.counter += 1;
+        let to = env.to;
+        if let Some(q) = self.queues.get_mut(to) {
+            q.push(Queued {
+                at: self.tick + delay,
+                key,
+                arrival,
+                env,
+            });
+        }
+    }
+}
+
+impl Transport for ChaosTransport {
+    fn send(&mut self, env: Envelope) {
+        if self.dice.chance(self.plan.drop) {
+            return;
+        }
+        let duplicate = self.dice.chance(self.plan.duplicate);
+        self.enqueue_copy(env.clone());
+        if duplicate {
+            self.enqueue_copy(env);
+        }
+    }
+
+    fn recv(&mut self, node: usize) -> Option<Envelope> {
+        let tick = self.tick;
+        let q = self.queues.get_mut(node)?;
+        let best = q
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.at <= tick)
+            .min_by_key(|(_, m)| (m.key, m.arrival))
+            .map(|(i, _)| i)?;
+        Some(q.swap_remove(best).env)
+    }
+
+    fn step(&mut self) {
+        self.tick += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec: log frames + shard checkpoints
+// ---------------------------------------------------------------------
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(b: &mut Vec<u8>, v: f64) {
+    b.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_row(b: &mut Vec<u8>, row: &[f64]) {
+    for &x in row {
+        put_f64(b, x);
+    }
+}
+
+/// Bounds-checked little-endian reader; every getter returns `None` past
+/// the end, so truncated (torn) bytes decode to a clean valid prefix.
+struct Reader<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Self { b, at: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.b.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.bytes(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.bytes(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn row(&mut self, m: usize) -> Option<Vec<f64>> {
+        let mut out = Vec::with_capacity(m);
+        for _ in 0..m {
+            out.push(self.f64()?);
+        }
+        Some(out)
+    }
+}
+
+fn encode_entry(b: &mut Vec<u8>, e: &LogEntry) {
+    match e.op {
+        LogOp::Insert { slot, cluster } => {
+            b.push(1);
+            put_u32(b, slot);
+            put_u32(b, cluster as u32);
+        }
+        LogOp::Remove { slot, cluster } => {
+            b.push(2);
+            put_u32(b, slot);
+            put_u32(b, cluster as u32);
+        }
+        LogOp::Move { slot, src, dst } => {
+            b.push(3);
+            put_u32(b, slot);
+            put_u32(b, src as u32);
+            put_u32(b, dst as u32);
+        }
+        LogOp::NoMove { slot } => {
+            b.push(4);
+            put_u32(b, slot);
+        }
+    }
+    if !matches!(e.op, LogOp::NoMove { .. }) {
+        put_row(b, &e.mu);
+        put_row(b, &e.mu2);
+    }
+}
+
+fn decode_entry(r: &mut Reader<'_>, m: usize) -> Option<LogEntry> {
+    let tag = r.u8()?;
+    let slot = r.u32()?;
+    let op = match tag {
+        1 => LogOp::Insert {
+            slot,
+            cluster: r.u32()? as usize,
+        },
+        2 => LogOp::Remove {
+            slot,
+            cluster: r.u32()? as usize,
+        },
+        3 => LogOp::Move {
+            slot,
+            src: r.u32()? as usize,
+            dst: r.u32()? as usize,
+        },
+        4 => LogOp::NoMove { slot },
+        _ => return None,
+    };
+    let (mu, mu2) = if matches!(op, LogOp::NoMove { .. }) {
+        (Vec::new(), Vec::new())
+    } else {
+        (r.row(m)?, r.row(m)?)
+    };
+    Some(LogEntry { op, mu, mu2 })
+}
+
+/// One shard-log frame: `len | payload | crc32(payload)`, payload =
+/// `seq u64 | count u32 | entries…` — the same torn-tail-salvageable
+/// framing discipline as [`crate::wal`].
+fn encode_frame(seq: u64, entries: &[LogEntry]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u64(&mut payload, seq);
+    put_u32(&mut payload, entries.len() as u32);
+    for e in entries {
+        encode_entry(&mut payload, e);
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    put_u32(&mut frame, crc32(&payload));
+    frame
+}
+
+/// Decodes the valid prefix of a shard log: complete, checksummed frames
+/// in order, stopping silently at the first truncated or corrupt frame
+/// (a torn tail is expected after a crash; the `Join`/`Catchup` exchange
+/// replays whatever the prefix is missing).
+fn scan_shard_log(bytes: &[u8], m: usize) -> Vec<(u64, Vec<LogEntry>)> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= 8 {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let Some(end) = at.checked_add(4 + len + 4) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[at + 4..at + 4 + len];
+        let crc = u32::from_le_bytes(bytes[at + 4 + len..end].try_into().unwrap());
+        if crc32(payload) != crc {
+            break;
+        }
+        let mut r = Reader::new(payload);
+        let Some(seq) = r.u64() else { break };
+        let Some(count) = r.u32() else { break };
+        let mut entries = Vec::with_capacity(count as usize);
+        let mut ok = true;
+        for _ in 0..count {
+            match decode_entry(&mut r, m) {
+                Some(e) => entries.push(e),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            break;
+        }
+        out.push((seq, entries));
+        at = end;
+    }
+    out
+}
+
+const CHECKPOINT_MAGIC: &[u8; 8] = b"UCPCSHCK";
+const CHECKPOINT_VERSION: u32 = 1;
+
+fn encode_stats(b: &mut Vec<u8>, s: &ClusterStats) {
+    put_u64(b, s.size() as u64);
+    put_row(b, s.psi());
+    put_row(b, s.phi());
+    put_row(b, s.mean_sum());
+    let (psi_tot, phi_tot, s_sq_tot) = s.scalar_aggregates();
+    put_f64(b, psi_tot);
+    put_f64(b, phi_tot);
+    put_f64(b, s_sq_tot);
+}
+
+fn decode_stats(r: &mut Reader<'_>, m: usize) -> Option<ClusterStats> {
+    let size = r.u64()? as usize;
+    let psi = r.row(m)?;
+    let phi = r.row(m)?;
+    let mean_sum = r.row(m)?;
+    let psi_tot = r.f64()?;
+    let phi_tot = r.f64()?;
+    let s_sq_tot = r.f64()?;
+    Some(ClusterStats::from_raw_parts(
+        psi,
+        phi,
+        mean_sum,
+        size,
+        psi_tot,
+        phi_tot,
+        s_sq_tot,
+        Default::default(),
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Participant
+// ---------------------------------------------------------------------
+
+/// One shard node: a [`SlabArena`] partition holding the rows it owns, a
+/// full `ClusterStats` replica maintained by replaying the global log,
+/// an applied-sequence watermark (idempotence), a cached last reply
+/// (retransmissions), and a write-ahead shard log (recovery).
+#[derive(Debug)]
+struct Participant {
+    shard: usize,
+    shards: usize,
+    m: usize,
+    epoch: u64,
+    stats: Vec<ClusterStats>,
+    slab: SlabArena,
+    /// Global slot → local slab handle for the rows this shard owns.
+    local: BTreeMap<u32, ObjectHandle>,
+    /// Highest globally-sequenced round reflected in durable + volatile
+    /// state. Lockstep commits guarantee in-order delivery of *new*
+    /// rounds, so a single watermark (not a gap set) suffices.
+    applied: u64,
+    /// The last round this shard executed as owner — resent verbatim
+    /// when a retransmitted `Execute` arrives after the `Done` was lost.
+    last_done: Option<(u64, Vec<LogEntry>)>,
+    /// Durable log handle; the buffer outlives the participant (the
+    /// harness keeps a clone), which is what crash recovery reads.
+    wal: SharedVecIo,
+}
+
+impl Participant {
+    fn fresh(
+        m: usize,
+        k: usize,
+        shards: usize,
+        shard: usize,
+        epoch: u64,
+        wal: SharedVecIo,
+    ) -> Self {
+        Self {
+            shard,
+            shards,
+            m,
+            epoch,
+            stats: vec![ClusterStats::empty(m); k],
+            slab: SlabArena::new(),
+            local: BTreeMap::new(),
+            applied: 0,
+            last_done: None,
+            wal,
+        }
+    }
+
+    /// Rebuilds a shard from its durable bytes: decode the checkpoint
+    /// (if any), then replay the shard log's valid prefix on top. A torn
+    /// tail truncates the replay at the last complete frame; the
+    /// `Join`/`Catchup` exchange supplies whatever is missing.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        m: usize,
+        k: usize,
+        shards: usize,
+        shard: usize,
+        epoch: u64,
+        checkpoint: &[u8],
+        log_bytes: &[u8],
+        wal: SharedVecIo,
+    ) -> Self {
+        let mut p = Self::fresh(m, k, shards, shard, epoch, wal);
+        if !checkpoint.is_empty() {
+            let body = &checkpoint[..checkpoint.len() - 4];
+            let crc = u32::from_le_bytes(checkpoint[checkpoint.len() - 4..].try_into().unwrap());
+            assert_eq!(crc32(body), crc, "shard {shard} checkpoint corrupt");
+            let mut r = Reader::new(body);
+            assert_eq!(
+                r.bytes(8),
+                Some(&CHECKPOINT_MAGIC[..]),
+                "bad checkpoint magic"
+            );
+            assert_eq!(r.u32(), Some(CHECKPOINT_VERSION), "bad checkpoint version");
+            assert_eq!(r.u64(), Some(m as u64), "checkpoint dimension mismatch");
+            assert_eq!(r.u64(), Some(k as u64), "checkpoint k mismatch");
+            p.applied = r.u64().expect("checkpoint applied");
+            for c in 0..k {
+                p.stats[c] = decode_stats(&mut r, m).expect("checkpoint stats");
+            }
+            let rows = r.u64().expect("checkpoint row count");
+            for _ in 0..rows {
+                let slot = r.u32().expect("checkpoint row slot");
+                let mu = r.row(m).expect("checkpoint row mu");
+                let mu2 = r.row(m).expect("checkpoint row mu2");
+                let mo = Moments::from_mu_mu2(mu, mu2);
+                let h = p.slab.insert_view(&mo.view());
+                p.local.insert(slot, h);
+            }
+        }
+        for (seq, entries) in scan_shard_log(log_bytes, m) {
+            if seq > p.applied {
+                p.apply_entries(&entries);
+                p.applied = seq;
+                p.last_done = Some((seq, entries));
+            }
+        }
+        p
+    }
+
+    /// Serializes the complete shard state (stats replica, owned rows,
+    /// watermark) with a trailing CRC. Restoring it and replaying an
+    /// empty log reproduces the state bit-for-bit.
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(CHECKPOINT_MAGIC);
+        put_u32(&mut b, CHECKPOINT_VERSION);
+        put_u64(&mut b, self.m as u64);
+        put_u64(&mut b, self.stats.len() as u64);
+        put_u64(&mut b, self.applied);
+        for s in &self.stats {
+            encode_stats(&mut b, s);
+        }
+        put_u64(&mut b, self.local.len() as u64);
+        for (&slot, &h) in &self.local {
+            put_u32(&mut b, slot);
+            let v = self.slab.view(h.slot());
+            put_row(&mut b, v.mu);
+            put_row(&mut b, v.mu2);
+        }
+        let crc = crc32(&b);
+        put_u32(&mut b, crc);
+        b
+    }
+
+    fn owns(&self, slot: u32) -> bool {
+        owner_of_slot(slot, self.shards) == self.shard
+    }
+
+    fn reply(&self, payload: Payload) -> Envelope {
+        Envelope {
+            from: self.shard + 1,
+            to: 0,
+            epoch: self.epoch,
+            payload,
+        }
+    }
+
+    fn wal_append(&mut self, seq: u64, entries: &[LogEntry]) {
+        use crate::wal::DurableIo;
+        let frame = encode_frame(seq, entries);
+        self.wal.write_all(&frame).expect("shard log append");
+        self.wal.sync().expect("shard log sync");
+    }
+
+    /// Replays log entries onto this replica: every replica performs the
+    /// identical `add_view`/`remove_view` calls in the identical order,
+    /// which is the whole bit-identity argument. Slab bookkeeping runs
+    /// only for rows this shard owns.
+    fn apply_entries(&mut self, entries: &[LogEntry]) {
+        for e in entries {
+            match e.op {
+                LogOp::Insert { slot, cluster } => {
+                    let mo = Moments::from_mu_mu2(e.mu.clone(), e.mu2.clone());
+                    let v = mo.view();
+                    self.stats[cluster].add_view(&v);
+                    if self.owns(slot) {
+                        let h = self.slab.insert_view(&v);
+                        self.local.insert(slot, h);
+                    }
+                }
+                LogOp::Remove { slot, cluster } => {
+                    let mo = Moments::from_mu_mu2(e.mu.clone(), e.mu2.clone());
+                    self.stats[cluster].remove_view(&mo.view());
+                    if self.owns(slot) {
+                        let h = self.local.remove(&slot).expect("owned row present");
+                        self.slab.remove(h).expect("owned row live");
+                    }
+                }
+                LogOp::Move { slot: _, src, dst } => {
+                    let mo = Moments::from_mu_mu2(e.mu.clone(), e.mu2.clone());
+                    let v = mo.view();
+                    self.stats[src].remove_view(&v);
+                    self.stats[dst].add_view(&v);
+                }
+                LogOp::NoMove { .. } => {}
+            }
+        }
+    }
+
+    /// The local propose phase: price each op against the replica with
+    /// the exact kernels, apply the outcome immediately (so later ops in
+    /// the batch see it, exactly as the single-node pass would), then
+    /// log the round as one frame and advance the watermark. Round
+    /// frames are atomic: a crash mid-round recovers to the previous
+    /// round boundary and the coordinator's retry re-executes
+    /// deterministically.
+    fn execute(&mut self, seq: u64, ops: &[Op]) -> Vec<LogEntry> {
+        let mut entries = Vec::with_capacity(ops.len());
+        for op in ops {
+            let entry = match op {
+                Op::Insert { slot, mu, mu2 } => {
+                    let mo = Moments::from_mu_mu2(mu.clone(), mu2.clone());
+                    let (cluster, _delta) =
+                        best_insertion(&self.stats, &mo.view()).expect("k >= 1 clusters");
+                    LogEntry {
+                        op: LogOp::Insert {
+                            slot: *slot,
+                            cluster,
+                        },
+                        mu: mu.clone(),
+                        mu2: mu2.clone(),
+                    }
+                }
+                Op::Remove { slot, cluster } => {
+                    let h = *self.local.get(slot).expect("owner holds the departing row");
+                    let v = self.slab.view(h.slot());
+                    LogEntry {
+                        op: LogOp::Remove {
+                            slot: *slot,
+                            cluster: *cluster,
+                        },
+                        mu: v.mu.to_vec(),
+                        mu2: v.mu2.to_vec(),
+                    }
+                }
+                Op::Relocate { slot, src } => {
+                    if self.stats[*src].size() == 1 {
+                        // Sole member: relocating it is a no-op on J.
+                        // Same visit-time skip as the single-node pass.
+                        LogEntry::no_move(*slot)
+                    } else {
+                        let h = *self.local.get(slot).expect("owner holds the candidate row");
+                        let v = self.slab.view(h.slot());
+                        match best_candidate(&self.stats, *src, &v) {
+                            Some((dst, delta)) if delta < -TOLERANCE => LogEntry {
+                                op: LogOp::Move {
+                                    slot: *slot,
+                                    src: *src,
+                                    dst,
+                                },
+                                mu: v.mu.to_vec(),
+                                mu2: v.mu2.to_vec(),
+                            },
+                            _ => LogEntry::no_move(*slot),
+                        }
+                    }
+                }
+            };
+            self.apply_entries(std::slice::from_ref(&entry));
+            entries.push(entry);
+        }
+        self.wal_append(seq, &entries);
+        self.applied = seq;
+        entries
+    }
+
+    /// The participant's message loop body. Epoch fencing happens first;
+    /// everything else is keyed on the applied watermark so duplicated
+    /// and reordered deliveries are harmless.
+    fn handle(&mut self, env: Envelope, tx: &mut dyn Transport) {
+        if env.epoch != self.epoch {
+            return; // fenced: a pre-restart straggler
+        }
+        match env.payload {
+            Payload::Execute { seq, ops } => {
+                if seq <= self.applied {
+                    // Retransmission. Under lockstep it can only name the
+                    // round we last executed; resend the cached reply.
+                    if let Some((s, entries)) = &self.last_done {
+                        if *s == seq {
+                            let done = Payload::Done {
+                                seq,
+                                entries: entries.clone(),
+                            };
+                            tx.send(self.reply(done));
+                        }
+                    }
+                    return;
+                }
+                let entries = self.execute(seq, &ops);
+                tx.send(self.reply(Payload::Done {
+                    seq,
+                    entries: entries.clone(),
+                }));
+                self.last_done = Some((seq, entries));
+            }
+            Payload::Apply { seq, entries } => {
+                if seq > self.applied {
+                    self.wal_append(seq, &entries);
+                    self.apply_entries(&entries);
+                    self.applied = seq;
+                }
+                tx.send(self.reply(Payload::Ack { seq }));
+            }
+            Payload::Catchup { rounds } => {
+                for (seq, entries) in rounds {
+                    if seq > self.applied {
+                        self.wal_append(seq, &entries);
+                        self.apply_entries(&entries);
+                        self.applied = seq;
+                    }
+                }
+                tx.send(self.reply(Payload::Ack { seq: self.applied }));
+            }
+            // Coordinator-bound payloads misdelivered by a confused
+            // fabric: drop.
+            Payload::Done { .. } | Payload::Ack { .. } | Payload::Join { .. } => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+/// Node 0: the global sequencer. Allocates slots with the single-node
+/// store's exact LIFO free-list + generation discipline (so handle
+/// sequences match [`crate::incremental::IncrementalUcpc`]), keeps its
+/// own label map and stats replica, retains the committed log for
+/// `Catchup`, and tracks per-participant epochs.
+#[derive(Debug)]
+struct Coordinator {
+    labels: Vec<Option<usize>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+    stats: Vec<ClusterStats>,
+    /// Next round sequence number (rounds start at 1).
+    next_seq: u64,
+    /// Committed rounds, for catch-up replays.
+    log: Vec<(u64, Vec<LogEntry>)>,
+    /// Current epoch of each participant; bumped by restarts.
+    epochs: Vec<u64>,
+    /// Protocol retransmissions performed (diagnostic).
+    retries: u64,
+}
+
+impl Coordinator {
+    fn new(m: usize, k: usize, shards: usize) -> Self {
+        Self {
+            labels: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            stats: vec![ClusterStats::empty(m); k],
+            next_seq: 1,
+            log: Vec::new(),
+            epochs: vec![1; shards],
+            retries: 0,
+        }
+    }
+
+    /// Allocates a global slot + generation, mirroring the single-node
+    /// `MomentStore` bit-for-bit: pop the LIFO free-list under the
+    /// slot's current generation, else append a fresh slot at
+    /// generation 0.
+    fn alloc(&mut self) -> (u32, u32) {
+        match self.free.pop() {
+            Some(slot) => (slot, self.gens[slot as usize]),
+            None => {
+                let slot = u32::try_from(self.gens.len()).expect("slot space exhausted (u32)");
+                self.gens.push(0);
+                (slot, 0)
+            }
+        }
+    }
+
+    /// Whether `h` names a live object (same staleness semantics as the
+    /// single-node store: slot live *and* generation current).
+    fn contains(&self, h: ObjectHandle) -> bool {
+        let slot = h.slot();
+        slot < self.gens.len()
+            && self.gens[slot] == h.generation()
+            && self.labels.get(slot).is_some_and(Option::is_some)
+    }
+
+    /// Applies a committed round to the coordinator's replica: the same
+    /// stats transitions every participant performs, plus the label map
+    /// and allocator bookkeeping mirroring the single-node engine
+    /// (generation bump + LIFO free on removal).
+    fn apply_round(&mut self, entries: &[LogEntry]) {
+        for e in entries {
+            match e.op {
+                LogOp::Insert { slot, cluster } => {
+                    let mo = Moments::from_mu_mu2(e.mu.clone(), e.mu2.clone());
+                    self.stats[cluster].add_view(&mo.view());
+                    let s = slot as usize;
+                    if s == self.labels.len() {
+                        self.labels.push(Some(cluster));
+                    } else {
+                        debug_assert!(self.labels[s].is_none(), "recycled slot must be free");
+                        self.labels[s] = Some(cluster);
+                    }
+                    self.live += 1;
+                }
+                LogOp::Remove { slot, cluster } => {
+                    let mo = Moments::from_mu_mu2(e.mu.clone(), e.mu2.clone());
+                    self.stats[cluster].remove_view(&mo.view());
+                    let s = slot as usize;
+                    self.labels[s] = None;
+                    self.gens[s] = self.gens[s].wrapping_add(1);
+                    self.free.push(slot);
+                    self.live -= 1;
+                }
+                LogOp::Move { slot, src, dst } => {
+                    let mo = Moments::from_mu_mu2(e.mu.clone(), e.mu2.clone());
+                    let v = mo.view();
+                    self.stats[src].remove_view(&v);
+                    self.stats[dst].add_view(&v);
+                    self.labels[slot as usize] = Some(dst);
+                }
+                LogOp::NoMove { .. } => {}
+            }
+        }
+    }
+}
+
+/// A shard's surviving storage: the last checkpoint's bytes plus the
+/// shard log accumulated since. Both live outside the participant (the
+/// [`SharedVecIo`] buffer is shared), so [`ShardedUcpc::crash`] destroys
+/// only volatile state — exactly a process crash.
+#[derive(Debug)]
+struct ShardDurable {
+    checkpoint: Vec<u8>,
+    wal: SharedVecIo,
+}
+
+fn reply_matches(request: &Payload, reply: &Payload) -> bool {
+    match (request, reply) {
+        (Payload::Execute { seq: a, .. }, Payload::Done { seq: b, .. }) => a == b,
+        (Payload::Apply { seq: a, .. }, Payload::Ack { seq: b }) => a == b,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// ShardedUcpc — the synchronous driver
+// ---------------------------------------------------------------------
+
+/// A UCPC partition sharded across in-process coordinator/participant
+/// nodes, byte-identical to [`crate::incremental::IncrementalUcpc`] at
+/// any shard count under any tolerated fault schedule (see the module
+/// docs for the protocol and the bit-identity argument).
+///
+/// ```
+/// use ucpc_core::sharded::ShardedUcpc;
+/// use ucpc_uncertain::{UncertainObject, UnivariatePdf};
+///
+/// let mut sharded = ShardedUcpc::new(1, 2, 4).unwrap();
+/// let mut ids = Vec::new();
+/// for c in [0.0, 0.2, 9.0, 9.2] {
+///     let o = UncertainObject::new(vec![UnivariatePdf::normal(c, 0.1)]);
+///     ids.push(sharded.insert(&o).unwrap());
+/// }
+/// sharded.stabilize(5);
+/// assert_eq!(sharded.label_of(ids[0]), sharded.label_of(ids[1]));
+/// assert_ne!(sharded.label_of(ids[0]), sharded.label_of(ids[2]));
+/// ```
+#[derive(Debug)]
+pub struct ShardedUcpc {
+    m: usize,
+    k: usize,
+    shards: usize,
+    clock: ManualClock,
+    transport: Box<dyn Transport>,
+    coordinator: Coordinator,
+    participants: Vec<Option<Participant>>,
+    durable: Vec<ShardDurable>,
+}
+
+impl ShardedUcpc {
+    /// A sharded engine over `m` dimensions, `k` clusters and `shards`
+    /// participants on the faithful [`MpscTransport`].
+    pub fn new(m: usize, k: usize, shards: usize) -> Result<Self, ClusterError> {
+        Self::with_transport(m, k, shards, Box::new(MpscTransport::new(shards + 1)))
+    }
+
+    /// [`Self::new`] on a [`ChaosTransport`] faulting per `plan`.
+    pub fn with_chaos(
+        m: usize,
+        k: usize,
+        shards: usize,
+        plan: ChaosPlan,
+    ) -> Result<Self, ClusterError> {
+        Self::with_transport(
+            m,
+            k,
+            shards,
+            Box::new(ChaosTransport::new(shards + 1, plan)),
+        )
+    }
+
+    /// [`Self::new`] on a caller-supplied fabric (node 0 is the
+    /// coordinator, nodes `1..=shards` the participants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_transport(
+        m: usize,
+        k: usize,
+        shards: usize,
+        transport: Box<dyn Transport>,
+    ) -> Result<Self, ClusterError> {
+        if k == 0 {
+            return Err(ClusterError::InvalidK { k, n: 0 });
+        }
+        assert!(shards >= 1, "at least one shard is required");
+        let durable: Vec<ShardDurable> = (0..shards)
+            .map(|_| ShardDurable {
+                checkpoint: Vec::new(),
+                wal: SharedVecIo::new(),
+            })
+            .collect();
+        let participants = (0..shards)
+            .map(|shard| {
+                Some(Participant::fresh(
+                    m,
+                    k,
+                    shards,
+                    shard,
+                    1,
+                    durable[shard].wal.clone(),
+                ))
+            })
+            .collect();
+        Ok(Self {
+            m,
+            k,
+            shards,
+            clock: ManualClock::new(),
+            transport,
+            coordinator: Coordinator::new(m, k, shards),
+            participants,
+            durable,
+        })
+    }
+
+    /// Reads the `UCPC_SHARDS` environment knob (a positive integer)
+    /// through the shared warn-and-fall-back reader; `None` when unset
+    /// or invalid (callers fall back to their default).
+    pub fn shards_from_env() -> Option<usize> {
+        ucpc_uncertain::env::read_knob("UCPC_SHARDS", "positive integer", |v| {
+            v.parse::<usize>().ok().filter(|&s| s >= 1)
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.coordinator.live
+    }
+
+    /// Whether no objects are present.
+    pub fn is_empty(&self) -> bool {
+        self.coordinator.live == 0
+    }
+
+    /// Current total objective `Σ_C J(C)` from the coordinator replica.
+    pub fn objective(&self) -> f64 {
+        total_objective(&self.coordinator.stats)
+    }
+
+    /// The coordinator's per-cluster statistics replica.
+    pub fn cluster_stats(&self) -> &[ClusterStats] {
+        &self.coordinator.stats
+    }
+
+    /// A live participant's statistics replica (`None` while crashed) —
+    /// the differential harness asserts these are bit-identical to the
+    /// coordinator's after every committed round.
+    pub fn shard_stats(&self, shard: usize) -> Option<&[ClusterStats]> {
+        self.participants[shard]
+            .as_ref()
+            .map(|p| p.stats.as_slice())
+    }
+
+    /// A live participant's applied-sequence watermark.
+    pub fn shard_applied(&self, shard: usize) -> Option<u64> {
+        self.participants[shard].as_ref().map(|p| p.applied)
+    }
+
+    /// Rounds committed so far.
+    pub fn committed_rounds(&self) -> u64 {
+        self.coordinator.next_seq - 1
+    }
+
+    /// Protocol retransmissions performed so far (0 on a clean fabric).
+    pub fn retries(&self) -> u64 {
+        self.coordinator.retries
+    }
+
+    /// The shard owning a live handle's row; `None` if stale.
+    pub fn owner_shard(&self, h: ObjectHandle) -> Option<usize> {
+        self.coordinator
+            .contains(h)
+            .then(|| owner_of_slot(h.slot() as u32, self.shards))
+    }
+
+    /// Current cluster of a live object; `None` if the handle is stale.
+    pub fn label_of(&self, h: ObjectHandle) -> Option<usize> {
+        if !self.coordinator.contains(h) {
+            return None;
+        }
+        self.coordinator.labels[h.slot()]
+    }
+
+    /// Current handles and labels of all live objects, in slot order —
+    /// directly comparable with the single-node engine's
+    /// [`crate::incremental::IncrementalUcpc::live_labels`] because the
+    /// coordinator allocates slots and generations with the identical
+    /// discipline.
+    pub fn live_labels(&self) -> Vec<(ObjectHandle, usize)> {
+        self.coordinator
+            .labels
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, l)| {
+                l.map(|c| {
+                    (
+                        ObjectHandle::new(slot as u32, self.coordinator.gens[slot]),
+                        c,
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Inserts an object into the cluster minimizing the objective
+    /// increase, through a full protocol round; returns the same
+    /// generation-stamped handle the single-node engine would.
+    pub fn insert(&mut self, object: &UncertainObject) -> Result<ObjectHandle, ClusterError> {
+        self.insert_moments(object.moments())
+    }
+
+    /// [`Self::insert`] for an arrival already reduced to its moments.
+    pub fn insert_moments(&mut self, mo: &Moments) -> Result<ObjectHandle, ClusterError> {
+        if mo.dims() != self.m {
+            return Err(ClusterError::DimensionMismatch {
+                expected: self.m,
+                found: mo.dims(),
+                index: self.coordinator.labels.len(),
+            });
+        }
+        let (slot, gen) = self.coordinator.alloc();
+        let owner = owner_of_slot(slot, self.shards);
+        let ops = vec![Op::Insert {
+            slot,
+            mu: mo.mu().to_vec(),
+            mu2: mo.mu2().to_vec(),
+        }];
+        self.run_round(owner, ops);
+        Ok(ObjectHandle::new(slot, gen))
+    }
+
+    /// Removes a live object. A stale handle is a checked
+    /// [`ClusterError::StaleHandle`], verified against the coordinator's
+    /// generation mirror before any message is sent.
+    pub fn remove(&mut self, h: ObjectHandle) -> Result<(), ClusterError> {
+        if !self.coordinator.contains(h) {
+            return Err(ClusterError::StaleHandle {
+                slot: h.slot() as u32,
+                generation: h.generation(),
+            });
+        }
+        let slot = h.slot();
+        let cluster = self.coordinator.labels[slot].expect("live slot has a label");
+        let owner = owner_of_slot(slot as u32, self.shards);
+        self.run_round(
+            owner,
+            vec![Op::Remove {
+                slot: slot as u32,
+                cluster,
+            }],
+        );
+        Ok(())
+    }
+
+    /// Runs up to `passes` relocation passes of Algorithm 1 across the
+    /// shards; returns the number of relocations applied. Each pass
+    /// visits live slots in global slot order — batched into proposal
+    /// rounds of consecutive same-owner slots — so the relocation
+    /// sequence is identical to the single-node pass.
+    pub fn stabilize(&mut self, passes: usize) -> usize {
+        let mut relocations = 0usize;
+        for _ in 0..passes {
+            let mut moved = false;
+            let mut i = 0usize;
+            while i < self.coordinator.labels.len() {
+                if self.coordinator.labels[i].is_none() {
+                    i += 1;
+                    continue;
+                }
+                let owner = owner_of_slot(i as u32, self.shards);
+                let mut ops = Vec::new();
+                let mut j = i;
+                while j < self.coordinator.labels.len()
+                    && owner_of_slot(j as u32, self.shards) == owner
+                {
+                    if let Some(src) = self.coordinator.labels[j] {
+                        ops.push(Op::Relocate {
+                            slot: j as u32,
+                            src,
+                        });
+                    }
+                    j += 1;
+                }
+                let entries = self.run_round(owner, ops);
+                for e in &entries {
+                    if matches!(e.op, LogOp::Move { .. }) {
+                        relocations += 1;
+                        moved = true;
+                    }
+                }
+                i = j;
+            }
+            if !moved {
+                break;
+            }
+        }
+        relocations
+    }
+
+    // -- crash / recovery ---------------------------------------------
+
+    /// Kills a participant's volatile state (its process). Durable bytes
+    /// — checkpoint and shard log — survive for [`Self::restart`].
+    /// Issuing ops against a crashed shard stalls and panics after the
+    /// retry budget; restart it first.
+    pub fn crash(&mut self, shard: usize) {
+        assert!(shard < self.shards, "shard index out of range");
+        assert!(
+            self.participants[shard].is_some(),
+            "shard {shard} is already down"
+        );
+        self.participants[shard] = None;
+    }
+
+    /// Recovers a crashed shard from checkpoint + shard-log valid
+    /// prefix, fences off its previous life with a new epoch, and runs
+    /// the `Join`/`Catchup` exchange so the rejoined replica reflects
+    /// every committed round — all without perturbing the apply log.
+    pub fn restart(&mut self, shard: usize) {
+        assert!(shard < self.shards, "shard index out of range");
+        assert!(
+            self.participants[shard].is_none(),
+            "shard {shard} is running"
+        );
+        let epoch = self.coordinator.epochs[shard] + 1;
+        self.coordinator.epochs[shard] = epoch;
+        let d = &self.durable[shard];
+        let p = Participant::recover(
+            self.m,
+            self.k,
+            self.shards,
+            shard,
+            epoch,
+            &d.checkpoint,
+            &d.wal.bytes(),
+            d.wal.clone(),
+        );
+        self.participants[shard] = Some(p);
+        self.rejoin(shard);
+    }
+
+    /// Checkpoints a live shard: serializes its full state, installs it
+    /// as the durable checkpoint, then truncates the shard log — the
+    /// same checkpoint-then-truncate rotation discipline as
+    /// [`crate::serving::ServingUcpc::checkpoint_into`], at shard
+    /// granularity.
+    pub fn checkpoint_shard(&mut self, shard: usize) {
+        assert!(shard < self.shards, "shard index out of range");
+        let p = self.participants[shard]
+            .as_ref()
+            .expect("cannot checkpoint a crashed shard");
+        self.durable[shard].checkpoint = p.encode_checkpoint();
+        self.durable[shard].wal.truncate(0);
+    }
+
+    /// Truncates a shard's *durable* log to `keep` bytes — the
+    /// crash-surgery hook recovery tests cut torn tails with (the
+    /// running participant is unaffected until it crashes).
+    pub fn truncate_shard_wal(&mut self, shard: usize, keep: usize) {
+        assert!(shard < self.shards, "shard index out of range");
+        self.durable[shard].wal.truncate(keep);
+    }
+
+    // -- protocol driving ---------------------------------------------
+
+    /// Delivers every pending participant-bound envelope (alive shards
+    /// handle them and may reply; a crashed shard's mail is lost, as a
+    /// down node's would be). Returns whether anything was delivered.
+    fn pump_participants(&mut self) -> bool {
+        let mut progressed = false;
+        for shard in 0..self.shards {
+            let node = shard + 1;
+            while let Some(env) = self.transport.recv(node) {
+                progressed = true;
+                if let Some(p) = self.participants[shard].as_mut() {
+                    p.handle(env, self.transport.as_mut());
+                }
+            }
+        }
+        progressed
+    }
+
+    /// One full committed round: `Execute` at the owner, apply the
+    /// resulting entries at the coordinator, broadcast `Apply` to every
+    /// other shard, collect all acknowledgements, then commit. Lockstep:
+    /// the next sequence number is not used until this one is fully
+    /// replicated.
+    fn run_round(&mut self, owner: usize, ops: Vec<Op>) -> Vec<LogEntry> {
+        let seq = self.coordinator.next_seq;
+        let exec = Envelope {
+            from: 0,
+            to: owner + 1,
+            epoch: self.coordinator.epochs[owner],
+            payload: Payload::Execute { seq, ops },
+        };
+        let mut replies = self.complete(vec![exec]);
+        let Some(Payload::Done { entries, .. }) = replies.pop() else {
+            unreachable!("complete() returns the matched Done");
+        };
+        self.coordinator.apply_round(&entries);
+        let applies: Vec<Envelope> = (0..self.shards)
+            .filter(|&s| s != owner)
+            .map(|s| Envelope {
+                from: 0,
+                to: s + 1,
+                epoch: self.coordinator.epochs[s],
+                payload: Payload::Apply {
+                    seq,
+                    entries: entries.clone(),
+                },
+            })
+            .collect();
+        if !applies.is_empty() {
+            self.complete(applies);
+        }
+        self.coordinator.log.push((seq, entries.clone()));
+        self.coordinator.next_seq += 1;
+        entries
+    }
+
+    /// Sends `requests` and drives the fabric until each has its
+    /// matching reply, retrying unanswered ones on exponentially backed
+    /// off deadlines from the manual clock (advanced only when nothing
+    /// was deliverable, so schedules are deterministic). Epoch-fenced:
+    /// replies from a stale participant life are dropped.
+    fn complete(&mut self, requests: Vec<Envelope>) -> Vec<Payload> {
+        for r in &requests {
+            self.transport.send(r.clone());
+        }
+        let mut got: Vec<Option<Payload>> = vec![None; requests.len()];
+        let mut deadlines: Vec<(std::time::Instant, u32)> = requests
+            .iter()
+            .map(|_| (self.clock.now() + RETRY_BASE, 0u32))
+            .collect();
+        loop {
+            let mut progressed = self.pump_participants();
+            while let Some(env) = self.transport.recv(0) {
+                progressed = true;
+                if env.from == 0 || env.from > self.shards {
+                    continue;
+                }
+                if env.epoch != self.coordinator.epochs[env.from - 1] {
+                    continue; // fenced
+                }
+                if let Some(i) = requests
+                    .iter()
+                    .position(|r| r.to == env.from && reply_matches(&r.payload, &env.payload))
+                {
+                    if got[i].is_none() {
+                        got[i] = Some(env.payload);
+                    }
+                }
+                // Anything else — duplicate, stale round, misdelivery —
+                // is dropped; idempotence makes that safe.
+            }
+            if got.iter().all(Option::is_some) {
+                return got.into_iter().map(|g| g.expect("checked")).collect();
+            }
+            if !progressed {
+                self.transport.step();
+                self.clock.advance(TICK);
+                let now = self.clock.now();
+                for (i, r) in requests.iter().enumerate() {
+                    if got[i].is_some() {
+                        continue;
+                    }
+                    let (deadline, attempt) = deadlines[i];
+                    if now >= deadline {
+                        assert!(
+                            attempt < MAX_ATTEMPTS,
+                            "shard {} unresponsive after {} retransmissions \
+                             (crashed without restart?)",
+                            r.to - 1,
+                            attempt
+                        );
+                        self.transport.send(r.clone());
+                        self.coordinator.retries += 1;
+                        let next = attempt + 1;
+                        deadlines[i] = (now + RETRY_BASE * (1u32 << next.min(6)), next);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The rejoin exchange after [`Self::restart`]: the recovered
+    /// participant announces its durable watermark (`Join`), the
+    /// coordinator replays the committed rounds past it (`Catchup`), and
+    /// the participant acknowledges the full committed prefix. Retried
+    /// under the same backoff discipline; every leg is idempotent.
+    fn rejoin(&mut self, shard: usize) {
+        let node = shard + 1;
+        let epoch = self.coordinator.epochs[shard];
+        let applied = self.participants[shard]
+            .as_ref()
+            .expect("restart installed the participant")
+            .applied;
+        let join = Envelope {
+            from: node,
+            to: 0,
+            epoch,
+            payload: Payload::Join { applied },
+        };
+        let committed = self.coordinator.next_seq - 1;
+        self.transport.send(join.clone());
+        let (mut deadline, mut attempt) = (self.clock.now() + RETRY_BASE, 0u32);
+        loop {
+            let mut progressed = self.pump_participants();
+            while let Some(env) = self.transport.recv(0) {
+                progressed = true;
+                if env.from != node || env.epoch != epoch {
+                    continue;
+                }
+                match env.payload {
+                    Payload::Join { applied } => {
+                        let rounds: Vec<(u64, Vec<LogEntry>)> = self
+                            .coordinator
+                            .log
+                            .iter()
+                            .filter(|(s, _)| *s > applied)
+                            .cloned()
+                            .collect();
+                        self.transport.send(Envelope {
+                            from: 0,
+                            to: node,
+                            epoch,
+                            payload: Payload::Catchup { rounds },
+                        });
+                    }
+                    Payload::Ack { seq } if seq == committed => return,
+                    _ => {}
+                }
+            }
+            if !progressed {
+                self.transport.step();
+                self.clock.advance(TICK);
+                if self.clock.now() >= deadline {
+                    assert!(
+                        attempt < MAX_ATTEMPTS,
+                        "rejoin of shard {shard} stalled after {attempt} retransmissions"
+                    );
+                    self.transport.send(join.clone());
+                    self.coordinator.retries += 1;
+                    attempt += 1;
+                    deadline = self.clock.now() + RETRY_BASE * (1u32 << attempt.min(6));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::IncrementalUcpc;
+    use ucpc_uncertain::UnivariatePdf;
+
+    fn obj(c: f64) -> UncertainObject {
+        UncertainObject::new(vec![UnivariatePdf::normal(c, 0.2)])
+    }
+
+    fn bits_equal(a: &ClusterStats, b: &ClusterStats) -> bool {
+        a.size() == b.size()
+            && a.j().to_bits() == b.j().to_bits()
+            && a.psi()
+                .iter()
+                .zip(b.psi())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+            && a.phi()
+                .iter()
+                .zip(b.phi())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+            && a.mean_sum()
+                .iter()
+                .zip(b.mean_sum())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    fn assert_matches_single_node(sharded: &ShardedUcpc, single: &IncrementalUcpc) {
+        assert_eq!(sharded.live_labels(), single.live_labels());
+        assert_eq!(
+            sharded.objective().to_bits(),
+            single.objective().to_bits(),
+            "objective must be bit-identical"
+        );
+        for (a, b) in sharded.cluster_stats().iter().zip(single.cluster_stats()) {
+            assert!(bits_equal(a, b), "coordinator stats replica diverged");
+        }
+        for shard in 0..sharded.shards() {
+            let stats = sharded.shard_stats(shard).expect("shard alive");
+            for (a, b) in stats.iter().zip(single.cluster_stats()) {
+                assert!(bits_equal(a, b), "shard {shard} stats replica diverged");
+            }
+        }
+    }
+
+    fn drive_script(sharded: &mut ShardedUcpc, single: &mut IncrementalUcpc) {
+        let mut handles = Vec::new();
+        for (i, c) in [0.0, 0.3, 9.0, 9.1, 0.1, 8.8, 0.2, 9.3, 4.5, 0.05]
+            .iter()
+            .enumerate()
+        {
+            let o = obj(*c);
+            let hs = sharded.insert(&o).unwrap();
+            let hn = single.insert(&o).unwrap();
+            assert_eq!(hs, hn, "handle sequences must match");
+            handles.push(hs);
+            if i % 4 == 3 {
+                assert_eq!(sharded.stabilize(3), single.stabilize(3));
+            }
+        }
+        sharded.remove(handles[2]).unwrap();
+        single.remove(handles[2]).unwrap();
+        assert!(sharded.remove(handles[2]).is_err(), "stale handle checked");
+        let o = obj(7.7);
+        assert_eq!(sharded.insert(&o).unwrap(), single.insert(&o).unwrap());
+        assert_eq!(sharded.stabilize(5), single.stabilize(5));
+    }
+
+    #[test]
+    fn clean_sharded_run_is_bit_identical_to_single_node() {
+        for shards in [1, 2, 3, 4] {
+            let mut sharded = ShardedUcpc::new(1, 2, shards).unwrap();
+            let mut single = IncrementalUcpc::new(1, 2).unwrap();
+            drive_script(&mut sharded, &mut single);
+            assert_matches_single_node(&sharded, &single);
+            assert_eq!(sharded.retries(), 0, "clean fabric needs no retries");
+        }
+    }
+
+    #[test]
+    fn chaotic_fabric_reaches_the_same_bits_with_retries() {
+        let mut sharded = ShardedUcpc::with_chaos(1, 2, 3, ChaosPlan::mixed(42)).unwrap();
+        let mut single = IncrementalUcpc::new(1, 2).unwrap();
+        drive_script(&mut sharded, &mut single);
+        assert_matches_single_node(&sharded, &single);
+    }
+
+    #[test]
+    fn crash_recovery_rejoins_bit_identically() {
+        let mut sharded = ShardedUcpc::new(1, 2, 2).unwrap();
+        let mut single = IncrementalUcpc::new(1, 2).unwrap();
+        for c in [0.0, 0.4, 9.0, 9.2, 0.2, 8.9, 0.3, 9.4, 0.1] {
+            let o = obj(c);
+            sharded.insert(&o).unwrap();
+            single.insert(&o).unwrap();
+        }
+        sharded.checkpoint_shard(0);
+        sharded.crash(0);
+        sharded.restart(0);
+        assert_eq!(sharded.shard_applied(0), Some(sharded.committed_rounds()));
+        assert_eq!(sharded.stabilize(5), single.stabilize(5));
+        assert_matches_single_node(&sharded, &single);
+    }
+
+    #[test]
+    fn torn_shard_log_is_repaired_by_catchup() {
+        let mut sharded = ShardedUcpc::new(1, 2, 2).unwrap();
+        let mut single = IncrementalUcpc::new(1, 2).unwrap();
+        for c in [0.0, 0.4, 9.0, 9.2, 0.2, 8.9, 0.3, 9.4, 0.1, 9.5] {
+            let o = obj(c);
+            sharded.insert(&o).unwrap();
+            single.insert(&o).unwrap();
+        }
+        // Tear the tail of shard 1's durable log mid-frame; recovery
+        // salvages the prefix and Catchup replays the difference.
+        sharded.crash(1);
+        sharded.truncate_shard_wal(1, 11);
+        sharded.restart(1);
+        assert_eq!(sharded.shard_applied(1), Some(sharded.committed_rounds()));
+        assert_eq!(sharded.stabilize(5), single.stabilize(5));
+        assert_matches_single_node(&sharded, &single);
+    }
+
+    #[test]
+    fn chaos_transport_is_reproducible_from_its_seed() {
+        let run = |seed: u64| {
+            let mut sharded = ShardedUcpc::with_chaos(1, 2, 2, ChaosPlan::mixed(seed)).unwrap();
+            for c in [0.0, 9.0, 0.1, 9.1, 0.2] {
+                sharded.insert(&obj(c)).unwrap();
+            }
+            sharded.stabilize(3);
+            (sharded.retries(), sharded.live_labels())
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+    }
+
+    #[test]
+    fn stale_epoch_envelopes_are_fenced_off() {
+        let mut p = Participant::fresh(1, 2, 1, 0, 2, SharedVecIo::new());
+        let mut tx = MpscTransport::new(2);
+        p.handle(
+            Envelope {
+                from: 0,
+                to: 1,
+                epoch: 1, // previous life
+                payload: Payload::Execute {
+                    seq: 1,
+                    ops: vec![Op::Insert {
+                        slot: 0,
+                        mu: vec![1.0],
+                        mu2: vec![2.0],
+                    }],
+                },
+            },
+            &mut tx,
+        );
+        assert_eq!(p.applied, 0, "stale-epoch Execute must be dropped");
+        assert!(tx.recv(0).is_none(), "and not answered");
+    }
+
+    #[test]
+    fn sharding_knob_parses_positive_integers_only() {
+        let (outcome, warning) =
+            ucpc_uncertain::env::parse_knob("UCPC_SHARDS", Some("0"), "positive integer", |v| {
+                v.parse::<usize>().ok().filter(|&s| s >= 1)
+            });
+        assert_eq!(outcome.value(), None);
+        assert!(warning.unwrap().contains("UCPC_SHARDS"));
+    }
+}

@@ -56,8 +56,8 @@
 //! [`scan_wal`] walks frames until the first one that is torn (runs past
 //! the end of the buffer) or fails its checksum, then stops: everything
 //! before is the **valid prefix**, everything after is damage. [`recover`]
-//! replays the valid prefix and reports the damage as a checked
-//! [`WalError::Corrupt`] carrying the salvage point (`valid_bytes`) — a
+//! replays the valid prefix and reports the damage as a [`WalDamage`]
+//! carrying the byte offset and frame index of the first damaged frame — a
 //! crash mid-append is expected, not an error in the log's past.
 //!
 //! A *write* failure is different: after a failed or short append the tail
@@ -178,37 +178,8 @@ pub(crate) fn extend_f64_bits(p: &mut Vec<u8>, vals: &[f64]) {
 // DurableIo — the pluggable byte sink
 // ---------------------------------------------------------------------------
 
-/// A checked I/O fault from a [`DurableIo`] sink.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum IoFault {
-    /// The device is out of space; `at` is the byte offset where the
-    /// append hit the wall.
-    NoSpace {
-        /// Byte offset of the failed append.
-        at: u64,
-    },
-    /// The write or sync failed outright.
-    Failed {
-        /// Byte offset at the time of the failure.
-        at: u64,
-        /// What failed.
-        what: &'static str,
-    },
-    /// The sink accepted zero bytes without reporting an error.
-    WriteZero,
-}
-
-impl fmt::Display for IoFault {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::NoSpace { at } => write!(f, "out of space at byte offset {at}"),
-            Self::Failed { at, what } => write!(f, "{what} at byte offset {at}"),
-            Self::WriteZero => write!(f, "sink accepted zero bytes"),
-        }
-    }
-}
-
-impl std::error::Error for IoFault {}
+pub use crate::fault::IoFault;
+use crate::fault::IoFaultPlan;
 
 /// An append-only durable byte sink: the seam between the WAL / streaming
 /// snapshot writers and the world, pluggable so tests can inject torn
@@ -256,9 +227,7 @@ impl<T: DurableIo + ?Sized> DurableIo for Box<T> {
 #[derive(Debug, Clone, Default)]
 pub struct VecIo {
     buf: Vec<u8>,
-    limit: Option<usize>,
-    max_chunk: Option<usize>,
-    fail_syncs: bool,
+    plan: IoFaultPlan,
     syncs: u64,
 }
 
@@ -268,27 +237,31 @@ impl VecIo {
         Self::default()
     }
 
+    /// A sink injecting the faults of `plan` — the shared configuration
+    /// surface of [`crate::fault`], so WAL and transport chaos tests
+    /// describe faults the same way.
+    pub fn with_faults(plan: IoFaultPlan) -> Self {
+        Self {
+            plan,
+            ..Self::default()
+        }
+    }
+
     /// A sink that accepts exactly `limit` bytes and then reports
     /// [`IoFault::NoSpace`] — ENOSPC at a chosen byte offset.
     pub fn limited(limit: usize) -> Self {
-        Self {
-            limit: Some(limit),
-            ..Self::default()
-        }
+        Self::with_faults(IoFaultPlan::new().byte_limit(limit))
     }
 
     /// A sink that accepts at most `max_chunk` bytes per `write` call —
     /// every multi-byte append becomes a sequence of short writes.
     pub fn chunked(max_chunk: usize) -> Self {
-        Self {
-            max_chunk: Some(max_chunk.max(1)),
-            ..Self::default()
-        }
+        Self::with_faults(IoFaultPlan::new().short_writes(max_chunk))
     }
 
     /// Makes every subsequent [`DurableIo::sync`] fail.
     pub fn failing_syncs(mut self) -> Self {
-        self.fail_syncs = true;
+        self.plan = self.plan.failing_syncs();
         self
     }
 
@@ -314,30 +287,13 @@ impl DurableIo for VecIo {
         if buf.is_empty() {
             return Ok(0);
         }
-        let room = match self.limit {
-            Some(limit) => limit.saturating_sub(self.buf.len()),
-            None => usize::MAX,
-        };
-        if room == 0 {
-            return Err(IoFault::NoSpace {
-                at: self.buf.len() as u64,
-            });
-        }
-        let n = buf
-            .len()
-            .min(room)
-            .min(self.max_chunk.unwrap_or(usize::MAX));
+        let n = self.plan.admit(self.buf.len(), buf.len())?;
         self.buf.extend_from_slice(&buf[..n]);
         Ok(n)
     }
 
     fn sync(&mut self) -> Result<(), IoFault> {
-        if self.fail_syncs {
-            return Err(IoFault::Failed {
-                at: self.buf.len() as u64,
-                what: "injected sync failure",
-            });
-        }
+        self.plan.check_sync(self.buf.len())?;
         self.syncs += 1;
         Ok(())
     }
@@ -352,7 +308,7 @@ impl DurableIo for VecIo {
 #[derive(Debug, Clone, Default)]
 pub struct SharedVecIo {
     buf: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
-    limit: Option<usize>,
+    plan: IoFaultPlan,
 }
 
 impl SharedVecIo {
@@ -361,18 +317,32 @@ impl SharedVecIo {
         Self::default()
     }
 
+    /// An empty shared sink injecting the faults of `plan` — the same
+    /// [`crate::fault::IoFaultPlan`] surface as [`VecIo::with_faults`],
+    /// so the crash/recovery harnesses configure both sinks identically.
+    pub fn with_faults(plan: IoFaultPlan) -> Self {
+        Self {
+            plan,
+            ..Self::default()
+        }
+    }
+
     /// An empty shared sink returning [`IoFault::NoSpace`] once `limit`
     /// bytes have been accepted.
     pub fn limited(limit: usize) -> Self {
-        Self {
-            limit: Some(limit),
-            ..Self::default()
-        }
+        Self::with_faults(IoFaultPlan::new().byte_limit(limit))
     }
 
     /// A copy of everything accepted so far.
     pub fn bytes(&self) -> Vec<u8> {
         self.buf.lock().expect("sink mutex poisoned").clone()
+    }
+
+    /// Truncates the shared buffer to `len` bytes (no-op when already
+    /// shorter) — the crash-surgery hook recovery harnesses use to cut a
+    /// torn tail, and checkpoint rotation uses to reset a shard log.
+    pub fn truncate(&self, len: usize) {
+        self.buf.lock().expect("sink mutex poisoned").truncate(len);
     }
 }
 
@@ -382,22 +352,14 @@ impl DurableIo for SharedVecIo {
             return Ok(0);
         }
         let mut held = self.buf.lock().expect("sink mutex poisoned");
-        let room = match self.limit {
-            Some(limit) => limit.saturating_sub(held.len()),
-            None => usize::MAX,
-        };
-        if room == 0 {
-            return Err(IoFault::NoSpace {
-                at: held.len() as u64,
-            });
-        }
-        let n = buf.len().min(room);
+        let n = self.plan.admit(held.len(), buf.len())?;
         held.extend_from_slice(&buf[..n]);
         Ok(n)
     }
 
     fn sync(&mut self) -> Result<(), IoFault> {
-        Ok(())
+        let held = self.buf.lock().expect("sink mutex poisoned").len();
+        self.plan.check_sync(held)
     }
 }
 
@@ -733,6 +695,48 @@ pub enum WalRecord {
     },
 }
 
+/// Where (and why) a WAL byte stream stops being intact — the damage
+/// report of [`scan_wal`] and [`recover`].
+///
+/// Carries the *location* of the first damaged frame, not just a flag:
+/// `offset` is the byte at which that frame starts (equivalently, the
+/// end of the valid prefix) and `frame_index` is its zero-based index —
+/// the coordinates an operator needs to inspect, truncate, or quarantine
+/// the tail. Header damage reports `offset == 0` and `frame_index == 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalDamage {
+    /// Byte offset where the first damaged frame starts (0 when the
+    /// header itself is damaged).
+    pub offset: u64,
+    /// Zero-based index of the first damaged frame (== the number of
+    /// intact frames before it).
+    pub frame_index: u64,
+    /// What the scanner tripped on.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for WalDamage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frame {} (byte offset {}) is damaged: {}",
+            self.frame_index, self.offset, self.reason
+        )
+    }
+}
+
+impl From<WalDamage> for WalError {
+    /// The equivalent checked error: frames `0..frame_index` (ending at
+    /// byte `offset`) are intact, everything after is damage.
+    fn from(d: WalDamage) -> Self {
+        WalError::Corrupt {
+            valid_bytes: d.offset,
+            frames: d.frame_index,
+            reason: d.reason,
+        }
+    }
+}
+
 /// Result of [`scan_wal`]: the intact prefix of a log, plus where (and
 /// why) it stops being intact.
 #[derive(Debug, Clone, PartialEq)]
@@ -748,9 +752,10 @@ pub struct WalScan {
     /// Byte offset of the end of the valid prefix (header end if no frame
     /// is intact, `0` if the header itself is torn).
     pub valid_bytes: u64,
-    /// The damage past `valid_bytes`, if any — always
-    /// [`WalError::Corrupt`]. `None` means the log is clean to the end.
-    pub damage: Option<WalError>,
+    /// The damage past `valid_bytes`, if any, with the byte offset and
+    /// frame index of the first damaged frame. `None` means the log is
+    /// clean to the end.
+    pub damage: Option<WalDamage>,
 }
 
 /// Walks a WAL byte stream, decoding the longest valid prefix.
@@ -773,18 +778,18 @@ pub fn scan_wal(bytes: &[u8]) -> Result<WalScan, WalError> {
         return Err(WalError::BadMagic);
     }
     if bytes.len() < WAL_HEADER_LEN {
-        scan.damage = Some(WalError::Corrupt {
-            valid_bytes: 0,
-            frames: 0,
+        scan.damage = Some(WalDamage {
+            offset: 0,
+            frame_index: 0,
             reason: "torn header",
         });
         return Ok(scan);
     }
     let stored = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
     if crc32(&bytes[..20]) != stored {
-        scan.damage = Some(WalError::Corrupt {
-            valid_bytes: 0,
-            frames: 0,
+        scan.damage = Some(WalDamage {
+            offset: 0,
+            frame_index: 0,
             reason: "header checksum mismatch",
         });
         return Ok(scan);
@@ -810,10 +815,12 @@ pub fn scan_wal(bytes: &[u8]) -> Result<WalScan, WalError> {
         if remaining == 0 {
             return Ok(scan);
         }
+        // The damaged frame starts exactly where the valid prefix ends,
+        // and its index is the count of intact frames before it.
         let damage = |reason| {
-            Some(WalError::Corrupt {
-                valid_bytes: scan.valid_bytes,
-                frames: scan.records.len() as u64,
+            Some(WalDamage {
+                offset: scan.valid_bytes,
+                frame_index: scan.records.len() as u64,
                 reason,
             })
         };
@@ -905,11 +912,12 @@ pub struct Recovery {
     pub frames_applied: u64,
     /// Byte offset of the end of the valid WAL prefix.
     pub valid_bytes: u64,
-    /// Damage found past the valid prefix (always
-    /// [`WalError::Corrupt`]), `None` for a clean log. Recovery *applied*
-    /// the valid prefix either way — the caller decides whether a torn
-    /// tail is an expected crash artifact or cause for alarm.
-    pub damage: Option<WalError>,
+    /// Damage found past the valid prefix — the byte offset and frame
+    /// index of the first damaged frame — or `None` for a clean log.
+    /// Recovery *applied* the valid prefix either way; the caller decides
+    /// whether a torn tail is an expected crash artifact or cause for
+    /// alarm.
+    pub damage: Option<WalDamage>,
 }
 
 /// Replays one decoded WAL record on a live engine — the single replay
@@ -1052,7 +1060,7 @@ mod tests {
             assert_eq!(scan.records.len(), 1, "cut at {cut}");
             assert_eq!(scan.valid_bytes, first_end as u64);
             assert!(
-                matches!(scan.damage, Some(WalError::Corrupt { frames: 1, .. })),
+                matches!(scan.damage, Some(WalDamage { frame_index: 1, .. })),
                 "cut at {cut}: {:?}",
                 scan.damage
             );

@@ -5,8 +5,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ucpc::baselines::{FdbScan, Foptics, MmVar, Uahc, UkMeans, UkMedoids};
 use ucpc::core::framework::UncertainClusterer;
+use ucpc::core::incremental::IncrementalUcpc;
 use ucpc::core::parallel::ParallelUcpc;
-use ucpc::core::Ucpc;
+use ucpc::core::{ServingConfig, ServingError, ServingResponse, ServingUcpc, ShardedUcpc, Ucpc};
 use ucpc::eval::quality;
 use ucpc::uncertain::{UncertainObject, UnivariatePdf};
 
@@ -109,6 +110,127 @@ fn heavily_skewed_exponential_objects() {
         })
         .collect();
     run_all(&data, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate shapes for the streaming / serving / sharded engines, which the
+// batch sweeps above never construct.
+// ---------------------------------------------------------------------------
+
+fn point(coords: &[f64]) -> UncertainObject {
+    UncertainObject::new(
+        coords
+            .iter()
+            .map(|&c| UnivariatePdf::normal(c, 0.3))
+            .collect(),
+    )
+}
+
+#[test]
+fn incremental_engine_degenerate_shapes() {
+    // k = 1, m = 1: every insert lands in the only cluster, stabilize has
+    // nowhere to move anything, and the objective stays finite throughout.
+    let mut eng = IncrementalUcpc::new(1, 1).unwrap();
+    let mut handles = Vec::new();
+    for i in 0..5 {
+        let h = eng.insert(&point(&[i as f64])).unwrap();
+        assert_eq!(eng.label_of(h), Some(0));
+        handles.push(h);
+    }
+    assert_eq!(eng.stabilize(3), 0, "k = 1 admits no relocations");
+    assert!(eng.objective().is_finite());
+
+    // Drain back down to empty: the engine must survive, report empty, and
+    // accept fresh inserts afterwards.
+    for h in handles {
+        eng.remove(h).unwrap();
+    }
+    assert!(eng.is_empty());
+    assert_eq!(eng.stabilize(2), 0, "empty engine stabilizes trivially");
+    let h = eng.insert(&point(&[7.0])).unwrap();
+    assert_eq!(eng.label_of(h), Some(0));
+
+    // A single live object with k > 1: the singleton guard must keep
+    // stabilize from evicting the only member of its cluster.
+    let mut single = IncrementalUcpc::new(2, 3).unwrap();
+    let h = single.insert(&point(&[1.0, -1.0])).unwrap();
+    assert_eq!(single.len(), 1);
+    assert_eq!(single.stabilize(4), 0, "a singleton never relocates");
+    assert!(single.label_of(h).is_some());
+    assert!(single.objective().is_finite());
+}
+
+#[test]
+fn serving_layer_empty_flush_and_zero_capacity_queue() {
+    // Flushing an empty queue is a no-op: no work, no responses.
+    let mut idle = ServingUcpc::new(2, 2, ServingConfig::default()).unwrap();
+    assert_eq!(idle.flush(), 0);
+    assert!(idle.pop_response().is_none());
+
+    // A zero-capacity queue clamps to the batch size (>= 1): exactly one
+    // request is admitted, the next is shed with QueueFull rather than
+    // dropped silently, and a flush makes room again.
+    let cfg = ServingConfig {
+        batch: 1,
+        queue_capacity: 0,
+        ..ServingConfig::default()
+    };
+    let mut serving = ServingUcpc::new(1, 2, cfg).unwrap();
+    serving.submit_commit_object(&point(&[0.0])).unwrap();
+    match serving.submit_commit_object(&point(&[1.0])) {
+        Err(ServingError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+        other => panic!("expected QueueFull from a clamped zero-capacity queue, got {other:?}"),
+    }
+    assert_eq!(serving.flush(), 1);
+    match serving.pop_response() {
+        Some((_, ServingResponse::Committed { .. })) => {}
+        other => panic!("expected the shed-survivor commit, got {other:?}"),
+    }
+    serving
+        .submit_commit_object(&point(&[1.0]))
+        .expect("flush frees the single queue slot");
+    assert_eq!(serving.flush(), 1);
+
+    // Degenerate maintenance on the drained queue: stabilize submitted
+    // alone flushes cleanly and the engine stays consistent.
+    serving.submit_stabilize(2).unwrap();
+    assert_eq!(serving.flush(), 1);
+    assert_eq!(serving.engine().len(), 2);
+    assert!(serving.engine().objective().is_finite());
+}
+
+#[test]
+fn sharded_engine_single_object_and_degenerate_k_m() {
+    // One object across many shards: every shard but the owner holds an
+    // empty partition, and the replicated state still matches single-node.
+    let mut sharded = ShardedUcpc::new(1, 2, 8).unwrap();
+    let mut single = IncrementalUcpc::new(1, 2).unwrap();
+    let hs = sharded.insert(&point(&[3.0])).unwrap();
+    let hi = single.insert(&point(&[3.0])).unwrap();
+    assert_eq!(hs, hi);
+    assert_eq!(sharded.stabilize(3), single.stabilize(3));
+    assert_eq!(sharded.objective().to_bits(), single.objective().to_bits());
+    sharded.remove(hs).unwrap();
+    assert!(sharded.is_empty());
+
+    // k = 1, m = 1 under sharding: inserts, a no-op stabilize, and removal
+    // down to empty all replicate bit-identically.
+    let mut sharded = ShardedUcpc::new(1, 1, 4).unwrap();
+    let mut single = IncrementalUcpc::new(1, 1).unwrap();
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let hs = sharded.insert(&point(&[i as f64])).unwrap();
+        let hi = single.insert(&point(&[i as f64])).unwrap();
+        assert_eq!(hs, hi);
+        handles.push(hs);
+    }
+    assert_eq!(sharded.stabilize(2), 0, "k = 1 admits no relocations");
+    assert_eq!(sharded.objective().to_bits(), single.objective().to_bits());
+    for h in handles {
+        sharded.remove(h).unwrap();
+    }
+    assert!(sharded.is_empty());
+    assert_eq!(sharded.objective(), 0.0);
 }
 
 #[test]

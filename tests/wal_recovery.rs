@@ -296,3 +296,126 @@ fn recovery_from_a_faulted_writer_matches_the_applied_prefix() {
         serving.engine().objective().to_bits()
     );
 }
+
+#[test]
+fn damage_report_carries_offset_and_frame_index_of_first_damaged_frame() {
+    let run = logged_run(StreamBackend::Slab, PruningConfig::Bounds, true);
+    // Damage frame 5 (0-based): its bytes span frame_ends[4]..frame_ends[5].
+    let start = run.scan.frame_ends[4];
+    let end = run.scan.frame_ends[5];
+
+    // Mid-frame truncation: the report must name the damaged frame's own
+    // byte offset and index, not just flag "damaged somewhere".
+    let cut = ((start + end) / 2) as usize;
+    let scan = scan_wal(&run.wal[..cut]).expect("valid prefix scans");
+    let damage = scan.damage.expect("torn frame must be reported");
+    assert_eq!(damage.offset, start, "offset of the first damaged frame");
+    assert_eq!(damage.frame_index, 5, "index of the first damaged frame");
+    assert_eq!(scan.valid_bytes, start, "salvage stops at the damage");
+    assert_eq!(scan.records.len(), 5);
+
+    // Mid-frame corruption in an otherwise complete log: same report,
+    // and the intact suffix after the flip is NOT resurrected (a frame
+    // boundary can't be trusted past a corrupt frame).
+    let mut bent = run.wal.clone();
+    let flip = ((start + end) / 2) as usize;
+    bent[flip] ^= 0x40;
+    let scan = scan_wal(&bent).expect("corrupt frame is damage, not an error");
+    let damage = scan.damage.expect("corrupt frame must be reported");
+    assert_eq!(damage.offset, start);
+    assert_eq!(damage.frame_index, 5);
+    assert_eq!(scan.records.len(), 5, "no frames past the corruption");
+
+    // The same report surfaces through full recovery.
+    let rec = recover(&run.checkpoint, &bent).expect("recovery salvages the prefix");
+    let damage = rec.damage.expect("recovery reports the damage");
+    assert_eq!((damage.offset, damage.frame_index), (start, 5));
+}
+
+#[test]
+fn checkpoint_rotation_under_injected_sync_failure_is_atomic() {
+    use ucpc::core::fault::IoFaultPlan;
+    use ucpc::core::wal::VecIo;
+
+    let engine = settled(StreamBackend::Slab, PruningConfig::Bounds);
+    let mut serving = ServingUcpc::over(
+        engine,
+        ServingConfig {
+            batch: 2,
+            queue_capacity: 16,
+            deadline: None,
+            stabilize_every: 0,
+            stabilize_passes: 1,
+            top_k: 1,
+            ..ServingConfig::default()
+        },
+    );
+    serving.detach_wal();
+
+    // Poison the attached writer with an injected ENOSPC mid-commit.
+    let torn = SharedVecIo::limited(WAL_HEADER_LEN + 10);
+    serving.attach_wal(torn).unwrap();
+    serving.submit_commit_object(&obj(1.0, 0.3)).unwrap();
+    serving.submit_commit_object(&obj(2.0, 0.3)).unwrap();
+    serving.flush();
+    while serving.pop_response().is_some() {}
+    assert!(
+        serving.wal().unwrap().poisoned().is_some(),
+        "writer must be poisoned by the injected fault"
+    );
+    let labels_before = serving.engine().live_labels();
+    let objective_before = serving.engine().objective().to_bits();
+
+    // Rotation attempt whose snapshot sync fails: a checked error, and
+    // NO partial rotation — the poisoned writer stays attached, the
+    // fresh log sink is never even created.
+    let mut bad_snap = VecIo::with_faults(IoFaultPlan::new().failing_syncs());
+    let fresh = SharedVecIo::new();
+    let err = serving
+        .checkpoint_into(&mut bad_snap, fresh.clone())
+        .expect_err("failing snapshot sync must refuse the rotation");
+    assert!(matches!(err, ucpc::core::wal::WalError::Io(_)), "{err:?}");
+    assert!(
+        serving.wal().unwrap().poisoned().is_some(),
+        "failed rotation must leave the old (poisoned) writer in place"
+    );
+    assert!(fresh.bytes().is_empty(), "no header in the abandoned log");
+
+    // Same discipline when the fresh log itself cannot be created.
+    let mut snap = VecIo::new();
+    serving
+        .checkpoint_into(&mut snap, SharedVecIo::limited(4))
+        .expect_err("unwritable fresh log must refuse the rotation");
+    assert!(serving.wal().unwrap().poisoned().is_some());
+
+    // And attach_wal under the same fault: checked error, old writer kept.
+    serving
+        .attach_wal(SharedVecIo::limited(4))
+        .expect_err("unwritable attach must be refused");
+    assert!(serving.wal().unwrap().poisoned().is_some());
+
+    // The engine never moved through any of the failed rotations.
+    assert_eq!(serving.engine().live_labels(), labels_before);
+    assert_eq!(serving.engine().objective().to_bits(), objective_before);
+
+    // A healthy rotation then recovers the pipeline: the poisoned writer
+    // comes back out, and the new checkpoint + log pair round-trips.
+    let mut snap = VecIo::new();
+    let good = SharedVecIo::new();
+    let old = serving
+        .checkpoint_into(&mut snap, good.clone())
+        .expect("healthy rotation succeeds")
+        .expect("previous writer is returned");
+    assert!(old.poisoned().is_some());
+    assert!(serving.wal().unwrap().poisoned().is_none());
+    serving.submit_commit_object(&obj(3.0, 0.3)).unwrap();
+    serving.flush();
+    while serving.pop_response().is_some() {}
+    let rec = recover(snap.bytes(), &good.bytes()).expect("rotated pair recovers");
+    assert!(rec.damage.is_none());
+    assert_eq!(rec.engine.live_labels(), serving.engine().live_labels());
+    assert_eq!(
+        rec.engine.objective().to_bits(),
+        serving.engine().objective().to_bits()
+    );
+}
